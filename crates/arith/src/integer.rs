@@ -1,0 +1,471 @@
+//! Arbitrary-precision signed integers, as a sign + [`Natural`] magnitude.
+
+use crate::natural::Natural;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Sign of an [`Integer`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Sign {
+    /// Strictly negative.
+    Negative,
+    /// Zero.
+    Zero,
+    /// Strictly positive.
+    Positive,
+}
+
+/// An arbitrary-precision signed integer.
+///
+/// Invariant: `sign == Sign::Zero` iff `magnitude == 0`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Integer {
+    sign: Sign,
+    magnitude: Natural,
+}
+
+impl Integer {
+    /// The constant zero.
+    pub fn zero() -> Self {
+        Integer { sign: Sign::Zero, magnitude: Natural::zero() }
+    }
+
+    /// The constant one.
+    pub fn one() -> Self {
+        Integer { sign: Sign::Positive, magnitude: Natural::one() }
+    }
+
+    /// The constant minus one.
+    pub fn neg_one() -> Self {
+        Integer { sign: Sign::Negative, magnitude: Natural::one() }
+    }
+
+    /// Builds an integer from a sign and magnitude, normalizing zero.
+    pub fn from_sign_magnitude(sign: Sign, magnitude: Natural) -> Self {
+        if magnitude.is_zero() {
+            Integer::zero()
+        } else {
+            assert!(sign != Sign::Zero, "nonzero magnitude with zero sign");
+            Integer { sign, magnitude }
+        }
+    }
+
+    /// The sign.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// The absolute value as a natural.
+    pub fn magnitude(&self) -> &Natural {
+        &self.magnitude
+    }
+
+    /// Consumes `self`, returning the magnitude.
+    pub fn into_magnitude(self) -> Natural {
+        self.magnitude
+    }
+
+    /// True iff zero.
+    pub fn is_zero(&self) -> bool {
+        self.sign == Sign::Zero
+    }
+
+    /// True iff one.
+    pub fn is_one(&self) -> bool {
+        self.sign == Sign::Positive && self.magnitude.is_one()
+    }
+
+    /// True iff strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Negative
+    }
+
+    /// True iff strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.sign == Sign::Positive
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Integer {
+        Integer::from_sign_magnitude(
+            if self.is_zero() { Sign::Zero } else { Sign::Positive },
+            self.magnitude.clone(),
+        )
+    }
+
+    /// Truncated division with remainder: `self = q * d + r`, `|r| < |d|`,
+    /// `r` has the sign of `self`.
+    pub fn div_rem(&self, d: &Integer) -> (Integer, Integer) {
+        assert!(!d.is_zero(), "division by zero");
+        let (qm, rm) = self.magnitude.div_rem(&d.magnitude);
+        let q_sign = match (self.sign, d.sign) {
+            (Sign::Zero, _) => Sign::Zero,
+            (a, b) if a == b => Sign::Positive,
+            _ => Sign::Negative,
+        };
+        (
+            Integer::from_sign_magnitude(if qm.is_zero() { Sign::Zero } else { q_sign }, qm),
+            Integer::from_sign_magnitude(if rm.is_zero() { Sign::Zero } else { self.sign }, rm),
+        )
+    }
+
+    /// Exact division; panics if not divisible.
+    pub fn div_exact(&self, d: &Integer) -> Integer {
+        let (q, r) = self.div_rem(d);
+        assert!(r.is_zero(), "div_exact: not divisible");
+        q
+    }
+
+    /// Greatest common divisor (nonnegative).
+    pub fn gcd(&self, other: &Integer) -> Natural {
+        self.magnitude.gcd(&other.magnitude)
+    }
+
+    /// `self ^ exp`.
+    pub fn pow(&self, exp: u32) -> Integer {
+        let mag = self.magnitude.pow(exp);
+        let sign = match self.sign {
+            Sign::Zero => {
+                if exp == 0 {
+                    return Integer::one();
+                }
+                Sign::Zero
+            }
+            Sign::Positive => Sign::Positive,
+            Sign::Negative => {
+                if exp.is_multiple_of(2) {
+                    Sign::Positive
+                } else {
+                    Sign::Negative
+                }
+            }
+        };
+        Integer::from_sign_magnitude(sign, mag)
+    }
+
+    /// Lossy conversion to `f64` (reporting only).
+    pub fn to_f64(&self) -> f64 {
+        let m = self.magnitude.to_f64();
+        match self.sign {
+            Sign::Negative => -m,
+            _ => m,
+        }
+    }
+
+    /// Returns `self` as `i64` if it fits.
+    pub fn to_i64(&self) -> Option<i64> {
+        let m = self.magnitude.to_u64()?;
+        match self.sign {
+            Sign::Zero => Some(0),
+            Sign::Positive => i64::try_from(m).ok(),
+            Sign::Negative => {
+                if m <= i64::MAX as u64 + 1 {
+                    Some((m as i64).wrapping_neg())
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    fn add_int(&self, other: &Integer) -> Integer {
+        match (self.sign, other.sign) {
+            (Sign::Zero, _) => other.clone(),
+            (_, Sign::Zero) => self.clone(),
+            (a, b) if a == b => {
+                Integer::from_sign_magnitude(a, &self.magnitude + &other.magnitude)
+            }
+            _ => match self.magnitude.cmp(&other.magnitude) {
+                Ordering::Equal => Integer::zero(),
+                Ordering::Greater => Integer::from_sign_magnitude(
+                    self.sign,
+                    &self.magnitude - &other.magnitude,
+                ),
+                Ordering::Less => Integer::from_sign_magnitude(
+                    other.sign,
+                    &other.magnitude - &self.magnitude,
+                ),
+            },
+        }
+    }
+
+    fn mul_int(&self, other: &Integer) -> Integer {
+        let sign = match (self.sign, other.sign) {
+            (Sign::Zero, _) | (_, Sign::Zero) => return Integer::zero(),
+            (a, b) if a == b => Sign::Positive,
+            _ => Sign::Negative,
+        };
+        Integer::from_sign_magnitude(sign, &self.magnitude * &other.magnitude)
+    }
+
+    fn neg_int(&self) -> Integer {
+        let sign = match self.sign {
+            Sign::Zero => Sign::Zero,
+            Sign::Positive => Sign::Negative,
+            Sign::Negative => Sign::Positive,
+        };
+        Integer { sign, magnitude: self.magnitude.clone() }
+    }
+
+    /// Parses a decimal string with optional leading `-`.
+    pub fn from_decimal(s: &str) -> Option<Integer> {
+        let (sign, digits) = match s.strip_prefix('-') {
+            Some(rest) => (Sign::Negative, rest),
+            None => (Sign::Positive, s),
+        };
+        let mag = Natural::from_decimal(digits)?;
+        Some(if mag.is_zero() {
+            Integer::zero()
+        } else {
+            Integer::from_sign_magnitude(sign, mag)
+        })
+    }
+}
+
+impl From<i64> for Integer {
+    fn from(v: i64) -> Self {
+        match v.cmp(&0) {
+            Ordering::Equal => Integer::zero(),
+            Ordering::Greater => Integer::from_sign_magnitude(Sign::Positive, Natural::from(v as u64)),
+            Ordering::Less => Integer::from_sign_magnitude(
+                Sign::Negative,
+                Natural::from((v as i128).unsigned_abs() as u64),
+            ),
+        }
+    }
+}
+
+impl From<u64> for Integer {
+    fn from(v: u64) -> Self {
+        if v == 0 {
+            Integer::zero()
+        } else {
+            Integer::from_sign_magnitude(Sign::Positive, Natural::from(v))
+        }
+    }
+}
+
+impl From<Natural> for Integer {
+    fn from(n: Natural) -> Self {
+        if n.is_zero() {
+            Integer::zero()
+        } else {
+            Integer::from_sign_magnitude(Sign::Positive, n)
+        }
+    }
+}
+
+impl PartialOrd for Integer {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Integer {
+    fn cmp(&self, other: &Self) -> Ordering {
+        let rank = |s: Sign| match s {
+            Sign::Negative => 0,
+            Sign::Zero => 1,
+            Sign::Positive => 2,
+        };
+        match rank(self.sign).cmp(&rank(other.sign)) {
+            Ordering::Equal => match self.sign {
+                Sign::Zero => Ordering::Equal,
+                Sign::Positive => self.magnitude.cmp(&other.magnitude),
+                Sign::Negative => other.magnitude.cmp(&self.magnitude),
+            },
+            o => o,
+        }
+    }
+}
+
+macro_rules! forward_binop {
+    ($trait:ident, $method:ident, $impl:ident) => {
+        impl $trait<&Integer> for &Integer {
+            type Output = Integer;
+            fn $method(self, rhs: &Integer) -> Integer {
+                self.$impl(rhs)
+            }
+        }
+        impl $trait<Integer> for Integer {
+            type Output = Integer;
+            fn $method(self, rhs: Integer) -> Integer {
+                (&self).$impl(&rhs)
+            }
+        }
+        impl $trait<&Integer> for Integer {
+            type Output = Integer;
+            fn $method(self, rhs: &Integer) -> Integer {
+                (&self).$impl(rhs)
+            }
+        }
+        impl $trait<Integer> for &Integer {
+            type Output = Integer;
+            fn $method(self, rhs: Integer) -> Integer {
+                self.$impl(&rhs)
+            }
+        }
+    };
+}
+
+forward_binop!(Add, add, add_int);
+forward_binop!(Mul, mul, mul_int);
+
+impl Sub<&Integer> for &Integer {
+    type Output = Integer;
+    fn sub(self, rhs: &Integer) -> Integer {
+        self.add_int(&rhs.neg_int())
+    }
+}
+impl Sub<Integer> for Integer {
+    type Output = Integer;
+    fn sub(self, rhs: Integer) -> Integer {
+        (&self).sub(&rhs)
+    }
+}
+impl Sub<&Integer> for Integer {
+    type Output = Integer;
+    fn sub(self, rhs: &Integer) -> Integer {
+        (&self).sub(rhs)
+    }
+}
+impl Sub<Integer> for &Integer {
+    type Output = Integer;
+    fn sub(self, rhs: Integer) -> Integer {
+        self.sub(&rhs)
+    }
+}
+
+impl Neg for &Integer {
+    type Output = Integer;
+    fn neg(self) -> Integer {
+        self.neg_int()
+    }
+}
+impl Neg for Integer {
+    type Output = Integer;
+    fn neg(self) -> Integer {
+        self.neg_int()
+    }
+}
+
+impl AddAssign<&Integer> for Integer {
+    fn add_assign(&mut self, rhs: &Integer) {
+        *self = self.add_int(rhs);
+    }
+}
+impl SubAssign<&Integer> for Integer {
+    fn sub_assign(&mut self, rhs: &Integer) {
+        *self = (&*self).sub(rhs);
+    }
+}
+impl MulAssign<&Integer> for Integer {
+    fn mul_assign(&mut self, rhs: &Integer) {
+        *self = self.mul_int(rhs);
+    }
+}
+
+impl fmt::Display for Integer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.sign == Sign::Negative {
+            write!(f, "-")?;
+        }
+        write!(f, "{}", self.magnitude)
+    }
+}
+
+impl fmt::Debug for Integer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn i(v: i64) -> Integer {
+        Integer::from(v)
+    }
+
+    #[test]
+    fn construction_and_signs() {
+        assert!(i(0).is_zero());
+        assert!(i(5).is_positive());
+        assert!(i(-5).is_negative());
+        assert_eq!(i(-5).abs(), i(5));
+    }
+
+    #[test]
+    fn add_mixed_signs() {
+        assert_eq!(i(3) + i(4), i(7));
+        assert_eq!(i(3) + i(-4), i(-1));
+        assert_eq!(i(-3) + i(4), i(1));
+        assert_eq!(i(-3) + i(-4), i(-7));
+        assert_eq!(i(5) + i(-5), i(0));
+    }
+
+    #[test]
+    fn sub_and_neg() {
+        assert_eq!(i(3) - i(10), i(-7));
+        assert_eq!(-i(4), i(-4));
+        assert_eq!(-i(0), i(0));
+    }
+
+    #[test]
+    fn mul_signs() {
+        assert_eq!(i(3) * i(-4), i(-12));
+        assert_eq!(i(-3) * i(-4), i(12));
+        assert_eq!(i(0) * i(-4), i(0));
+    }
+
+    #[test]
+    fn div_rem_truncates_toward_zero() {
+        let (q, r) = i(7).div_rem(&i(2));
+        assert_eq!((q, r), (i(3), i(1)));
+        let (q, r) = i(-7).div_rem(&i(2));
+        assert_eq!((q, r), (i(-3), i(-1)));
+        let (q, r) = i(7).div_rem(&i(-2));
+        assert_eq!((q, r), (i(-3), i(1)));
+        let (q, r) = i(-7).div_rem(&i(-2));
+        assert_eq!((q, r), (i(3), i(-1)));
+    }
+
+    #[test]
+    fn pow_signs() {
+        assert_eq!(i(-2).pow(3), i(-8));
+        assert_eq!(i(-2).pow(4), i(16));
+        assert_eq!(i(0).pow(0), i(1));
+        assert_eq!(i(0).pow(3), i(0));
+    }
+
+    #[test]
+    fn ordering_across_signs() {
+        assert!(i(-10) < i(-2));
+        assert!(i(-2) < i(0));
+        assert!(i(0) < i(1));
+        assert!(i(1) < i(100));
+    }
+
+    #[test]
+    fn parse_and_display() {
+        assert_eq!(Integer::from_decimal("-123").unwrap(), i(-123));
+        assert_eq!(Integer::from_decimal("0").unwrap(), i(0));
+        assert_eq!(Integer::from_decimal("-0").unwrap(), i(0));
+        assert_eq!(i(-123).to_string(), "-123");
+    }
+
+    #[test]
+    fn to_i64_bounds() {
+        assert_eq!(i(i64::MAX).to_i64(), Some(i64::MAX));
+        assert_eq!(i(i64::MIN + 1).to_i64(), Some(i64::MIN + 1));
+        let big = Integer::from(Natural::from(u64::MAX));
+        assert_eq!(big.to_i64(), None);
+    }
+
+    #[test]
+    fn gcd_ignores_sign() {
+        assert_eq!(i(-12).gcd(&i(18)), Natural::from(6u64));
+    }
+}

@@ -1,0 +1,179 @@
+//! # gfomc-arith
+//!
+//! Exact arbitrary-precision arithmetic for the `gfomc` workspace:
+//!
+//! * [`Natural`] — unsigned big integers (limb vector, schoolbook ops);
+//! * [`Integer`] — signed big integers (sign + magnitude);
+//! * [`Rational`] — rationals in lowest terms, the universal probability and
+//!   coefficient type of the workspace;
+//! * [`QuadExt`] — elements of a real quadratic field `Q(√d)`, used for the
+//!   exact eigenvalue computations of the paper's transfer matrices.
+//!
+//! All query probabilities in a tuple-independent database with rational tuple
+//! probabilities are rational, and the hardness reductions of Kenig & Suciu
+//! (PODS 2021) hinge on exact algebraic facts (non-singularity of matrices,
+//! non-vanishing of determinants), so the entire workspace computes exactly —
+//! floating point appears only in human-facing reporting.
+
+pub mod integer;
+pub mod natural;
+pub mod quadratic;
+pub mod rational;
+
+pub use integer::{Integer, Sign};
+pub use natural::Natural;
+pub use quadratic::QuadExt;
+pub use rational::Rational;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_natural() -> impl Strategy<Value = Natural> {
+        proptest::collection::vec(any::<u64>(), 0..4).prop_map(Natural::from_limbs)
+    }
+
+    fn arb_integer() -> impl Strategy<Value = Integer> {
+        (any::<i64>()).prop_map(Integer::from)
+    }
+
+    fn arb_rational() -> impl Strategy<Value = Rational> {
+        (any::<i32>(), 1..10_000i64)
+            .prop_map(|(n, d)| Rational::from_ints(n as i64, d))
+    }
+
+    proptest! {
+        #[test]
+        fn natural_add_commutes(a in arb_natural(), b in arb_natural()) {
+            prop_assert_eq!(&a + &b, &b + &a);
+        }
+
+        #[test]
+        fn natural_add_associates(a in arb_natural(), b in arb_natural(), c in arb_natural()) {
+            prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+        }
+
+        #[test]
+        fn natural_mul_commutes(a in arb_natural(), b in arb_natural()) {
+            prop_assert_eq!(&a * &b, &b * &a);
+        }
+
+        #[test]
+        fn natural_mul_distributes(a in arb_natural(), b in arb_natural(), c in arb_natural()) {
+            prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        }
+
+        #[test]
+        fn natural_div_rem_roundtrip(a in arb_natural(), b in arb_natural()) {
+            prop_assume!(!b.is_zero());
+            let (q, r) = a.div_rem(&b);
+            prop_assert!(r < b);
+            prop_assert_eq!(&(&q * &b) + &r, a);
+        }
+
+        #[test]
+        fn natural_gcd_divides(a in arb_natural(), b in arb_natural()) {
+            prop_assume!(!a.is_zero() && !b.is_zero());
+            let g = a.gcd(&b);
+            prop_assert!((&a % &g).is_zero());
+            prop_assert!((&b % &g).is_zero());
+        }
+
+        #[test]
+        fn natural_shift_roundtrip(a in arb_natural(), s in 0usize..200) {
+            prop_assert_eq!(a.shl_bits(s).shr_bits(s), a);
+        }
+
+        #[test]
+        fn natural_display_parse_roundtrip(a in arb_natural()) {
+            prop_assert_eq!(Natural::from_decimal(&a.to_string()), Some(a));
+        }
+
+        #[test]
+        fn natural_isqrt_bounds(a in arb_natural()) {
+            let r = a.isqrt();
+            prop_assert!(&r * &r <= a);
+            let r1 = &r + &Natural::one();
+            prop_assert!(&r1 * &r1 > a);
+        }
+
+        #[test]
+        fn integer_ring_laws(a in arb_integer(), b in arb_integer(), c in arb_integer()) {
+            prop_assert_eq!(&a + &b, &b + &a);
+            prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+            prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+            prop_assert_eq!(&a - &a, Integer::zero());
+        }
+
+        #[test]
+        fn integer_div_rem_roundtrip(a in arb_integer(), b in arb_integer()) {
+            prop_assume!(!b.is_zero());
+            let (q, r) = a.div_rem(&b);
+            prop_assert_eq!(&(&q * &b) + &r, a.clone());
+            prop_assert!(r.magnitude() < b.magnitude());
+        }
+
+        #[test]
+        fn rational_field_laws(a in arb_rational(), b in arb_rational(), c in arb_rational()) {
+            prop_assert_eq!(&a + &b, &b + &a);
+            prop_assert_eq!(&a * &b, &b * &a);
+            prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+            prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        }
+
+        #[test]
+        fn rational_recip_inverse(a in arb_rational()) {
+            prop_assume!(!a.is_zero());
+            prop_assert_eq!(&a * &a.recip(), Rational::one());
+        }
+
+        #[test]
+        fn rational_parse_roundtrip(a in arb_rational()) {
+            prop_assert_eq!(Rational::from_decimal(&a.to_string()), Some(a));
+        }
+
+        #[test]
+        fn rational_order_translation_invariant(a in arb_rational(), b in arb_rational(), c in arb_rational()) {
+            prop_assert_eq!(a < b, &a + &c < &b + &c);
+        }
+
+        #[test]
+        fn quadext_field_laws(
+            a1 in arb_rational(), b1 in arb_rational(),
+            a2 in arb_rational(), b2 in arb_rational(),
+        ) {
+            let d = Rational::from_ints(7, 1);
+            let x = QuadExt::new(a1, b1, d.clone());
+            let y = QuadExt::new(a2, b2, d.clone());
+            prop_assert_eq!(&x + &y, &y + &x);
+            prop_assert_eq!(&x * &y, &y * &x);
+            if !x.is_zero() {
+                prop_assert_eq!((&x * &x.recip()).to_rational(), Some(Rational::one()));
+            }
+        }
+
+        #[test]
+        fn quadext_norm_multiplicative(
+            a1 in arb_rational(), b1 in arb_rational(),
+            a2 in arb_rational(), b2 in arb_rational(),
+        ) {
+            let d = Rational::from_ints(3, 1);
+            let x = QuadExt::new(a1, b1, d.clone());
+            let y = QuadExt::new(a2, b2, d);
+            prop_assert_eq!((&x * &y).norm(), &x.norm() * &y.norm());
+        }
+
+        #[test]
+        fn quadext_signum_consistent_with_f64(
+            a in arb_rational(), b in arb_rational(),
+        ) {
+            let d = Rational::from_ints(5, 1);
+            let x = QuadExt::new(a, b, d);
+            let approx = x.to_f64();
+            if approx.abs() > 1e-6 {
+                prop_assert_eq!(x.signum(), if approx > 0.0 { 1 } else { -1 });
+            }
+        }
+    }
+}

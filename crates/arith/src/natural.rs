@@ -1,0 +1,724 @@
+//! Arbitrary-precision unsigned integers.
+//!
+//! [`Natural`] is a little-endian vector of `u64` limbs with no trailing zero
+//! limbs (the canonical representation of zero is the empty vector). All
+//! arithmetic is exact; the implementation favours clarity over asymptotic
+//! sophistication (schoolbook multiplication and Knuth's Algorithm D for
+//! division), which is ample for the operand sizes arising in the paper's
+//! reductions (probabilities are dyadic rationals of modest height).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Rem, Shl, Shr, Sub, SubAssign};
+
+/// An arbitrary-precision unsigned integer.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Natural {
+    /// Little-endian limbs; invariant: no trailing zeros.
+    limbs: Vec<u64>,
+}
+
+impl Natural {
+    /// The constant zero.
+    pub fn zero() -> Self {
+        Natural { limbs: Vec::new() }
+    }
+
+    /// The constant one.
+    pub fn one() -> Self {
+        Natural { limbs: vec![1] }
+    }
+
+    /// Builds a natural from raw little-endian limbs, normalizing trailing zeros.
+    pub fn from_limbs(mut limbs: Vec<u64>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        Natural { limbs }
+    }
+
+    /// Read-only view of the little-endian limbs.
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// True iff `self == 0`.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// True iff `self == 1`.
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// True iff the value is even (zero counts as even).
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => self.limbs.len() * 64 - top.leading_zeros() as usize,
+        }
+    }
+
+    /// Returns `self` as `u64` if it fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Returns `self` as `u128` if it fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some(self.limbs[0] as u128 | (self.limbs[1] as u128) << 64),
+            _ => None,
+        }
+    }
+
+    /// Lossy conversion to `f64` (for reporting only, never for logic).
+    pub fn to_f64(&self) -> f64 {
+        let mut acc = 0.0f64;
+        for &l in self.limbs.iter().rev() {
+            acc = acc * 1.8446744073709552e19 + l as f64;
+        }
+        acc
+    }
+
+    /// Compares two naturals.
+    fn cmp_limbs(a: &[u64], b: &[u64]) -> Ordering {
+        if a.len() != b.len() {
+            return a.len().cmp(&b.len());
+        }
+        for (x, y) in a.iter().rev().zip(b.iter().rev()) {
+            match x.cmp(y) {
+                Ordering::Equal => {}
+                o => return o,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// `self + other`.
+    fn add_nat(&self, other: &Natural) -> Natural {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.len() {
+            let b = short.get(i).copied().unwrap_or(0);
+            let (s1, c1) = long[i].overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        Natural::from_limbs(out)
+    }
+
+    /// `self - other`; panics on underflow (callers check ordering first).
+    fn sub_nat(&self, other: &Natural) -> Natural {
+        debug_assert!(Self::cmp_limbs(&self.limbs, &other.limbs) != Ordering::Less);
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, u1) = self.limbs[i].overflowing_sub(b);
+            let (d2, u2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = (u1 as u64) + (u2 as u64);
+        }
+        assert_eq!(borrow, 0, "Natural subtraction underflow");
+        Natural::from_limbs(out)
+    }
+
+    /// Schoolbook multiplication.
+    fn mul_nat(&self, other: &Natural) -> Natural {
+        if self.is_zero() || other.is_zero() {
+            return Natural::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            let mut carry = 0u128;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let t = out[i + j] as u128 + a as u128 * b as u128 + carry;
+                out[i + j] = t as u64;
+                carry = t >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let t = out[k] as u128 + carry;
+                out[k] = t as u64;
+                carry = t >> 64;
+                k += 1;
+            }
+        }
+        Natural::from_limbs(out)
+    }
+
+    /// Multiply by a single limb in place.
+    fn mul_small(&self, m: u64) -> Natural {
+        if m == 0 || self.is_zero() {
+            return Natural::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry = 0u128;
+        for &l in &self.limbs {
+            let t = l as u128 * m as u128 + carry;
+            out.push(t as u64);
+            carry = t >> 64;
+        }
+        if carry != 0 {
+            out.push(carry as u64);
+        }
+        Natural::from_limbs(out)
+    }
+
+    /// `self + small`.
+    fn add_small(&self, a: u64) -> Natural {
+        self.add_nat(&Natural::from(a))
+    }
+
+    /// Divides by a single limb, returning (quotient, remainder).
+    fn div_rem_small(&self, d: u64) -> (Natural, u64) {
+        assert!(d != 0, "division by zero");
+        let mut out = vec![0u64; self.limbs.len()];
+        let mut rem = 0u128;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 64) | self.limbs[i] as u128;
+            out[i] = (cur / d as u128) as u64;
+            rem = cur % d as u128;
+        }
+        (Natural::from_limbs(out), rem as u64)
+    }
+
+    /// Full division with remainder (Knuth Algorithm D).
+    pub fn div_rem(&self, divisor: &Natural) -> (Natural, Natural) {
+        assert!(!divisor.is_zero(), "division by zero");
+        match Self::cmp_limbs(&self.limbs, &divisor.limbs) {
+            Ordering::Less => return (Natural::zero(), self.clone()),
+            Ordering::Equal => return (Natural::one(), Natural::zero()),
+            Ordering::Greater => {}
+        }
+        if divisor.limbs.len() == 1 {
+            let (q, r) = self.div_rem_small(divisor.limbs[0]);
+            return (q, Natural::from(r));
+        }
+        // Normalize so the top limb of the divisor has its high bit set.
+        let shift = divisor.limbs.last().unwrap().leading_zeros() as usize;
+        let u = self.shl_bits(shift);
+        let v = divisor.shl_bits(shift);
+        let n = v.limbs.len();
+        let m = u.limbs.len() - n;
+        let mut un = u.limbs.clone();
+        un.push(0);
+        let vn = &v.limbs;
+        let mut q = vec![0u64; m + 1];
+        let vtop = vn[n - 1] as u128;
+        let vsec = vn[n - 2] as u128;
+        for j in (0..=m).rev() {
+            let hi = (un[j + n] as u128) << 64 | un[j + n - 1] as u128;
+            let mut qhat = hi / vtop;
+            let mut rhat = hi % vtop;
+            // Refine qhat (at most two corrections).
+            while qhat >= 1u128 << 64
+                || qhat * vsec > (rhat << 64 | un[j + n - 2] as u128)
+            {
+                qhat -= 1;
+                rhat += vtop;
+                if rhat >= 1u128 << 64 {
+                    break;
+                }
+            }
+            // Multiply and subtract: un[j..j+n+1] -= qhat * vn.
+            let mut borrow = 0i128;
+            let mut carry = 0u128;
+            for i in 0..n {
+                let p = qhat * vn[i] as u128 + carry;
+                carry = p >> 64;
+                let t = un[j + i] as i128 - (p as u64) as i128 - borrow;
+                un[j + i] = t as u64;
+                borrow = if t < 0 { 1 } else { 0 };
+            }
+            let t = un[j + n] as i128 - carry as i128 - borrow;
+            un[j + n] = t as u64;
+            if t < 0 {
+                // qhat was one too large: add back.
+                qhat -= 1;
+                let mut carry = 0u128;
+                for i in 0..n {
+                    let s = un[j + i] as u128 + vn[i] as u128 + carry;
+                    un[j + i] = s as u64;
+                    carry = s >> 64;
+                }
+                un[j + n] = un[j + n].wrapping_add(carry as u64);
+            }
+            q[j] = qhat as u64;
+        }
+        let quotient = Natural::from_limbs(q);
+        let remainder = Natural::from_limbs(un[..n].to_vec()).shr_bits(shift);
+        (quotient, remainder)
+    }
+
+    /// Left shift by `bits`.
+    pub fn shl_bits(&self, bits: usize) -> Natural {
+        if self.is_zero() || bits == 0 {
+            return self.clone();
+        }
+        let limb_shift = bits / 64;
+        let bit_shift = bits % 64;
+        let mut out = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        Natural::from_limbs(out)
+    }
+
+    /// Right shift by `bits`.
+    pub fn shr_bits(&self, bits: usize) -> Natural {
+        let limb_shift = bits / 64;
+        if limb_shift >= self.limbs.len() {
+            return Natural::zero();
+        }
+        let bit_shift = bits % 64;
+        let src = &self.limbs[limb_shift..];
+        if bit_shift == 0 {
+            return Natural::from_limbs(src.to_vec());
+        }
+        let mut out = Vec::with_capacity(src.len());
+        for i in 0..src.len() {
+            let lo = src[i] >> bit_shift;
+            let hi = if i + 1 < src.len() {
+                src[i + 1] << (64 - bit_shift)
+            } else {
+                0
+            };
+            out.push(lo | hi);
+        }
+        Natural::from_limbs(out)
+    }
+
+    /// Greatest common divisor (binary GCD).
+    pub fn gcd(&self, other: &Natural) -> Natural {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        let ta = a.trailing_zeros();
+        let tb = b.trailing_zeros();
+        let common = ta.min(tb);
+        a = a.shr_bits(ta);
+        b = b.shr_bits(tb);
+        loop {
+            match Self::cmp_limbs(&a.limbs, &b.limbs) {
+                Ordering::Equal => break,
+                Ordering::Greater => {
+                    a = a.sub_nat(&b);
+                    a = a.shr_bits(a.trailing_zeros());
+                }
+                Ordering::Less => {
+                    b = b.sub_nat(&a);
+                    b = b.shr_bits(b.trailing_zeros());
+                }
+            }
+        }
+        a.shl_bits(common)
+    }
+
+    /// Number of trailing zero bits (0 for the value zero).
+    pub fn trailing_zeros(&self) -> usize {
+        for (i, &l) in self.limbs.iter().enumerate() {
+            if l != 0 {
+                return i * 64 + l.trailing_zeros() as usize;
+            }
+        }
+        0
+    }
+
+    /// `self ^ exp` by square-and-multiply.
+    pub fn pow(&self, mut exp: u32) -> Natural {
+        let mut base = self.clone();
+        let mut acc = Natural::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = acc.mul_nat(&base);
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = base.mul_nat(&base);
+            }
+        }
+        acc
+    }
+
+    /// Integer square root (floor), via Newton iteration.
+    pub fn isqrt(&self) -> Natural {
+        if self.limbs.len() <= 1 {
+            return Natural::from((self.to_u64().unwrap() as f64).sqrt() as u64);
+        }
+        // Initial guess: 2^(ceil(bit_len/2)).
+        let mut x = Natural::one().shl_bits(self.bit_len() / 2 + 1);
+        loop {
+            // x' = (x + self/x) / 2
+            let (d, _) = self.div_rem(&x);
+            let nx = x.add_nat(&d).shr_bits(1);
+            if Self::cmp_limbs(&nx.limbs, &x.limbs) != Ordering::Less {
+                break;
+            }
+            x = nx;
+        }
+        x
+    }
+
+    /// True iff `self` is a perfect square; returns the root if so.
+    pub fn perfect_sqrt(&self) -> Option<Natural> {
+        let r = self.isqrt();
+        if &r.clone() * &r == *self {
+            Some(r)
+        } else {
+            None
+        }
+    }
+
+    /// Parses a decimal string.
+    pub fn from_decimal(s: &str) -> Option<Natural> {
+        if s.is_empty() || !s.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+        let mut acc = Natural::zero();
+        for b in s.bytes() {
+            acc = acc.mul_small(10).add_small((b - b'0') as u64);
+        }
+        Some(acc)
+    }
+}
+
+impl From<u64> for Natural {
+    fn from(v: u64) -> Self {
+        if v == 0 {
+            Natural::zero()
+        } else {
+            Natural { limbs: vec![v] }
+        }
+    }
+}
+
+impl From<u128> for Natural {
+    fn from(v: u128) -> Self {
+        Natural::from_limbs(vec![v as u64, (v >> 64) as u64])
+    }
+}
+
+impl From<u32> for Natural {
+    fn from(v: u32) -> Self {
+        Natural::from(v as u64)
+    }
+}
+
+impl PartialOrd for Natural {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Natural {
+    fn cmp(&self, other: &Self) -> Ordering {
+        Natural::cmp_limbs(&self.limbs, &other.limbs)
+    }
+}
+
+macro_rules! forward_binop {
+    ($trait:ident, $method:ident, $impl:ident) => {
+        impl $trait<&Natural> for &Natural {
+            type Output = Natural;
+            fn $method(self, rhs: &Natural) -> Natural {
+                self.$impl(rhs)
+            }
+        }
+        impl $trait<Natural> for Natural {
+            type Output = Natural;
+            fn $method(self, rhs: Natural) -> Natural {
+                (&self).$impl(&rhs)
+            }
+        }
+        impl $trait<&Natural> for Natural {
+            type Output = Natural;
+            fn $method(self, rhs: &Natural) -> Natural {
+                (&self).$impl(rhs)
+            }
+        }
+        impl $trait<Natural> for &Natural {
+            type Output = Natural;
+            fn $method(self, rhs: Natural) -> Natural {
+                self.$impl(&rhs)
+            }
+        }
+    };
+}
+
+forward_binop!(Add, add, add_nat);
+forward_binop!(Sub, sub, sub_nat);
+forward_binop!(Mul, mul, mul_nat);
+
+impl AddAssign<&Natural> for Natural {
+    fn add_assign(&mut self, rhs: &Natural) {
+        *self = self.add_nat(rhs);
+    }
+}
+
+impl SubAssign<&Natural> for Natural {
+    fn sub_assign(&mut self, rhs: &Natural) {
+        *self = self.sub_nat(rhs);
+    }
+}
+
+impl MulAssign<&Natural> for Natural {
+    fn mul_assign(&mut self, rhs: &Natural) {
+        *self = self.mul_nat(rhs);
+    }
+}
+
+impl Rem<&Natural> for &Natural {
+    type Output = Natural;
+    fn rem(self, rhs: &Natural) -> Natural {
+        self.div_rem(rhs).1
+    }
+}
+
+impl Shl<usize> for &Natural {
+    type Output = Natural;
+    fn shl(self, bits: usize) -> Natural {
+        self.shl_bits(bits)
+    }
+}
+
+impl Shr<usize> for &Natural {
+    type Output = Natural;
+    fn shr(self, bits: usize) -> Natural {
+        self.shr_bits(bits)
+    }
+}
+
+impl fmt::Display for Natural {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        // Repeated division by 10^19 (largest power of ten in a u64).
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let mut digits: Vec<String> = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem_small(CHUNK);
+            digits.push(r.to_string());
+            cur = q;
+        }
+        let mut out = String::new();
+        for (i, d) in digits.iter().rev().enumerate() {
+            if i == 0 {
+                out.push_str(d);
+            } else {
+                out.push_str(&format!("{:0>19}", d));
+            }
+        }
+        write!(f, "{out}")
+    }
+}
+
+impl fmt::Debug for Natural {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u64) -> Natural {
+        Natural::from(v)
+    }
+
+    #[test]
+    fn zero_and_one() {
+        assert!(Natural::zero().is_zero());
+        assert!(Natural::one().is_one());
+        assert!(!Natural::one().is_zero());
+        assert_eq!(n(0), Natural::zero());
+    }
+
+    #[test]
+    fn add_small_values() {
+        assert_eq!(n(2) + n(3), n(5));
+        assert_eq!(n(0) + n(7), n(7));
+    }
+
+    #[test]
+    fn add_with_carry_across_limbs() {
+        let a = Natural::from(u64::MAX);
+        let b = n(1);
+        let s = &a + &b;
+        assert_eq!(s.limbs(), &[0, 1]);
+    }
+
+    #[test]
+    fn sub_basic() {
+        assert_eq!(n(10) - n(3), n(7));
+        assert_eq!(n(5) - n(5), n(0));
+    }
+
+    #[test]
+    fn sub_with_borrow() {
+        let a = Natural::from_limbs(vec![0, 1]); // 2^64
+        assert_eq!(a - n(1), Natural::from(u64::MAX));
+    }
+
+    #[test]
+    #[should_panic]
+    fn sub_underflow_panics() {
+        let _ = n(1) - n(2);
+    }
+
+    #[test]
+    fn mul_basic() {
+        assert_eq!(n(6) * n(7), n(42));
+        assert_eq!(n(0) * n(7), n(0));
+    }
+
+    #[test]
+    fn mul_large() {
+        let a = Natural::from(u64::MAX);
+        let sq = &a * &a;
+        // (2^64-1)^2 = 2^128 - 2^65 + 1
+        let expect = Natural::from(u128::MAX - 2 * (u64::MAX as u128) - 1 + u64::MAX as u128);
+        // Direct: (2^64-1)^2 = 0xFFFFFFFFFFFFFFFE_0000000000000001
+        assert_eq!(sq.limbs(), &[1, u64::MAX - 1]);
+        let _ = expect;
+    }
+
+    #[test]
+    fn div_rem_small_divisor() {
+        let (q, r) = n(100).div_rem(&n(7));
+        assert_eq!((q, r), (n(14), n(2)));
+    }
+
+    #[test]
+    fn div_rem_multi_limb() {
+        let a = Natural::from(u128::MAX);
+        let b = Natural::from(u64::MAX);
+        let (q, r) = a.div_rem(&b);
+        // (2^128 - 1) = (2^64+1)(2^64-1) + 0... actually 2^128-1 = (2^64-1)(2^64+1)
+        assert_eq!(&q * &b + r, Natural::from(u128::MAX));
+    }
+
+    #[test]
+    fn div_rem_roundtrip_exhaustive_small() {
+        for a in 0..50u64 {
+            for b in 1..20u64 {
+                let (q, r) = n(a).div_rem(&n(b));
+                assert_eq!(q, n(a / b));
+                assert_eq!(r, n(a % b));
+            }
+        }
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(n(1).shl_bits(70).shr_bits(70), n(1));
+        assert_eq!(n(5).shl_bits(3), n(40));
+        assert_eq!(n(40).shr_bits(3), n(5));
+        assert_eq!(n(0).shl_bits(100), n(0));
+    }
+
+    #[test]
+    fn gcd_basic() {
+        assert_eq!(n(12).gcd(&n(18)), n(6));
+        assert_eq!(n(0).gcd(&n(5)), n(5));
+        assert_eq!(n(5).gcd(&n(0)), n(5));
+        assert_eq!(n(17).gcd(&n(13)), n(1));
+        assert_eq!(n(48).gcd(&n(36)), n(12));
+    }
+
+    #[test]
+    fn pow_basic() {
+        assert_eq!(n(2).pow(10), n(1024));
+        assert_eq!(n(3).pow(0), n(1));
+        assert_eq!(n(10).pow(20), Natural::from(100_000_000_000_000_000_000u128));
+    }
+
+    #[test]
+    fn isqrt_basic() {
+        assert_eq!(n(0).isqrt(), n(0));
+        assert_eq!(n(15).isqrt(), n(3));
+        assert_eq!(n(16).isqrt(), n(4));
+        assert_eq!(n(17).isqrt(), n(4));
+        let big = n(12345).pow(6);
+        assert_eq!(big.isqrt(), n(12345).pow(3));
+    }
+
+    #[test]
+    fn perfect_sqrt_detects() {
+        assert_eq!(n(49).perfect_sqrt(), Some(n(7)));
+        assert_eq!(n(50).perfect_sqrt(), None);
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let v = n(2).pow(100);
+        assert_eq!(v.to_string(), "1267650600228229401496703205376");
+        assert_eq!(Natural::from_decimal(&v.to_string()), Some(v));
+        assert_eq!(Natural::from_decimal("0"), Some(n(0)));
+        assert_eq!(Natural::from_decimal(""), None);
+        assert_eq!(Natural::from_decimal("12a"), None);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(n(3) < n(5));
+        assert!(Natural::from(u128::MAX) > Natural::from(u64::MAX));
+    }
+
+    #[test]
+    fn bit_len() {
+        assert_eq!(n(0).bit_len(), 0);
+        assert_eq!(n(1).bit_len(), 1);
+        assert_eq!(n(255).bit_len(), 8);
+        assert_eq!(n(256).bit_len(), 9);
+        assert_eq!(n(1).shl_bits(200).bit_len(), 201);
+    }
+
+    #[test]
+    fn trailing_zeros() {
+        assert_eq!(n(8).trailing_zeros(), 3);
+        assert_eq!(n(1).shl_bits(130).trailing_zeros(), 130);
+    }
+}

@@ -1,0 +1,341 @@
+//! Exact arithmetic in a real quadratic extension `Q(√d)`.
+//!
+//! The eigenvalues of the paper's 2×2 transfer matrix `A(1)` (Lemma 3.21) are
+//! `(tr ± √disc)/2` where `disc = (z₁₁ - z₀₀)² + 4·z₀₁·z₁₀` is a positive
+//! rational that is generally not a perfect square. To verify the conditions
+//! of Theorem 3.14 — `λ₁ ≠ ±λ₂ ≠ 0`, `bᵢ ≠ 0`, `aᵢbⱼ ≠ aⱼbᵢ` — *exactly*, we
+//! compute in the field `Q(√d)` rather than with floating point.
+//!
+//! An element is `a + b·√d` with `a, b ∈ Q` and a fixed positive radicand
+//! `d ∈ Q`. Elements of different fields cannot be mixed (checked at runtime).
+//! When `d` is a perfect square of a rational the representation still works;
+//! [`QuadExt::is_rational`] then requires `b = 0`, so callers that need a
+//! canonical rational should use [`QuadExt::to_rational`].
+
+use crate::rational::Rational;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// An element `a + b·√d` of the real quadratic field `Q(√d)`, `d > 0`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct QuadExt {
+    a: Rational,
+    b: Rational,
+    d: Rational,
+}
+
+impl QuadExt {
+    /// Embeds a rational into `Q(√d)`.
+    pub fn rational(a: Rational, d: Rational) -> Self {
+        assert!(d.is_positive(), "radicand must be positive");
+        QuadExt { a, b: Rational::zero(), d }
+    }
+
+    /// Builds `a + b·√d`.
+    pub fn new(a: Rational, b: Rational, d: Rational) -> Self {
+        assert!(d.is_positive(), "radicand must be positive");
+        QuadExt { a, b, d }
+    }
+
+    /// `√d` itself.
+    pub fn sqrt_d(d: Rational) -> Self {
+        QuadExt::new(Rational::zero(), Rational::one(), d)
+    }
+
+    /// The rational part `a`.
+    pub fn rational_part(&self) -> &Rational {
+        &self.a
+    }
+
+    /// The coefficient `b` of `√d`.
+    pub fn radical_part(&self) -> &Rational {
+        &self.b
+    }
+
+    /// The radicand `d`.
+    pub fn radicand(&self) -> &Rational {
+        &self.d
+    }
+
+    /// Zero in the same field as `self`.
+    pub fn zero_like(&self) -> Self {
+        QuadExt::rational(Rational::zero(), self.d.clone())
+    }
+
+    /// One in the same field as `self`.
+    pub fn one_like(&self) -> Self {
+        QuadExt::rational(Rational::one(), self.d.clone())
+    }
+
+    /// True iff the element equals zero.
+    pub fn is_zero(&self) -> bool {
+        self.a.is_zero() && self.b.is_zero()
+    }
+
+    /// True iff the element has no radical component.
+    pub fn is_rational(&self) -> bool {
+        self.b.is_zero()
+    }
+
+    /// Returns the value as a rational if `b = 0`.
+    pub fn to_rational(&self) -> Option<Rational> {
+        if self.b.is_zero() {
+            Some(self.a.clone())
+        } else {
+            None
+        }
+    }
+
+    /// Galois conjugate `a - b·√d`.
+    pub fn conjugate(&self) -> Self {
+        QuadExt { a: self.a.clone(), b: -&self.b, d: self.d.clone() }
+    }
+
+    /// Field norm `(a + b√d)(a - b√d) = a² - b²·d ∈ Q`.
+    pub fn norm(&self) -> Rational {
+        &(&self.a * &self.a) - &(&(&self.b * &self.b) * &self.d)
+    }
+
+    /// Sign of the real number `a + b·√d` (`-1`, `0`, or `+1`),
+    /// computed exactly: compare `a` against `-b·√d` by squaring.
+    pub fn signum(&self) -> i32 {
+        let sa = sign(&self.a);
+        let sb = sign(&self.b);
+        if sb == 0 {
+            return sa;
+        }
+        if sa == 0 {
+            return sb;
+        }
+        if sa == sb {
+            return sa;
+        }
+        // Opposite signs: |a| vs |b|·√d  ⇔  a² vs b²·d.
+        let a2 = &self.a * &self.a;
+        let b2d = &(&self.b * &self.b) * &self.d;
+        match a2.cmp(&b2d) {
+            std::cmp::Ordering::Greater => sa,
+            std::cmp::Ordering::Less => sb,
+            std::cmp::Ordering::Equal => 0,
+        }
+    }
+
+    /// True iff strictly positive as a real number.
+    pub fn is_positive(&self) -> bool {
+        self.signum() > 0
+    }
+
+    /// Multiplicative inverse; panics on zero.
+    pub fn recip(&self) -> Self {
+        let n = self.norm();
+        assert!(!n.is_zero(), "reciprocal of zero in Q(sqrt d)");
+        let c = self.conjugate();
+        QuadExt {
+            a: &c.a / &n,
+            b: &c.b / &n,
+            d: self.d.clone(),
+        }
+    }
+
+    /// `self ^ exp` for `exp ≥ 0`.
+    pub fn pow(&self, mut exp: u32) -> Self {
+        let mut base = self.clone();
+        let mut acc = self.one_like();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = &acc * &base;
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = &base * &base;
+            }
+        }
+        acc
+    }
+
+    /// Lossy conversion to `f64` (reporting only).
+    pub fn to_f64(&self) -> f64 {
+        self.a.to_f64() + self.b.to_f64() * self.d.to_f64().sqrt()
+    }
+
+    fn check_same_field(&self, other: &Self) {
+        assert_eq!(
+            self.d, other.d,
+            "mixing elements of different quadratic fields"
+        );
+    }
+}
+
+fn sign(r: &Rational) -> i32 {
+    if r.is_zero() {
+        0
+    } else if r.is_positive() {
+        1
+    } else {
+        -1
+    }
+}
+
+impl Add<&QuadExt> for &QuadExt {
+    type Output = QuadExt;
+    fn add(self, rhs: &QuadExt) -> QuadExt {
+        self.check_same_field(rhs);
+        QuadExt {
+            a: &self.a + &rhs.a,
+            b: &self.b + &rhs.b,
+            d: self.d.clone(),
+        }
+    }
+}
+
+impl Sub<&QuadExt> for &QuadExt {
+    type Output = QuadExt;
+    fn sub(self, rhs: &QuadExt) -> QuadExt {
+        self.check_same_field(rhs);
+        QuadExt {
+            a: &self.a - &rhs.a,
+            b: &self.b - &rhs.b,
+            d: self.d.clone(),
+        }
+    }
+}
+
+impl Mul<&QuadExt> for &QuadExt {
+    type Output = QuadExt;
+    fn mul(self, rhs: &QuadExt) -> QuadExt {
+        self.check_same_field(rhs);
+        // (a1 + b1√d)(a2 + b2√d) = a1a2 + b1b2·d + (a1b2 + a2b1)√d.
+        QuadExt {
+            a: &(&self.a * &rhs.a) + &(&(&self.b * &rhs.b) * &self.d),
+            b: &(&self.a * &rhs.b) + &(&self.b * &rhs.a),
+            d: self.d.clone(),
+        }
+    }
+}
+
+impl Div<&QuadExt> for &QuadExt {
+    type Output = QuadExt;
+    // Division in Q(√d) is multiplication by the conjugate-based inverse.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    fn div(self, rhs: &QuadExt) -> QuadExt {
+        self * &rhs.recip()
+    }
+}
+
+impl Neg for &QuadExt {
+    type Output = QuadExt;
+    fn neg(self) -> QuadExt {
+        QuadExt { a: -&self.a, b: -&self.b, d: self.d.clone() }
+    }
+}
+
+impl fmt::Display for QuadExt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.b.is_zero() {
+            write!(f, "{}", self.a)
+        } else if self.a.is_zero() {
+            write!(f, "({})*sqrt({})", self.b, self.d)
+        } else {
+            write!(f, "{} + ({})*sqrt({})", self.a, self.b, self.d)
+        }
+    }
+}
+
+impl fmt::Debug for QuadExt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::from_ints(n, d)
+    }
+
+    fn q(a: (i64, i64), b: (i64, i64), d: i64) -> QuadExt {
+        QuadExt::new(r(a.0, a.1), r(b.0, b.1), r(d, 1))
+    }
+
+    #[test]
+    fn sqrt2_squares_to_two() {
+        let s = QuadExt::sqrt_d(r(2, 1));
+        let two = &s * &s;
+        assert_eq!(two.to_rational(), Some(r(2, 1)));
+    }
+
+    #[test]
+    fn field_axioms_spot() {
+        let x = q((1, 2), (3, 4), 5);
+        let y = q((2, 3), (-1, 2), 5);
+        let z = q((-1, 1), (1, 3), 5);
+        // Distributivity.
+        let lhs = &x * &(&y + &z);
+        let rhs = &(&x * &y) + &(&x * &z);
+        assert_eq!(lhs, rhs);
+        // Inverse.
+        let inv = x.recip();
+        assert_eq!((&x * &inv).to_rational(), Some(Rational::one()));
+    }
+
+    #[test]
+    fn norm_matches_product_with_conjugate() {
+        let x = q((3, 1), (2, 1), 7);
+        let prod = &x * &x.conjugate();
+        assert_eq!(prod.to_rational(), Some(x.norm()));
+        assert_eq!(x.norm(), r(9 - 4 * 7, 1));
+    }
+
+    #[test]
+    fn signum_exact() {
+        // 3 - 2√2 > 0 since 9 > 8.
+        assert_eq!(q((3, 1), (-2, 1), 2).signum(), 1);
+        // 2 - 2√2 < 0 since 4 < 8.
+        assert_eq!(q((2, 1), (-2, 1), 2).signum(), -1);
+        // -3 + 2√2 < 0.
+        assert_eq!(q((-3, 1), (2, 1), 2).signum(), -1);
+        // -2 + 2√2 > 0.
+        assert_eq!(q((-2, 1), (2, 1), 2).signum(), 1);
+        // 2 - √4 = 0 (d a perfect square is permitted representationally).
+        assert_eq!(q((2, 1), (-1, 1), 4).signum(), 0);
+        assert_eq!(q((0, 1), (0, 1), 3).signum(), 0);
+        assert_eq!(q((0, 1), (5, 1), 3).signum(), 1);
+        assert_eq!(q((7, 1), (0, 1), 3).signum(), 1);
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let x = q((1, 1), (1, 1), 3);
+        let mut acc = x.one_like();
+        for _ in 0..5 {
+            acc = &acc * &x;
+        }
+        assert_eq!(x.pow(5), acc);
+        assert_eq!(x.pow(0), x.one_like());
+    }
+
+    #[test]
+    #[should_panic]
+    fn mixing_fields_panics() {
+        let x = QuadExt::sqrt_d(r(2, 1));
+        let y = QuadExt::sqrt_d(r(3, 1));
+        let _ = &x + &y;
+    }
+
+    #[test]
+    fn golden_ratio_identity() {
+        // φ = (1+√5)/2 satisfies φ² = φ + 1.
+        let phi = QuadExt::new(r(1, 2), r(1, 2), r(5, 1));
+        assert_eq!(&phi * &phi, &phi + &phi.one_like());
+    }
+
+    #[test]
+    fn div_roundtrip() {
+        let x = q((5, 3), (1, 7), 11);
+        let y = q((2, 1), (-3, 5), 11);
+        let z = &(&x / &y) * &y;
+        assert_eq!(z, x);
+    }
+}

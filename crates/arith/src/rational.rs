@@ -1,0 +1,395 @@
+//! Exact rational numbers in lowest terms.
+
+use crate::integer::{Integer, Sign};
+use crate::natural::Natural;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// An exact rational number `numer / denom`.
+///
+/// Invariants: `denom > 0`, and `gcd(|numer|, denom) == 1` (zero is `0/1`).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Rational {
+    numer: Integer,
+    denom: Natural,
+}
+
+impl Rational {
+    /// The constant zero.
+    pub fn zero() -> Self {
+        Rational { numer: Integer::zero(), denom: Natural::one() }
+    }
+
+    /// The constant one.
+    pub fn one() -> Self {
+        Rational { numer: Integer::one(), denom: Natural::one() }
+    }
+
+    /// The constant one half — the workhorse probability of the paper.
+    pub fn one_half() -> Self {
+        Rational::from_ints(1, 2)
+    }
+
+    /// Builds `n / d` from machine integers. Panics if `d == 0`.
+    pub fn from_ints(n: i64, d: i64) -> Self {
+        Rational::new(Integer::from(n), Integer::from(d))
+    }
+
+    /// Builds `n / d` from big integers, reducing to lowest terms.
+    /// Panics if `d == 0`.
+    pub fn new(n: Integer, d: Integer) -> Self {
+        assert!(!d.is_zero(), "rational with zero denominator");
+        let sign_flip = d.is_negative();
+        let n = if sign_flip { -n } else { n };
+        let d = d.into_magnitude();
+        let g = n.magnitude().gcd(&d);
+        if g.is_one() || n.is_zero() {
+            if n.is_zero() {
+                return Rational::zero();
+            }
+            return Rational { numer: n, denom: d };
+        }
+        let (nq, _) = n.magnitude().div_rem(&g);
+        let (dq, _) = d.div_rem(&g);
+        Rational {
+            numer: Integer::from_sign_magnitude(n.sign(), nq),
+            denom: dq,
+        }
+    }
+
+    /// The (signed) numerator.
+    pub fn numer(&self) -> &Integer {
+        &self.numer
+    }
+
+    /// The (positive) denominator.
+    pub fn denom(&self) -> &Natural {
+        &self.denom
+    }
+
+    /// True iff zero.
+    pub fn is_zero(&self) -> bool {
+        self.numer.is_zero()
+    }
+
+    /// True iff one.
+    pub fn is_one(&self) -> bool {
+        self.numer.is_one() && self.denom.is_one()
+    }
+
+    /// True iff strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.numer.is_negative()
+    }
+
+    /// True iff strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.numer.is_positive()
+    }
+
+    /// True iff the value lies in the closed interval `[0, 1]` — i.e. is a
+    /// valid probability.
+    pub fn is_probability(&self) -> bool {
+        !self.is_negative() && self.numer.magnitude() <= &self.denom
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Rational {
+        Rational { numer: self.numer.abs(), denom: self.denom.clone() }
+    }
+
+    /// Multiplicative inverse; panics on zero.
+    pub fn recip(&self) -> Rational {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        Rational::new(
+            Integer::from_sign_magnitude(self.numer.sign(), self.denom.clone()),
+            Integer::from_sign_magnitude(Sign::Positive, self.numer.magnitude().clone()),
+        )
+    }
+
+    /// `self ^ exp` for a signed exponent (negative exponents invert).
+    pub fn pow(&self, exp: i32) -> Rational {
+        if exp == 0 {
+            return Rational::one();
+        }
+        let base = if exp < 0 { self.recip() } else { self.clone() };
+        let e = exp.unsigned_abs();
+        Rational {
+            numer: base.numer.pow(e),
+            denom: base.denom.pow(e),
+        }
+    }
+
+    /// `1 - self`: the complement of a probability.
+    pub fn complement(&self) -> Rational {
+        &Rational::one() - self
+    }
+
+    /// Lossy conversion to `f64` (reporting only).
+    pub fn to_f64(&self) -> f64 {
+        self.numer.to_f64() / self.denom.to_f64()
+    }
+
+    fn add_rat(&self, other: &Rational) -> Rational {
+        // n1/d1 + n2/d2 = (n1*d2 + n2*d1) / (d1*d2); `new` re-reduces.
+        let d1 = Integer::from(self.denom.clone());
+        let d2 = Integer::from(other.denom.clone());
+        Rational::new(&self.numer * &d2 + &other.numer * &d1, d1 * d2)
+    }
+
+    fn mul_rat(&self, other: &Rational) -> Rational {
+        Rational::new(
+            &self.numer * &other.numer,
+            Integer::from(&self.denom * &other.denom),
+        )
+    }
+
+    /// Parses `"a/b"` or `"a"` in decimal (with optional leading `-`).
+    pub fn from_decimal(s: &str) -> Option<Rational> {
+        match s.split_once('/') {
+            Some((n, d)) => {
+                let n = Integer::from_decimal(n.trim())?;
+                let d = Integer::from_decimal(d.trim())?;
+                if d.is_zero() {
+                    None
+                } else {
+                    Some(Rational::new(n, d))
+                }
+            }
+            None => Some(Rational::new(Integer::from_decimal(s.trim())?, Integer::one())),
+        }
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(v: i64) -> Self {
+        Rational { numer: Integer::from(v), denom: Natural::one() }
+    }
+}
+
+impl From<Integer> for Rational {
+    fn from(v: Integer) -> Self {
+        Rational { numer: v, denom: Natural::one() }
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b <=> c/d  iff  a*d <=> c*b  (b, d > 0).
+        let lhs = &self.numer * &Integer::from(other.denom.clone());
+        let rhs = &other.numer * &Integer::from(self.denom.clone());
+        lhs.cmp(&rhs)
+    }
+}
+
+macro_rules! forward_binop {
+    ($trait:ident, $method:ident, $impl:ident) => {
+        impl $trait<&Rational> for &Rational {
+            type Output = Rational;
+            fn $method(self, rhs: &Rational) -> Rational {
+                self.$impl(rhs)
+            }
+        }
+        impl $trait<Rational> for Rational {
+            type Output = Rational;
+            fn $method(self, rhs: Rational) -> Rational {
+                (&self).$impl(&rhs)
+            }
+        }
+        impl $trait<&Rational> for Rational {
+            type Output = Rational;
+            fn $method(self, rhs: &Rational) -> Rational {
+                (&self).$impl(rhs)
+            }
+        }
+        impl $trait<Rational> for &Rational {
+            type Output = Rational;
+            fn $method(self, rhs: Rational) -> Rational {
+                self.$impl(&rhs)
+            }
+        }
+    };
+}
+
+forward_binop!(Add, add, add_rat);
+forward_binop!(Mul, mul, mul_rat);
+
+impl Sub<&Rational> for &Rational {
+    type Output = Rational;
+    fn sub(self, rhs: &Rational) -> Rational {
+        self.add_rat(&(-rhs))
+    }
+}
+impl Sub<Rational> for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Rational) -> Rational {
+        (&self).sub(&rhs)
+    }
+}
+impl Sub<&Rational> for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: &Rational) -> Rational {
+        (&self).sub(rhs)
+    }
+}
+impl Sub<Rational> for &Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Rational) -> Rational {
+        self.sub(&rhs)
+    }
+}
+
+impl Div<&Rational> for &Rational {
+    type Output = Rational;
+    fn div(self, rhs: &Rational) -> Rational {
+        self.mul_rat(&rhs.recip())
+    }
+}
+impl Div<Rational> for Rational {
+    type Output = Rational;
+    fn div(self, rhs: Rational) -> Rational {
+        (&self).div(&rhs)
+    }
+}
+impl Div<&Rational> for Rational {
+    type Output = Rational;
+    fn div(self, rhs: &Rational) -> Rational {
+        (&self).div(rhs)
+    }
+}
+impl Div<Rational> for &Rational {
+    type Output = Rational;
+    fn div(self, rhs: Rational) -> Rational {
+        self.div(&rhs)
+    }
+}
+
+impl Neg for &Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational { numer: -&self.numer, denom: self.denom.clone() }
+    }
+}
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational { numer: -self.numer, denom: self.denom }
+    }
+}
+
+impl AddAssign<&Rational> for Rational {
+    fn add_assign(&mut self, rhs: &Rational) {
+        *self = self.add_rat(rhs);
+    }
+}
+impl SubAssign<&Rational> for Rational {
+    fn sub_assign(&mut self, rhs: &Rational) {
+        *self = (&*self).sub(rhs);
+    }
+}
+impl MulAssign<&Rational> for Rational {
+    fn mul_assign(&mut self, rhs: &Rational) {
+        *self = self.mul_rat(rhs);
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.denom.is_one() {
+            write!(f, "{}", self.numer)
+        } else {
+            write!(f, "{}/{}", self.numer, self.denom)
+        }
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::from_ints(n, d)
+    }
+
+    #[test]
+    fn reduces_to_lowest_terms() {
+        assert_eq!(r(2, 4), r(1, 2));
+        assert_eq!(r(-2, 4), r(-1, 2));
+        assert_eq!(r(2, -4), r(-1, 2));
+        assert_eq!(r(-2, -4), r(1, 2));
+        assert_eq!(r(0, 7), Rational::zero());
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        assert_eq!(r(1, 2) + r(1, 3), r(5, 6));
+        assert_eq!(r(1, 2) - r(1, 3), r(1, 6));
+        assert_eq!(r(2, 3) * r(3, 4), r(1, 2));
+        assert_eq!(r(1, 2) / r(1, 4), r(2, 1));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(-1, 2) < r(-1, 3));
+        assert!(r(-1, 2) < r(0, 1));
+        assert_eq!(r(2, 4).cmp(&r(1, 2)), Ordering::Equal);
+    }
+
+    #[test]
+    fn recip_and_pow() {
+        assert_eq!(r(2, 3).recip(), r(3, 2));
+        assert_eq!(r(-2, 3).recip(), r(-3, 2));
+        assert_eq!(r(2, 3).pow(2), r(4, 9));
+        assert_eq!(r(2, 3).pow(-2), r(9, 4));
+        assert_eq!(r(5, 7).pow(0), Rational::one());
+    }
+
+    #[test]
+    fn complement_of_probability() {
+        assert_eq!(r(1, 2).complement(), r(1, 2));
+        assert_eq!(r(1, 3).complement(), r(2, 3));
+        assert_eq!(Rational::one().complement(), Rational::zero());
+    }
+
+    #[test]
+    fn probability_range_check() {
+        assert!(r(1, 2).is_probability());
+        assert!(Rational::zero().is_probability());
+        assert!(Rational::one().is_probability());
+        assert!(!r(3, 2).is_probability());
+        assert!(!r(-1, 2).is_probability());
+    }
+
+    #[test]
+    fn parse_and_display() {
+        assert_eq!(Rational::from_decimal("3/6").unwrap(), r(1, 2));
+        assert_eq!(Rational::from_decimal("-5").unwrap(), r(-5, 1));
+        assert_eq!(Rational::from_decimal("1/0"), None);
+        assert_eq!(r(1, 2).to_string(), "1/2");
+        assert_eq!(r(4, 2).to_string(), "2");
+    }
+
+    #[test]
+    fn to_f64_close() {
+        assert!((r(1, 3).to_f64() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_half_constant() {
+        assert_eq!(Rational::one_half(), r(1, 2));
+    }
+}

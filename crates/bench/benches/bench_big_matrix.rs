@@ -1,0 +1,33 @@
+//! E6 — assembling and solving the big system of Theorem 3.6.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gfomc_core::transfer::transfer_matrix;
+use gfomc_core::big_system;
+use gfomc_query::catalog;
+
+fn bench_big_matrix(c: &mut Criterion) {
+    let q = catalog::h1();
+    let mut group = c.benchmark_group("big_system_build_and_invert");
+    for m in [1usize, 2, 3, 4] {
+        let z: Vec<_> = (1..=m + 1).map(|p| transfer_matrix(&q, p)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            b.iter(|| {
+                let sys = big_system(&z, m);
+                assert!(sys.matrix.is_invertible());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows: these benches regenerate experiment
+    // timing series, not micro-optimization data.
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = bench_big_matrix
+}
+criterion_main!(benches);

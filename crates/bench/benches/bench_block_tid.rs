@@ -1,0 +1,39 @@
+//! E15 — block databases and Theorem 3.4: the factorized evaluation versus
+//! the monolithic WMC oracle.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gfomc_bench::workload_formula;
+use gfomc_core::transfer::transfer_matrix;
+use gfomc_core::{block_database, probability_via_factorization};
+use gfomc_query::catalog;
+use gfomc_tid::probability;
+
+fn bench_block_tid(c: &mut Criterion) {
+    let q = catalog::h1();
+    let phi = workload_formula(2);
+    let t1 = transfer_matrix(&q, 1);
+    let t2 = transfer_matrix(&q, 2);
+
+    c.bench_function("block_database_build", |b| {
+        b.iter(|| block_database(&q, &phi, &[1, 2]))
+    });
+    let tid = block_database(&q, &phi, &[1, 2]);
+    c.bench_function("oracle_full_wmc", |b| {
+        b.iter(|| probability(&q, &tid))
+    });
+    c.bench_function("oracle_factorized", |b| {
+        b.iter(|| probability_via_factorization(&phi, &[t1.clone(), t2.clone()]))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows: these benches regenerate experiment
+    // timing series, not micro-optimization data.
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = bench_block_tid
+}
+criterion_main!(benches);

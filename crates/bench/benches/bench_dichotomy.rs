@@ -1,0 +1,42 @@
+//! E7/E14 — the dichotomy picture: the safe side's lifted evaluation scales
+//! polynomially in the domain; the unsafe side's exact WMC does not.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gfomc_bench::uniform_db;
+use gfomc_query::catalog;
+use gfomc_safety::lifted_probability;
+use gfomc_tid::probability;
+
+fn bench_dichotomy(c: &mut Criterion) {
+    let safe_q = catalog::safe_three_components();
+    let mut group = c.benchmark_group("safe_lifted");
+    for n in [4u32, 8, 16, 32] {
+        let db = uniform_db(&safe_q, n, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &db, |b, db| {
+            b.iter(|| lifted_probability(&safe_q, db).unwrap())
+        });
+    }
+    group.finish();
+
+    let hard_q = catalog::h1();
+    let mut group = c.benchmark_group("unsafe_exact_wmc");
+    for n in [1u32, 2, 3, 4] {
+        let db = uniform_db(&hard_q, n, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &db, |b, db| {
+            b.iter(|| probability(&hard_q, db))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows: these benches regenerate experiment
+    // timing series, not micro-optimization data.
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = bench_dichotomy
+}
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E5 — exact eigen-decomposition over Q(√d) and the Theorem 3.14
+//! conditions (22)-(24).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gfomc_core::transfer::transfer_matrix;
+use gfomc_core::EigenData;
+use gfomc_query::catalog;
+
+fn bench_eigen(c: &mut Criterion) {
+    let a1 = transfer_matrix(&catalog::h1(), 1);
+    c.bench_function("eigen_decompose", |b| {
+        b.iter(|| EigenData::decompose(&a1))
+    });
+    let e = EigenData::decompose(&a1);
+    c.bench_function("eigen_conditions_22_24", |b| {
+        b.iter(|| assert!(e.theorem_3_14_conditions()))
+    });
+    c.bench_function("eigen_power_entry_p20", |b| {
+        b.iter(|| e.power_entry(1, 1, 20))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows: these benches regenerate experiment
+    // timing series, not micro-optimization data.
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = bench_eigen
+}
+criterion_main!(benches);

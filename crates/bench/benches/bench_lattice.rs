@@ -1,0 +1,38 @@
+//! E11 — the CNF lattice with Möbius function (Definition C.6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gfomc_logic::{Clause, Cnf, Var};
+use gfomc_query::MobiusLattice;
+
+fn conj(vars: &[u32]) -> Cnf {
+    Cnf::new(vars.iter().map(|&v| Clause::new([Var(v)])))
+}
+
+fn bench_lattice(c: &mut Criterion) {
+    // Example C.7's two lattices.
+    let triangle = [conj(&[1, 2]), conj(&[1, 3]), conj(&[2, 3])];
+    c.bench_function("lattice_example_c7a", |b| {
+        b.iter(|| MobiusLattice::build(&triangle))
+    });
+    // Chain families of growing size.
+    let mut group = c.benchmark_group("lattice_chain");
+    for m in [3usize, 5, 7, 9] {
+        let formulas: Vec<Cnf> = (0..m as u32).map(|i| conj(&[i, i + 1])).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(m), &formulas, |b, f| {
+            b.iter(|| MobiusLattice::build(f))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows: these benches regenerate experiment
+    // timing series, not micro-optimization data.
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = bench_lattice
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! E8 — Lemma 1.1's constructive non-root search on block determinants and
+//! synthetic degree-2 polynomials.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gfomc_arith::Rational;
+use gfomc_core::gfomc_nonroot;
+use gfomc_core::small_matrix::block_small_matrix;
+use gfomc_poly::{PVar, Poly};
+use gfomc_query::catalog;
+
+fn bench_nonroot(c: &mut Criterion) {
+    let det = block_small_matrix(&catalog::h1()).determinant();
+    c.bench_function("nonroot_block_determinant", |b| {
+        b.iter(|| gfomc_nonroot(&det))
+    });
+
+    let mut group = c.benchmark_group("nonroot_product_form");
+    for n in [2u32, 4, 8] {
+        let mut f = Poly::one();
+        for i in 0..n {
+            let x = Poly::var(PVar(i));
+            f = &f * &(&x * &(&Poly::one() - &x));
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &f, |b, f| {
+            b.iter(|| {
+                let (_, v) = gfomc_nonroot(f);
+                assert_eq!(v, Rational::from_ints(1, 4).pow(n as i32));
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows: these benches regenerate experiment
+    // timing series, not micro-optimization data.
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = bench_nonroot
+}
+criterion_main!(benches);

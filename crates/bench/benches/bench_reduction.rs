@@ -1,0 +1,46 @@
+//! E1/E13 — the Cook reduction `#P2CNF ≤ᴾ FOMC(Q)` (Theorem 3.1), end to
+//! end, for growing clause counts and both oracle modes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gfomc_bench::workload_formula;
+use gfomc_core::{reduce_p2cnf, OracleMode};
+use gfomc_query::catalog;
+
+fn bench_reduction(c: &mut Criterion) {
+    let q = catalog::h1();
+    let mut group = c.benchmark_group("reduction_factorized");
+    for m in [1usize, 2, 3, 4] {
+        let phi = workload_formula(m);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &phi, |b, phi| {
+            b.iter(|| {
+                let out = reduce_p2cnf(&q, phi, OracleMode::Factorized);
+                assert_eq!(out.model_count, phi.count_models());
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("reduction_full_wmc");
+    for m in [1usize, 2] {
+        let phi = workload_formula(m);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &phi, |b, phi| {
+            b.iter(|| {
+                let out = reduce_p2cnf(&q, phi, OracleMode::FullWmc);
+                assert_eq!(out.model_count, phi.count_models());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows: these benches regenerate experiment
+    // timing series, not micro-optimization data.
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = bench_reduction
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E3/E9 — the symbolic small matrix and its determinant (Lemma 1.2,
+//! Theorem 3.16, Corollary 3.18).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gfomc_core::small_matrix::{block_small_matrix, corollary_3_18_constant};
+use gfomc_query::catalog;
+
+fn bench_small_matrix(c: &mut Criterion) {
+    c.bench_function("small_matrix_h1", |b| {
+        b.iter(|| {
+            let sm = block_small_matrix(&catalog::h1());
+            assert!(!sm.is_singular());
+            sm
+        })
+    });
+    c.bench_function("small_matrix_h2", |b| {
+        b.iter(|| block_small_matrix(&catalog::hk(2)).determinant())
+    });
+    c.bench_function("corollary_3_18_h1", |b| {
+        b.iter(|| corollary_3_18_constant(&catalog::h1()).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows: these benches regenerate experiment
+    // timing series, not micro-optimization data.
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = bench_small_matrix
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E2/E4 — transfer matrices A(p) from block lineages (Lemma 3.19,
+//! Proposition 3.20): direct WMC vs matrix-power computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gfomc_core::transfer::{proposition_3_20_holds, transfer_matrix};
+use gfomc_query::catalog;
+
+fn bench_transfer(c: &mut Criterion) {
+    let q = catalog::h1();
+    let mut group = c.benchmark_group("transfer_direct_wmc");
+    for p in [1usize, 2, 4, 6] {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| transfer_matrix(&q, p))
+        });
+    }
+    group.finish();
+
+    // The Lemma 3.19 shortcut: A(p) from A(1) by matrix power.
+    let a1 = transfer_matrix(&q, 1);
+    assert!(proposition_3_20_holds(&a1));
+    let mut group = c.benchmark_group("transfer_matrix_power");
+    for p in [2u32, 4, 6, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| a1.pow(p))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows: these benches regenerate experiment
+    // timing series, not micro-optimization data.
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = bench_transfer
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! E12 — Type-II machinery: CCP counting, the Möbius block formula of
+//! Theorem C.19, and the Q_αβ invertibility check.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gfomc_arith::Rational;
+use gfomc_core::ccp::{ccp_counts, pp2cnf_from_ccp, CcpInstance};
+use gfomc_core::reduction_type2::{
+    mobius_formula_probability, qab_map_is_invertible, theorem_c19_holds,
+};
+use gfomc_core::Pp2Cnf;
+use gfomc_query::catalog;
+
+fn bench_type2(c: &mut Criterion) {
+    let q = catalog::example_c15();
+    let half = |_s: u32, _u: u32, _v: u32| Rational::one_half();
+    let mut group = c.benchmark_group("theorem_c19");
+    for (nu, nv) in [(1u32, 1u32), (2, 1), (2, 2)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{nu}x{nv}")),
+            &(nu, nv),
+            |b, &(nu, nv)| {
+                b.iter(|| assert!(theorem_c19_holds(&q, nu, nv, &half)))
+            },
+        );
+    }
+    group.finish();
+
+    c.bench_function("mobius_formula_2x2", |b| {
+        b.iter(|| mobius_formula_probability(&q, 2, 2, &half))
+    });
+    c.bench_function("qab_invertibility_c15", |b| {
+        b.iter(|| assert!(qab_map_is_invertible(&q)))
+    });
+
+    let phi = Pp2Cnf::new(2, 2, vec![(0, 0), (0, 1), (1, 1)]);
+    let inst = CcpInstance::from_pp2cnf(&phi);
+    c.bench_function("ccp_counts_2x2_3colors", |b| {
+        b.iter(|| {
+            let counts = ccp_counts(&inst, 3, 3);
+            assert_eq!(pp2cnf_from_ccp(&counts), phi.count_models());
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows: these benches regenerate experiment
+    // timing series, not micro-optimization data.
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = bench_type2
+}
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Substrate benchmark — the exact WMC engine on structured CNF families
+//! (paths, grids of ground clauses) that mirror block lineages.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gfomc_arith::Rational;
+use gfomc_logic::{wmc, Clause, Cnf, ModelCounter, UniformWeight, Var, WmcConfig};
+
+fn path_cnf(n: u32) -> Cnf {
+    Cnf::new((0..n).map(|i| Clause::new([Var(i), Var(i + 1)])))
+}
+
+fn grid_cnf(n: u32) -> Cnf {
+    // Lineage shape of H1 on an n×n database.
+    let r = |u: u32| Var(u);
+    let t = |v: u32| Var(100 + v);
+    let s = |u: u32, v: u32| Var(1000 + u * n + v);
+    let mut clauses = Vec::new();
+    for u in 0..n {
+        for v in 0..n {
+            clauses.push(Clause::new([r(u), s(u, v)]));
+            clauses.push(Clause::new([s(u, v), t(v)]));
+        }
+    }
+    Cnf::new(clauses)
+}
+
+fn bench_wmc(c: &mut Criterion) {
+    let w = UniformWeight(Rational::one_half());
+    let mut group = c.benchmark_group("wmc_path");
+    for n in [8u32, 16, 32, 64] {
+        let f = path_cnf(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &f, |b, f| {
+            b.iter(|| wmc(f, &w))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("wmc_grid_lineage");
+    for n in [2u32, 3, 4] {
+        let f = grid_cnf(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &f, |b, f| {
+            b.iter(|| wmc(f, &w))
+        });
+    }
+    group.finish();
+}
+
+fn bench_wmc_ablation(c: &mut Criterion) {
+    // Ablation of the two engine optimizations on the H1 grid lineage.
+    let w = UniformWeight(Rational::one_half());
+    let f = grid_cnf(3);
+    let mut group = c.benchmark_group("wmc_ablation_grid3");
+    for (name, cfg) in [
+        ("full", WmcConfig { use_components: true, use_memo: true }),
+        ("no_memo", WmcConfig { use_components: true, use_memo: false }),
+        ("no_components", WmcConfig { use_components: false, use_memo: true }),
+        ("plain_shannon", WmcConfig { use_components: false, use_memo: false }),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut mc = ModelCounter::with_config(&w, cfg);
+                mc.probability(&f)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows: these benches regenerate experiment
+    // timing series, not micro-optimization data.
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = bench_wmc, bench_wmc_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! E10 — the zg(Q) rewriting and the Lemma A.1 probability-preserving
+//! database map.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gfomc_core::zigzag::{pseudo_random_delta, zg_database, zg_query};
+use gfomc_query::catalog;
+use gfomc_tid::probability;
+
+fn bench_zigzag(c: &mut Criterion) {
+    c.bench_function("zg_query_h1", |b| b.iter(|| zg_query(&catalog::h1())));
+    c.bench_function("zg_query_a3", |b| {
+        b.iter(|| zg_query(&catalog::example_a3()))
+    });
+    let zq = zg_query(&catalog::h1());
+    let delta = pseudo_random_delta(&zq, 2, 2, 42);
+    c.bench_function("zg_database_map", |b| {
+        b.iter(|| zg_database(&zq, &delta))
+    });
+    c.bench_function("lemma_a1_both_sides", |b| {
+        b.iter(|| {
+            let lhs = probability(&zq.query, &delta);
+            let rhs = probability(&catalog::h1(), &zg_database(&zq, &delta));
+            assert_eq!(lhs, rhs);
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows: these benches regenerate experiment
+    // timing series, not micro-optimization data.
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = bench_zigzag
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Shared fixtures for the benchmark harness.
+//!
+//! Each bench target regenerates one experiment from EXPERIMENTS.md; the
+//! helpers here build the standard databases and formulas so that the bench
+//! files stay declarative.
+
+use gfomc_arith::Rational;
+use gfomc_core::P2Cnf;
+use gfomc_query::BipartiteQuery;
+use gfomc_tid::{Tid, Tuple};
+
+/// A uniform all-½ database over `nu × nv` for the given query.
+pub fn uniform_db(q: &BipartiteQuery, nu: u32, nv: u32) -> Tid {
+    let left: Vec<u32> = (0..nu).collect();
+    let right: Vec<u32> = (1000..1000 + nv).collect();
+    let mut tid = Tid::all_present(left.clone(), right.clone());
+    for &u in &left {
+        tid.set_prob(Tuple::R(u), Rational::one_half());
+        for &v in &right {
+            for s in q.binary_symbols() {
+                tid.set_prob(Tuple::S(s, u, v), Rational::one_half());
+            }
+        }
+    }
+    for &v in &right {
+        tid.set_prob(Tuple::T(v), Rational::one_half());
+    }
+    tid
+}
+
+/// The standard workload formulas for the reduction benches, by clause count.
+pub fn workload_formula(m: usize) -> P2Cnf {
+    match m {
+        1 => P2Cnf::new(2, vec![(0, 1)]),
+        2 => P2Cnf::new(3, vec![(0, 1), (1, 2)]),
+        3 => P2Cnf::new(3, vec![(0, 1), (1, 2), (0, 2)]),
+        4 => P2Cnf::new(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]),
+        5 => P2Cnf::new(4, vec![(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]),
+        _ => panic!("no workload for m = {m}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfomc_query::catalog;
+
+    #[test]
+    fn fixtures_are_wellformed() {
+        let q = catalog::h1();
+        let db = uniform_db(&q, 2, 2);
+        assert!(db.is_fomc_instance());
+        for m in 1..=5 {
+            assert_eq!(workload_formula(m).n_clauses(), m);
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! The "big matrix" linear system of Theorem 3.6, in its effective form.
+//!
+//! Equation (10) expresses each oracle answer as a linear combination of the
+//! undirected signature counts:
+//!
+//! ```text
+//! 2^n · Pr_{∆(p,q)}(Q) = Σ_{k₀+k₁+k₂=m} #k′ · y₀₀^{k₀} y₁₀^{k₁} y₁₁^{k₂},
+//! y_ab = z_ab(p) · z_ab(q)
+//! ```
+//!
+//! Because the parallel-block probabilities are symmetric in `(p, q)`, the
+//! parameter pairs `(p, q)` and `(q, p)` give *identical* equations, so the
+//! informative rows are indexed by **multisets** `{p ≤ q} ⊆ {1,…,m+1}` —
+//! exactly `C(m+2,2)` of them, matching the `C(m+2,2)` feasible signatures
+//! `k₀+k₁+k₂ = m`. (The paper's Lemma 3.12 indexes a full `(m+1)²` grid of
+//! rows and columns; the grid rows at permuted parameter pairs coincide, and
+//! the grid columns with `k₁+k₂ > m` correspond to no signature, so the
+//! square multiset system below is the substantive content. Its
+//! non-singularity — which the reduction checks at runtime, exactly — rests
+//! on the same coefficient conditions (11)–(13).)
+
+use crate::signatures::UndirectedSignature;
+use gfomc_arith::Rational;
+use gfomc_linalg::Matrix;
+
+/// The assembled linear system relating oracle answers to signature counts.
+#[derive(Clone, Debug)]
+pub struct BigSystem {
+    /// The `N × N` coefficient matrix, `N = C(m+2,2)`.
+    pub matrix: Matrix<Rational>,
+    /// Row index → parameter multiset `(p, q)` with `p ≤ q` (1-based).
+    pub rows: Vec<(usize, usize)>,
+    /// Column index → undirected signature with `k₀₀+k₀₁,₁₀+k₁₁ = m`.
+    pub cols: Vec<UndirectedSignature>,
+}
+
+/// Builds the system from the per-parameter transfer matrices
+/// `z_tables[p−1] = A(p)`, `p = 1..=m+1`.
+pub fn big_system(z_tables: &[Matrix<Rational>], m: usize) -> BigSystem {
+    assert_eq!(z_tables.len(), m + 1, "need A(p) for p = 1..=m+1");
+    let mut cols = Vec::new();
+    for k1 in 0..=m {
+        for k2 in 0..=m - k1 {
+            cols.push(UndirectedSignature {
+                k00: m - k1 - k2,
+                k01_10: k1,
+                k11: k2,
+            });
+        }
+    }
+    let mut rows = Vec::new();
+    for p in 1..=m + 1 {
+        for q in p..=m + 1 {
+            rows.push((p, q));
+        }
+    }
+    assert_eq!(rows.len(), cols.len());
+    let n = rows.len();
+    let matrix = Matrix::from_fn(n, n, |r, c| {
+        let (p, q) = rows[r];
+        let sig = &cols[c];
+        let y = |a: usize, b: usize| -> Rational {
+            z_tables[p - 1].get(a, b) * z_tables[q - 1].get(a, b)
+        };
+        &(&y(0, 0).pow(sig.k00 as i32) * &y(1, 0).pow(sig.k01_10 as i32))
+            * &y(1, 1).pow(sig.k11 as i32)
+    });
+    BigSystem { matrix, rows, cols }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transfer::transfer_matrix;
+    use gfomc_query::catalog;
+
+    fn z_tables(q: &gfomc_query::BipartiteQuery, m: usize) -> Vec<Matrix<Rational>> {
+        (1..=m + 1).map(|p| transfer_matrix(q, p)).collect()
+    }
+
+    #[test]
+    fn dimensions_match_choose_function() {
+        let q = catalog::h1();
+        for m in 1..=3 {
+            let sys = big_system(&z_tables(&q, m), m);
+            let n = (m + 1) * (m + 2) / 2;
+            assert_eq!(sys.matrix.nrows(), n, "m={m}");
+            assert_eq!(sys.rows.len(), n);
+            assert_eq!(sys.cols.len(), n);
+        }
+    }
+
+    #[test]
+    fn m1_system_is_invertible() {
+        let q = catalog::h1();
+        let sys = big_system(&z_tables(&q, 1), 1);
+        assert!(sys.matrix.is_invertible());
+    }
+
+    #[test]
+    fn m2_and_m3_systems_are_invertible() {
+        for q in [catalog::h1(), catalog::hk(2)] {
+            for m in 2..=3 {
+                let sys = big_system(&z_tables(&q, m), m);
+                assert!(sys.matrix.is_invertible(), "m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn m4_system_is_invertible() {
+        // Theorem 3.6's effective content at the next size.
+        let q = catalog::h1();
+        let sys = big_system(&z_tables(&q, 4), 4);
+        assert_eq!(sys.matrix.nrows(), 15);
+        assert!(sys.matrix.is_invertible());
+    }
+
+    #[test]
+    fn signature_columns_are_feasible_and_complete() {
+        let q = catalog::h1();
+        let m = 3;
+        let sys = big_system(&z_tables(&q, m), m);
+        for sig in &sys.cols {
+            assert_eq!(sig.total(), m);
+        }
+        let distinct: std::collections::BTreeSet<_> = sys.cols.iter().collect();
+        assert_eq!(distinct.len(), sys.cols.len());
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_table_count_rejected() {
+        let q = catalog::h1();
+        let _ = big_system(&z_tables(&q, 1), 2);
+    }
+}

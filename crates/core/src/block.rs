@@ -1,0 +1,171 @@
+//! The path gadget blocks `B_p(u,v)` of §3.3 and their parallel composition
+//! (Figure 1).
+//!
+//! A block `B_p(u,v)` is a bipartite TID shaped like the path
+//! `u = r₀ − t₁ − r₁ − ⋯ − r_{p−1} − t_p − r_p = v`: tuples on path edges
+//! (for *every* binary symbol) have probability ½, as do all unary tuples
+//! `R(rᵢ)`, `T(tᵢ)`; every other tuple has probability 1. The composite
+//! block `B_{(p₁,p₂)}(u,v)` runs two such paths in parallel between the same
+//! endpoints, giving `y_ab(p₁,p₂) = z_ab(p₁)·z_ab(p₂)` (Eq. (25)).
+
+use gfomc_arith::Rational;
+use gfomc_query::BipartiteQuery;
+use gfomc_tid::{Tid, Tuple};
+
+/// Allocates fresh constants for block interiors, keeping left and right
+/// namespaces disjoint across blocks.
+#[derive(Clone, Debug)]
+pub struct ConstAlloc {
+    next_left: u32,
+    next_right: u32,
+}
+
+impl ConstAlloc {
+    /// Starts allocating above the given bounds.
+    pub fn new(first_left: u32, first_right: u32) -> Self {
+        ConstAlloc { next_left: first_left, next_right: first_right }
+    }
+
+    /// A fresh left constant.
+    pub fn fresh_left(&mut self) -> u32 {
+        let c = self.next_left;
+        self.next_left += 1;
+        c
+    }
+
+    /// A fresh right constant.
+    pub fn fresh_right(&mut self) -> u32 {
+        let c = self.next_right;
+        self.next_right += 1;
+        c
+    }
+}
+
+/// Builds the block `B_p(u,v)` for the binary vocabulary of `q`.
+/// Both endpoints `u ≠ v` are left constants; interior constants are drawn
+/// from `alloc`. All tuple probabilities are in `{½, 1}` — block databases
+/// are `FOMC` instances (Theorem 2.9 (1)).
+pub fn path_block(
+    q: &BipartiteQuery,
+    u: u32,
+    v: u32,
+    p: usize,
+    alloc: &mut ConstAlloc,
+) -> Tid {
+    assert!(p >= 1, "block parameter must be ≥ 1");
+    assert_ne!(u, v, "block endpoints must differ");
+    let symbols: Vec<u32> = q.binary_symbols().into_iter().collect();
+    let half = Rational::one_half();
+    // Path nodes: r_0 = u, r_1..r_{p-1} fresh, r_p = v; t_1..t_p fresh.
+    let mut r_nodes = vec![u];
+    for _ in 1..p {
+        r_nodes.push(alloc.fresh_left());
+    }
+    r_nodes.push(v);
+    let t_nodes: Vec<u32> = (0..p).map(|_| alloc.fresh_right()).collect();
+    let mut tid = Tid::all_present(r_nodes.iter().copied(), t_nodes.iter().copied());
+    // Unary tuples at ½ (endpoints included; the reduction fixes them via
+    // the Shannon expansion of Theorem 3.4).
+    for &r in &r_nodes {
+        tid.set_prob(Tuple::R(r), half.clone());
+    }
+    for &t in &t_nodes {
+        tid.set_prob(Tuple::T(t), half.clone());
+    }
+    // Path edges: each t_k (1-based k = index+1) connects r_{k-1} and r_k.
+    for (k, &t) in t_nodes.iter().enumerate() {
+        for &s in &symbols {
+            tid.set_prob(Tuple::S(s, r_nodes[k], t), half.clone());
+            tid.set_prob(Tuple::S(s, r_nodes[k + 1], t), half.clone());
+        }
+    }
+    tid
+}
+
+/// The parallel block `B_{(p₁,p₂)}(u,v)` of Figure 1: the union of
+/// `B_{p₁}(u,v)` and `B_{p₂}(u,v)` sharing only the endpoints.
+pub fn parallel_block(
+    q: &BipartiteQuery,
+    u: u32,
+    v: u32,
+    params: &[usize],
+    alloc: &mut ConstAlloc,
+) -> Tid {
+    assert!(!params.is_empty());
+    let mut tid = path_block(q, u, v, params[0], alloc);
+    for &p in &params[1..] {
+        tid = tid.union(&path_block(q, u, v, p, alloc));
+    }
+    tid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfomc_query::catalog;
+
+    #[test]
+    fn block_shape_p1() {
+        let q = catalog::h1();
+        let mut alloc = ConstAlloc::new(100, 1000);
+        let tid = path_block(&q, 0, 1, 1, &mut alloc);
+        // p=1: left {u, v}, right {t1}.
+        assert_eq!(tid.left_domain().len(), 2);
+        assert_eq!(tid.right_domain().len(), 1);
+        // Uncertain: R(u), R(v), T(t1), S(u,t1), S(v,t1) = 5.
+        assert_eq!(tid.uncertain_tuples().len(), 5);
+    }
+
+    #[test]
+    fn block_shape_general_p() {
+        let q = catalog::h1();
+        for p in 1..=4 {
+            let mut alloc = ConstAlloc::new(100, 1000);
+            let tid = path_block(&q, 0, 1, p, &mut alloc);
+            assert_eq!(tid.left_domain().len(), p + 1, "p={p}");
+            assert_eq!(tid.right_domain().len(), p, "p={p}");
+            // Uncertain tuples: (p+1) R + p T + 2p edges × 1 symbol.
+            assert_eq!(tid.uncertain_tuples().len(), (p + 1) + p + 2 * p);
+        }
+    }
+
+    #[test]
+    fn blocks_are_fomc_instances() {
+        // Theorem 2.9 (1): the Type-I reduction needs only {½, 1}.
+        let q = catalog::hk(2);
+        let mut alloc = ConstAlloc::new(100, 1000);
+        let tid = path_block(&q, 0, 1, 3, &mut alloc);
+        assert!(tid.is_fomc_instance());
+        assert!(tid.is_gfomc_instance());
+    }
+
+    #[test]
+    fn multi_symbol_vocabulary_covered() {
+        let q = catalog::hk(3); // S0, S1, S2
+        let mut alloc = ConstAlloc::new(100, 1000);
+        let tid = path_block(&q, 0, 1, 2, &mut alloc);
+        // Edges: 2p = 4 cells × 3 symbols = 12, plus 3 R + 2 T.
+        assert_eq!(tid.uncertain_tuples().len(), 12 + 3 + 2);
+    }
+
+    #[test]
+    fn parallel_block_shares_only_endpoints() {
+        let q = catalog::h1();
+        let mut alloc = ConstAlloc::new(100, 1000);
+        let tid = parallel_block(&q, 0, 1, &[2, 3], &mut alloc);
+        // Left: endpoints + (2-1) + (3-1) interiors = 5; right: 2 + 3 = 5.
+        assert_eq!(tid.left_domain().len(), 5);
+        assert_eq!(tid.right_domain().len(), 5);
+    }
+
+    #[test]
+    fn alloc_never_reuses() {
+        let mut alloc = ConstAlloc::new(0, 0);
+        let a = alloc.fresh_left();
+        let b = alloc.fresh_left();
+        let c = alloc.fresh_right();
+        let d = alloc.fresh_right();
+        assert_ne!(a, b);
+        assert_ne!(c, d);
+    }
+}

@@ -1,0 +1,156 @@
+//! Block databases over a graph and the factorization of Theorem 3.4.
+//!
+//! Given a P2CNF `Φ` over directed edges `E ⊆ U × U` and block parameters
+//! `p = (p₁, p₂)`, the reduction instantiates a parallel block
+//! `B_{(p₁,p₂)}(u_i, u_j)` for every edge and nothing for non-edges (whose
+//! trivial all-probability-1 blocks are implicit in the TID default).
+//! Theorem 3.4 then factorizes the query probability:
+//!
+//! ```text
+//! Pr_∆(Q) = 2^{-n} Σ_{θ : U → {0,1}} ∏_{(u,v) ∈ E} z_{θ(u)θ(v)}(p₁)·z_{θ(u)θ(v)}(p₂)
+//! ```
+
+use crate::block::{parallel_block, ConstAlloc};
+use crate::p2cnf::P2Cnf;
+use gfomc_arith::Rational;
+use gfomc_linalg::Matrix;
+use gfomc_query::BipartiteQuery;
+use gfomc_tid::{Tid, Tuple};
+
+/// The block database `∆ = ∪_{(u,v) ∈ E} B_{(p₁,p₂)}(u,v)`.
+///
+/// Endpoint constants are `0..n`; interiors are fresh. All probabilities are
+/// in `{½, 1}` (an `FOMC` instance).
+pub fn block_database(
+    q: &BipartiteQuery,
+    phi: &P2Cnf,
+    params: &[usize],
+) -> Tid {
+    let n = phi.n_vars() as u32;
+    let mut alloc = ConstAlloc::new(n, 0);
+    let mut tid = Tid::all_present(0..n, std::iter::empty::<u32>());
+    // Endpoint R tuples at ½ (already covered by each block, but nodes
+    // without incident edges need them too for the 2^{-n} accounting).
+    for u in 0..n {
+        tid.set_prob(Tuple::R(u), Rational::one_half());
+    }
+    for &(i, j) in phi.edges() {
+        let block = parallel_block(q, i as u32, j as u32, params, &mut alloc);
+        tid = tid.union(&block);
+    }
+    tid
+}
+
+/// `Pr_∆(Q)` by the factorization formula (Eq. (8)): exponential in `n` but
+/// *linear* in the block sizes, using the per-parameter transfer matrices.
+pub fn probability_via_factorization(
+    phi: &P2Cnf,
+    transfer: &[Matrix<Rational>],
+) -> Rational {
+    let n = phi.n_vars();
+    assert!(n <= 26);
+    let mut total = Rational::zero();
+    for theta in 0u64..(1u64 << n) {
+        let mut prod = Rational::one();
+        for &(i, j) in phi.edges() {
+            let a = (theta >> i & 1) as usize;
+            let b = (theta >> j & 1) as usize;
+            for t in transfer {
+                prod = &prod * t.get(a, b);
+                if prod.is_zero() {
+                    break;
+                }
+            }
+        }
+        total = &total + &prod;
+    }
+    &total * &Rational::one_half().pow(n as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transfer::transfer_matrix;
+    use gfomc_query::catalog;
+    use gfomc_tid::probability;
+
+    #[test]
+    fn theorem_3_4_factorization_single_edge() {
+        // One edge, p = (1): Pr by full WMC equals the factorized sum.
+        let q = catalog::h1();
+        let phi = P2Cnf::new(2, vec![(0, 1)]);
+        let tid = block_database(&q, &phi, &[1]);
+        let direct = probability(&q, &tid);
+        let t1 = transfer_matrix(&q, 1);
+        let factored = probability_via_factorization(&phi, &[t1]);
+        assert_eq!(direct, factored);
+    }
+
+    #[test]
+    fn theorem_3_4_factorization_parallel_blocks() {
+        let q = catalog::h1();
+        let phi = P2Cnf::new(2, vec![(0, 1)]);
+        let tid = block_database(&q, &phi, &[1, 2]);
+        let direct = probability(&q, &tid);
+        let t = [transfer_matrix(&q, 1), transfer_matrix(&q, 2)];
+        let factored = probability_via_factorization(&phi, &t);
+        assert_eq!(direct, factored);
+    }
+
+    #[test]
+    fn theorem_3_4_factorization_path_graph() {
+        // Φ = (X0∨X1)(X1∨X2): two edges sharing endpoint 1.
+        let q = catalog::h1();
+        let phi = P2Cnf::new(3, vec![(0, 1), (1, 2)]);
+        let tid = block_database(&q, &phi, &[1]);
+        let direct = probability(&q, &tid);
+        let t1 = transfer_matrix(&q, 1);
+        let factored = probability_via_factorization(&phi, &[t1]);
+        assert_eq!(direct, factored);
+    }
+
+    #[test]
+    fn theorem_3_4_factorization_h2() {
+        // A longer query exercises multi-symbol blocks.
+        let q = catalog::hk(2);
+        let phi = P2Cnf::new(2, vec![(0, 1)]);
+        let tid = block_database(&q, &phi, &[2]);
+        let direct = probability(&q, &tid);
+        let t = transfer_matrix(&q, 2);
+        let factored = probability_via_factorization(&phi, &[t]);
+        assert_eq!(direct, factored);
+    }
+
+    #[test]
+    fn block_databases_are_fomc_instances() {
+        // E13 audit: the whole reduction uses only probabilities {½, 1}.
+        let q = catalog::h1();
+        let phi = P2Cnf::new(3, vec![(0, 1), (1, 2), (0, 2)]);
+        for params in [vec![1], vec![1, 2], vec![3, 2]] {
+            let tid = block_database(&q, &phi, &params);
+            assert!(tid.is_fomc_instance(), "params {params:?}");
+        }
+    }
+
+    #[test]
+    fn isolated_vertices_halve_probability_independently() {
+        // A formula with an isolated vertex: its R tuple contributes a
+        // factor that cancels in the normalized sum (z tables don't see it).
+        let q = catalog::h1();
+        let phi_iso = P2Cnf::new(3, vec![(0, 1)]); // X2 isolated
+        let phi = P2Cnf::new(2, vec![(0, 1)]);
+        let t1 = transfer_matrix(&q, 1);
+        // Factorized values agree (the isolated variable sums to 2·½ = 1).
+        assert_eq!(
+            probability_via_factorization(&phi_iso, &[t1.clone()]),
+            probability_via_factorization(&phi, &[t1.clone()]),
+        );
+        // And both match the direct WMC on the database with the isolated
+        // vertex present.
+        let tid = block_database(&q, &phi_iso, &[1]);
+        assert_eq!(
+            probability(&q, &tid),
+            probability_via_factorization(&phi_iso, &[t1]),
+        );
+    }
+}

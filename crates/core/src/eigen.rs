@@ -1,0 +1,219 @@
+//! Exact eigen-decomposition of the transfer matrix over `Q(√d)` and the
+//! verification of Theorem 3.14's conditions (22)–(24).
+//!
+//! Writing `A(1)^p = [[a_ab·λ₁^p + b_ab·λ₂^p]]`, the coefficients solve the
+//! two-point system given by `A(1)^0 = I` and `A(1)^1 = A(1)`:
+//!
+//! ```text
+//! a_ab = (A(1)_ab − λ₂·I_ab) / (λ₁ − λ₂)
+//! b_ab = (λ₁·I_ab − A(1)_ab) / (λ₁ − λ₂)
+//! ```
+//!
+//! where `λ₁,₂ = (tr ± √disc)/2`, `disc = (z₁₁ − z₀₀)² + 4·z₀₁·z₁₀`. All
+//! quantities live in the real quadratic field `Q(√disc)`, so every
+//! condition is decided exactly.
+
+use gfomc_arith::{QuadExt, Rational};
+use gfomc_linalg::Matrix;
+
+/// The exact eigen-data of a symmetric 2×2 transfer matrix.
+#[derive(Clone, Debug)]
+pub struct EigenData {
+    /// The larger eigenvalue `λ₁ = (tr + √disc)/2` (paper's λ₂ ordering may
+    /// differ; conditions are symmetric in the labels).
+    pub lambda1: QuadExt,
+    /// The smaller eigenvalue `λ₂ = (tr − √disc)/2`.
+    pub lambda2: QuadExt,
+    /// Coefficients `a_ab` of `λ₁^p`, indexed `[row][col]`.
+    pub a: [[QuadExt; 2]; 2],
+    /// Coefficients `b_ab` of `λ₂^p`.
+    pub b: [[QuadExt; 2]; 2],
+}
+
+impl EigenData {
+    /// Decomposes a 2×2 matrix with distinct eigenvalues.
+    /// Panics if `disc = 0` (repeated eigenvalue; cannot happen for the
+    /// blocks of final Type-I queries by Lemma 3.21).
+    pub fn decompose(m: &Matrix<Rational>) -> Self {
+        assert!(m.is_square() && m.nrows() == 2);
+        let tr = m.get(0, 0) + m.get(1, 1);
+        let det = m.det();
+        let disc = &(&tr * &tr) - &(&Rational::from(4i64) * &det);
+        assert!(
+            disc.is_positive(),
+            "transfer matrix must have distinct real eigenvalues"
+        );
+        let sqrt_disc = QuadExt::sqrt_d(disc.clone());
+        let half = |x: &QuadExt| {
+            let two = QuadExt::rational(Rational::from(2i64), disc.clone());
+            x / &two
+        };
+        let tr_q = QuadExt::rational(tr, disc.clone());
+        let lambda1 = half(&(&tr_q + &sqrt_disc));
+        let lambda2 = half(&(&tr_q - &sqrt_disc));
+        let denom = &lambda1 - &lambda2;
+        let q = |r: &Rational| QuadExt::rational(r.clone(), disc.clone());
+        let ident = |i: usize, j: usize| {
+            if i == j {
+                Rational::one()
+            } else {
+                Rational::zero()
+            }
+        };
+        let mut a = std::array::from_fn(|_| {
+            std::array::from_fn(|_| QuadExt::rational(Rational::zero(), disc.clone()))
+        });
+        let mut b = a.clone();
+        for (i, row_a) in a.iter_mut().enumerate() {
+            for (j, cell) in row_a.iter_mut().enumerate() {
+                *cell = &(&q(m.get(i, j)) - &(&lambda2 * &q(&ident(i, j)))) / &denom;
+            }
+        }
+        for (i, row_b) in b.iter_mut().enumerate() {
+            for (j, cell) in row_b.iter_mut().enumerate() {
+                *cell = &(&(&lambda1 * &q(&ident(i, j))) - &q(m.get(i, j))) / &denom;
+            }
+        }
+        EigenData { lambda1, lambda2, a, b }
+    }
+
+    /// Reconstructs `(A(1)^p)_ab = a_ab·λ₁^p + b_ab·λ₂^p`.
+    pub fn power_entry(&self, i: usize, j: usize, p: u32) -> QuadExt {
+        &(&self.a[i][j] * &self.lambda1.pow(p)) + &(&self.b[i][j] * &self.lambda2.pow(p))
+    }
+
+    /// Condition (22): `λ₁ ≠ ±λ₂` and both nonzero.
+    pub fn condition_22(&self) -> bool {
+        !self.lambda1.is_zero()
+            && !self.lambda2.is_zero()
+            && self.lambda1 != self.lambda2
+            && self.lambda1 != (-&self.lambda2)
+    }
+
+    /// Condition (23): `b_i ≠ 0` for the three distinguishable indices
+    /// `i ∈ {00, 10, 11}` (the matrix is symmetric, so 01 duplicates 10).
+    pub fn condition_23(&self) -> bool {
+        !self.b[0][0].is_zero() && !self.b[1][0].is_zero() && !self.b[1][1].is_zero()
+    }
+
+    /// Condition (24): `a_i·b_j ≠ a_j·b_i` for distinct `i, j ∈ {00,10,11}`.
+    pub fn condition_24(&self) -> bool {
+        let idx = [(0usize, 0usize), (1, 0), (1, 1)];
+        for (p1, &(i1, j1)) in idx.iter().enumerate() {
+            for &(i2, j2) in idx.iter().skip(p1 + 1) {
+                let lhs = &self.a[i1][j1] * &self.b[i2][j2];
+                let rhs = &self.a[i2][j2] * &self.b[i1][j1];
+                if lhs == rhs {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// All three conditions of Theorem 3.14 at once.
+    pub fn theorem_3_14_conditions(&self) -> bool {
+        self.condition_22() && self.condition_23() && self.condition_24()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transfer::transfer_matrix;
+    use gfomc_query::catalog;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::from_ints(n, d)
+    }
+
+    #[test]
+    fn decompose_reconstructs_identity_and_matrix() {
+        let m = Matrix::from_rows(vec![
+            vec![r(1, 4), r(3, 8)],
+            vec![r(3, 8), r(5, 8)],
+        ]);
+        let e = EigenData::decompose(&m);
+        // p = 0 gives the identity.
+        assert_eq!(e.power_entry(0, 0, 0).to_rational(), Some(Rational::one()));
+        assert_eq!(e.power_entry(0, 1, 0).to_rational(), Some(Rational::zero()));
+        // p = 1 gives the matrix back.
+        for i in 0..2 {
+            for j in 0..2 {
+                assert_eq!(
+                    e.power_entry(i, j, 1).to_rational(),
+                    Some(m.get(i, j).clone())
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn power_entries_match_matrix_powers() {
+        let m = transfer_matrix(&catalog::h1(), 1);
+        let e = EigenData::decompose(&m);
+        for p in 0..=5u32 {
+            let mp = m.pow(p);
+            for i in 0..2 {
+                for j in 0..2 {
+                    assert_eq!(
+                        e.power_entry(i, j, p).to_rational(),
+                        Some(mp.get(i, j).clone()),
+                        "p={p} ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvalue_trace_and_det_identities() {
+        let m = transfer_matrix(&catalog::hk(2), 1);
+        let e = EigenData::decompose(&m);
+        let sum = &e.lambda1 + &e.lambda2;
+        let prod = &e.lambda1 * &e.lambda2;
+        assert_eq!(sum.to_rational(), Some(m.get(0, 0) + m.get(1, 1)));
+        assert_eq!(prod.to_rational(), Some(m.det()));
+    }
+
+    #[test]
+    fn theorem_3_14_conditions_for_final_type_i_catalog() {
+        for (name, q) in [
+            ("h1", catalog::h1()),
+            ("h2", catalog::hk(2)),
+            ("h3", catalog::hk(3)),
+        ] {
+            let e = EigenData::decompose(&transfer_matrix(&q, 1));
+            assert!(e.condition_22(), "{name}: condition (22)");
+            assert!(e.condition_23(), "{name}: condition (23)");
+            assert!(e.condition_24(), "{name}: condition (24)");
+        }
+    }
+
+    #[test]
+    fn a_plus_b_is_identity() {
+        // Eq. (37): a₀₀+b₀₀ = 1, a₁₁+b₁₁ = 1, a₁₀+b₁₀ = 0.
+        let m = transfer_matrix(&catalog::h1(), 1);
+        let e = EigenData::decompose(&m);
+        assert_eq!(
+            (&e.a[0][0] + &e.b[0][0]).to_rational(),
+            Some(Rational::one())
+        );
+        assert_eq!(
+            (&e.a[1][1] + &e.b[1][1]).to_rational(),
+            Some(Rational::one())
+        );
+        assert_eq!(
+            (&e.a[1][0] + &e.b[1][0]).to_rational(),
+            Some(Rational::zero())
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn repeated_eigenvalue_rejected() {
+        // The identity matrix has a repeated eigenvalue.
+        let m = Matrix::identity(2, &Rational::one());
+        let _ = EigenData::decompose(&m);
+    }
+}

@@ -1,0 +1,58 @@
+//! # gfomc-core
+//!
+//! The executable hardness machinery of Kenig & Suciu, *A Dichotomy for the
+//! Generalized Model Counting Problem for Unions of Conjunctive Queries*
+//! (PODS 2021):
+//!
+//! * [`p2cnf`] / [`signatures`] — the #P-hard source problems `#P2CNF` /
+//!   `#PP2CNF` and assignment-signature counting;
+//! * [`nonroot`] — Lemma 1.1 (non-root assignments in `{0, ½, 1}`);
+//! * [`small_matrix`] — Lemma 1.2, Theorem 3.16, Corollary 3.18;
+//! * [`block`] — the path gadgets `B_p(u,v)` of §3.3 (Figure 1);
+//! * [`transfer`] — `A(p)` with Lemma 3.19 and Proposition 3.20;
+//! * [`eigen`] — exact eigen-decomposition over `Q(√d)`, conditions
+//!   (22)–(24) of Theorem 3.14;
+//! * [`block_tid`] — block databases over a graph, Theorem 3.4;
+//! * [`big_matrix`] — Theorem 3.6's linear system;
+//! * [`reduction_type1`] — the end-to-end Cook reduction
+//!   `#P2CNF ≤ᴾ FOMC(Q)` (Theorem 3.1);
+//! * [`zigzag`] — the `zg(Q)` rewriting of Lemma 2.6 / Appendix A
+//!   (Figure 2);
+//! * [`ccp`] — the Coloring Count Problem and `#PP2CNF ≤ᴾ CCP(m,n)`
+//!   (Theorem C.3);
+//! * [`shattering`] — the shattering simplification of Lemma C.16
+//!   (Example C.14), with its probability-preserving database map;
+//! * [`reduction_type2`] — the Type-II Möbius machinery (Theorem C.19,
+//!   Corollary C.20, Lemma C.10);
+//! * [`type2_block`] — the Type-II zig-zag block of Definition C.21
+//!   (Figure 3) with prefix/suffix branches and dead ends.
+
+pub mod big_matrix;
+pub mod block;
+pub mod block_tid;
+pub mod ccp;
+pub mod eigen;
+pub mod nonroot;
+pub mod p2cnf;
+pub mod reduction_type1;
+pub mod reduction_type2;
+pub mod shattering;
+pub mod signatures;
+pub mod small_matrix;
+pub mod transfer;
+pub mod type2_block;
+pub mod zigzag;
+
+pub use big_matrix::{big_system, BigSystem};
+pub use block::{parallel_block, path_block, ConstAlloc};
+pub use block_tid::{block_database, probability_via_factorization};
+pub use eigen::EigenData;
+pub use nonroot::{gfomc_nonroot, nonroot_assignment};
+pub use p2cnf::{P2Cnf, Pp2Cnf};
+pub use reduction_type1::{reduce_p2cnf, OracleMode, ReductionOutcome};
+pub use signatures::{
+    model_count_from_signatures, signature_counts, signature_of,
+    UndirectedSignature,
+};
+pub use small_matrix::{block_small_matrix, SmallMatrix};
+pub use transfer::{lemma_3_19_holds, proposition_3_20_holds, transfer_matrix};

@@ -1,0 +1,268 @@
+//! Positive 2CNF formulas and their model counts — the #P-hard source
+//! problems of the paper's reductions (§1.5).
+//!
+//! `#P2CNF` counts satisfying assignments of `Φ = ∧_{(i,j)∈E} (X_i ∨ X_j)`;
+//! `#PP2CNF` is the restriction to bipartite graphs `E ⊆ U × V` (both
+//! #P-hard by Provan & Ball). Here: brute-force counting (ground truth for
+//! the reduction experiments), an independent-set reformulation, and a
+//! linear-time dynamic program for path graphs used to sanity-check larger
+//! instances.
+
+use gfomc_arith::Natural;
+
+/// A positive 2CNF `Φ = ∧_{(i,j) ∈ E} (X_i ∨ X_j)` over variables
+/// `X_0, …, X_{n-1}`. Edges are ordered pairs with `i ≠ j`; at most one of
+/// `(i,j)`, `(j,i)` may appear (the paper's convention for directed
+/// signatures).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct P2Cnf {
+    n_vars: usize,
+    edges: Vec<(usize, usize)>,
+}
+
+impl P2Cnf {
+    /// Builds a formula; validates the edge conventions.
+    pub fn new(n_vars: usize, edges: Vec<(usize, usize)>) -> Self {
+        for &(i, j) in &edges {
+            assert!(i < n_vars && j < n_vars, "variable out of range");
+            assert!(i != j, "self-loop clause (X v X) not allowed");
+        }
+        for a in 0..edges.len() {
+            for b in (a + 1)..edges.len() {
+                assert!(
+                    edges[a] != edges[b] && (edges[a].1, edges[a].0) != edges[b],
+                    "duplicate or reversed duplicate edge"
+                );
+            }
+        }
+        P2Cnf { n_vars, edges }
+    }
+
+    /// Number of variables `n`.
+    pub fn n_vars(&self) -> usize {
+        self.n_vars
+    }
+
+    /// The clause edges `E` (directed per the paper's convention).
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Number of clauses `m`.
+    pub fn n_clauses(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True iff the assignment (bit `i` = value of `X_i`) satisfies `Φ`.
+    pub fn satisfied_by(&self, assignment: u64) -> bool {
+        self.edges
+            .iter()
+            .all(|&(i, j)| assignment >> i & 1 == 1 || assignment >> j & 1 == 1)
+    }
+
+    /// `#Φ` by brute-force enumeration (requires `n ≤ 26`).
+    pub fn count_models(&self) -> Natural {
+        assert!(self.n_vars <= 26, "brute force limited to 26 variables");
+        let mut count = 0u64;
+        for mask in 0u64..(1u64 << self.n_vars) {
+            if self.satisfied_by(mask) {
+                count += 1;
+            }
+        }
+        Natural::from(count)
+    }
+
+    /// The path formula `(X_0 ∨ X_1)(X_1 ∨ X_2)…(X_{n-2} ∨ X_{n-1})`.
+    pub fn path(n_vars: usize) -> Self {
+        assert!(n_vars >= 2);
+        P2Cnf::new(n_vars, (0..n_vars - 1).map(|i| (i, i + 1)).collect())
+    }
+
+    /// `#Φ` for a path via the Fibonacci-style DP: the number of vertex
+    /// covers... more precisely, of assignments where no clause has both
+    /// endpoints false. Linear in `n`, exact for any size.
+    pub fn count_models_path(n_vars: usize) -> Natural {
+        // DP over positions: states (last var = 0) and (last var = 1).
+        // A clause (X_{i} ∨ X_{i+1}) forbids 0 followed by 0.
+        let mut zero = Natural::one(); // assignments ending in X_i = 0
+        let mut one = Natural::one(); // assignments ending in X_i = 1
+        for _ in 1..n_vars {
+            let new_zero = one.clone(); // previous must be 1
+            let new_one = &zero + &one;
+            zero = new_zero;
+            one = new_one;
+        }
+        &zero + &one
+    }
+
+    /// True iff the underlying graph is bipartite with parts given by a
+    /// 2-coloring of the variables — i.e. `Φ` is a PP2CNF instance.
+    pub fn is_bipartite(&self) -> bool {
+        // Standard BFS 2-coloring on the undirected clause graph.
+        let mut color = vec![-1i8; self.n_vars];
+        let mut adj = vec![Vec::new(); self.n_vars];
+        for &(i, j) in &self.edges {
+            adj[i].push(j);
+            adj[j].push(i);
+        }
+        for start in 0..self.n_vars {
+            if color[start] != -1 {
+                continue;
+            }
+            color[start] = 0;
+            let mut queue = std::collections::VecDeque::from([start]);
+            while let Some(v) = queue.pop_front() {
+                for &w in &adj[v] {
+                    if color[w] == -1 {
+                        color[w] = 1 - color[v];
+                        queue.push_back(w);
+                    } else if color[w] == color[v] {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+/// A PP2CNF instance `Φ = ∧_{(u,v) ∈ E} (X_u ∨ Y_v)` over disjoint variable
+/// sets `X_0..X_{nu-1}`, `Y_0..Y_{nv-1}` (Provan–Ball).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Pp2Cnf {
+    nu: usize,
+    nv: usize,
+    edges: Vec<(usize, usize)>,
+}
+
+impl Pp2Cnf {
+    /// Builds a bipartite positive 2CNF.
+    pub fn new(nu: usize, nv: usize, edges: Vec<(usize, usize)>) -> Self {
+        for &(u, v) in &edges {
+            assert!(u < nu && v < nv, "variable out of range");
+        }
+        let mut sorted = edges.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), edges.len(), "duplicate edge");
+        Pp2Cnf { nu, nv, edges }
+    }
+
+    /// Number of `X` variables.
+    pub fn nu(&self) -> usize {
+        self.nu
+    }
+
+    /// Number of `Y` variables.
+    pub fn nv(&self) -> usize {
+        self.nv
+    }
+
+    /// The edges.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// `#Φ` by brute force over both sides (requires `nu + nv ≤ 26`).
+    pub fn count_models(&self) -> Natural {
+        assert!(self.nu + self.nv <= 26);
+        let mut count = 0u64;
+        for xmask in 0u64..(1u64 << self.nu) {
+            for ymask in 0u64..(1u64 << self.nv) {
+                if self
+                    .edges
+                    .iter()
+                    .all(|&(u, v)| xmask >> u & 1 == 1 || ymask >> v & 1 == 1)
+                {
+                    count += 1;
+                }
+            }
+        }
+        Natural::from(count)
+    }
+
+    /// Embeds into a general [`P2Cnf`] (Y-variables shifted by `nu`).
+    pub fn to_p2cnf(&self) -> P2Cnf {
+        P2Cnf::new(
+            self.nu + self.nv,
+            self.edges.iter().map(|&(u, v)| (u, self.nu + v)).collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_clause_count() {
+        // (X0 ∨ X1): 3 satisfying assignments.
+        let f = P2Cnf::new(2, vec![(0, 1)]);
+        assert_eq!(f.count_models(), Natural::from(3u64));
+    }
+
+    #[test]
+    fn triangle_count() {
+        // (X0∨X1)(X1∨X2)(X0∨X2): assignments with ≤1 false var = 4.
+        let f = P2Cnf::new(3, vec![(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(f.count_models(), Natural::from(4u64));
+        assert!(!f.is_bipartite());
+    }
+
+    #[test]
+    fn no_clauses_counts_all() {
+        let f = P2Cnf::new(3, vec![]);
+        assert_eq!(f.count_models(), Natural::from(8u64));
+    }
+
+    #[test]
+    fn path_dp_matches_brute_force() {
+        for n in 2..=10 {
+            assert_eq!(
+                P2Cnf::path(n).count_models(),
+                P2Cnf::count_models_path(n),
+                "path of {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn path_counts_are_fibonacci() {
+        // #paths(n) = F(n+2) with F(1)=F(2)=1: n=2 → 3, n=3 → 5, n=4 → 8.
+        assert_eq!(P2Cnf::count_models_path(2), Natural::from(3u64));
+        assert_eq!(P2Cnf::count_models_path(3), Natural::from(5u64));
+        assert_eq!(P2Cnf::count_models_path(4), Natural::from(8u64));
+        assert_eq!(P2Cnf::count_models_path(5), Natural::from(13u64));
+    }
+
+    #[test]
+    fn bipartite_detection() {
+        assert!(P2Cnf::path(5).is_bipartite());
+        let square = P2Cnf::new(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert!(square.is_bipartite());
+    }
+
+    #[test]
+    #[should_panic]
+    fn self_loop_rejected() {
+        let _ = P2Cnf::new(2, vec![(1, 1)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn reversed_duplicate_rejected() {
+        let _ = P2Cnf::new(2, vec![(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn pp2cnf_count_matches_embedding() {
+        let f = Pp2Cnf::new(2, 2, vec![(0, 0), (0, 1), (1, 1)]);
+        assert_eq!(f.count_models(), f.to_p2cnf().count_models());
+    }
+
+    #[test]
+    fn pp2cnf_single_edge() {
+        let f = Pp2Cnf::new(1, 1, vec![(0, 0)]);
+        assert_eq!(f.count_models(), Natural::from(3u64));
+    }
+}

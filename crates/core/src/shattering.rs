@@ -1,0 +1,166 @@
+//! Shattering (Lemma C.16 / Example C.14): simplifying a non-forbidden
+//! Type-II query by converting a non-ubiquitous symbol into a unary one.
+//!
+//! Example C.9's query `Q = ∀x(∀yS₀ ∨ ∀yS₁) ∧ ∀x∀y(S₀∨S₂) ∧
+//! ∀y(∀xS₂ ∨ ∀xS₃)` is final but not forbidden: the symbol `S₁` occurs
+//! only in the left clause, in just one subclause, and not in `C₁`. Shattering replaces
+//! the subclause `∀y S₁(x,y)` by a fresh unary symbol `R(x)`, producing the
+//! Type I–II query `Q′ = ∀x∀y(R(x) ∨ S₀) ∧ (S₀∨S₂) ∧ ∀y(∀xS₂ ∨ ∀xS₃)`
+//! with `GFOMC(Q′) ≤ᴾₘ GFOMC(Q)`: a database `∆′` for `Q′` maps to a
+//! database `∆` for `Q` over one extra right constant `b₁` where
+//! `S₁(a, b₁)` carries `R(a)`'s probability and `S₁` is 1 elsewhere, while
+//! the other symbols are 1 at `b₁` and unchanged elsewhere — then
+//! `∀y S₁(a,y)` collapses to `R(a)` and the rest of `Q` is untouched.
+//!
+//! This module implements that worked example and its database map; the
+//! fully general shattering of Claim 1 in Lemma C.16's proof is not needed
+//! by the experiments (DESIGN.md §6).
+
+use gfomc_arith::Rational;
+use gfomc_query::{catalog, BipartiteQuery, Clause};
+use gfomc_tid::{Tid, Tuple};
+
+/// The source query of Example C.14: Example C.9's Type II–II query.
+pub fn source_query() -> BipartiteQuery {
+    catalog::example_c9()
+}
+
+/// The shattered query `Q′` of Example C.14 (Type I–II): `S₁` replaced by
+/// the unary `R`.
+pub fn shattered_query() -> BipartiteQuery {
+    BipartiteQuery::new([
+        Clause::left_i([0]),
+        Clause::middle([0, 2]),
+        Clause::right_ii(&[&[2], &[3]]),
+    ])
+}
+
+/// Maps a database `∆′` for `Q′` to a database `∆ = shatter(∆′)` for `Q`
+/// such that `Pr_∆(Q) = Pr_{∆′}(Q′)`, with identical probability values
+/// (so GFOMC instances map to GFOMC instances).
+///
+/// Fresh right constant: `b₁` (chosen above `∆′`'s right domain).
+pub fn shatter_database(delta_prime: &Tid) -> Tid {
+    let left: Vec<u32> = delta_prime.left_domain().to_vec();
+    let right: Vec<u32> = delta_prime.right_domain().to_vec();
+    let b1 = right.iter().max().map_or(0, |m| m + 1);
+    let mut out = Tid::all_present(
+        left.iter().copied(),
+        right.iter().copied().chain([b1]),
+    );
+    for &a in &left {
+        // S₁(a, b₁) carries R(a); S₁ is 1 elsewhere (the TID default).
+        out.set_prob(Tuple::S(1, a, b1), delta_prime.prob(&Tuple::R(a)));
+        // S₀, S₂, S₃ are 1 at b₁ (default) and copied elsewhere.
+        for &b in &right {
+            for s in [0u32, 2, 3] {
+                out.set_prob(Tuple::S(s, a, b), delta_prime.prob(&Tuple::S(s, a, b)));
+            }
+        }
+    }
+    out
+}
+
+/// A pseudo-random GFOMC database for `Q′` (probabilities in {½, 1}).
+pub fn random_delta_prime(nu: u32, nv: u32, seed: u64) -> Tid {
+    let left: Vec<u32> = (0..nu).collect();
+    let right: Vec<u32> = (0..nv).collect();
+    let mut tid = Tid::all_present(left.clone(), right.clone());
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut pick = || -> Rational {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        if (state >> 33).is_multiple_of(3) {
+            Rational::one()
+        } else {
+            Rational::one_half()
+        }
+    };
+    for &a in &left {
+        tid.set_prob(Tuple::R(a), pick());
+        for &b in &right {
+            for s in [0u32, 2, 3] {
+                tid.set_prob(Tuple::S(s, a, b), pick());
+            }
+        }
+    }
+    tid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfomc_query::{PartType, Pred};
+    use gfomc_safety::{is_unsafe, query_length};
+    use gfomc_tid::probability;
+
+    #[test]
+    fn shattered_query_is_type_i_ii() {
+        let qp = shattered_query();
+        let t = qp.query_type().unwrap();
+        assert_eq!((t.left, t.right), (PartType::I, PartType::II));
+        assert!(is_unsafe(&qp));
+        // Shattering does not shorten the left-right path.
+        assert!(query_length(&qp) >= query_length(&source_query()));
+    }
+
+    #[test]
+    fn shattered_query_drops_s1() {
+        let qp = shattered_query();
+        assert!(!qp.symbols().contains(&Pred::S(1)));
+        assert!(qp.symbols().contains(&Pred::R));
+    }
+
+    #[test]
+    fn example_c14_probability_preserved() {
+        let q = source_query();
+        let qp = shattered_query();
+        for seed in 0..5u64 {
+            let dp = random_delta_prime(2, 2, seed);
+            let d = shatter_database(&dp);
+            assert_eq!(
+                probability(&qp, &dp),
+                probability(&q, &d),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn shattering_preserves_gfomc_instances() {
+        let dp = random_delta_prime(2, 2, 9);
+        assert!(dp.is_gfomc_instance());
+        let d = shatter_database(&dp);
+        assert!(d.is_gfomc_instance());
+        // The mapped database has exactly one extra right constant.
+        assert_eq!(
+            d.right_domain().len(),
+            dp.right_domain().len() + 1
+        );
+    }
+
+    #[test]
+    fn works_on_larger_domains() {
+        let q = source_query();
+        let qp = shattered_query();
+        let dp = random_delta_prime(3, 2, 1);
+        let d = shatter_database(&dp);
+        assert_eq!(probability(&qp, &dp), probability(&q, &d));
+    }
+
+    #[test]
+    fn deterministic_extremes() {
+        // All R absent: Q' needs ∀y S₀ per x; the mapped database sets
+        // S₁(·,b₁) = 0 so Q's left clause also forces ∀y S₀.
+        let qp = shattered_query();
+        let q = source_query();
+        let mut dp = Tid::all_present([0], [0]);
+        dp.set_prob(Tuple::R(0), Rational::zero());
+        dp.set_prob(Tuple::S(0, 0, 0), Rational::one_half());
+        dp.set_prob(Tuple::S(2, 0, 0), Rational::one_half());
+        dp.set_prob(Tuple::S(3, 0, 0), Rational::one_half());
+        let d = shatter_database(&dp);
+        assert_eq!(probability(&qp, &dp), probability(&q, &d));
+    }
+}

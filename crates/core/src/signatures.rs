@@ -1,0 +1,138 @@
+//! Assignment signatures and their counts (§3, Eqs. (2)–(3)).
+//!
+//! For a P2CNF `Φ` over directed edges `E` and an assignment `θ`, the
+//! signature `k(θ) = (k₀₀, k₀₁, k₁₀, k₁₁)` counts the edges whose endpoints
+//! take each truth-value pair; the undirected signature merges `k₀₁ + k₁₀`.
+//! The reduction recovers all undirected counts `#k′` and reads off
+//! `#Φ = Σ_{k′: k₀₀ = 0} #k′`.
+
+use crate::p2cnf::P2Cnf;
+use gfomc_arith::Natural;
+use std::collections::BTreeMap;
+
+/// An undirected signature `(k₀₀, k₀₁+k₁₀, k₁₁)` with `Σ = m`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct UndirectedSignature {
+    /// Edges with both endpoints false.
+    pub k00: usize,
+    /// Edges with exactly one endpoint true.
+    pub k01_10: usize,
+    /// Edges with both endpoints true.
+    pub k11: usize,
+}
+
+impl UndirectedSignature {
+    /// The total `k₀₀ + k₀₁,₁₀ + k₁₁` (must equal `m`).
+    pub fn total(&self) -> usize {
+        self.k00 + self.k01_10 + self.k11
+    }
+}
+
+/// Computes the undirected signature of one assignment.
+pub fn signature_of(phi: &P2Cnf, assignment: u64) -> UndirectedSignature {
+    let mut sig = UndirectedSignature { k00: 0, k01_10: 0, k11: 0 };
+    for &(i, j) in phi.edges() {
+        let a = assignment >> i & 1 == 1;
+        let b = assignment >> j & 1 == 1;
+        match (a, b) {
+            (false, false) => sig.k00 += 1,
+            (true, true) => sig.k11 += 1,
+            _ => sig.k01_10 += 1,
+        }
+    }
+    sig
+}
+
+/// All undirected signature counts `#k′`, by brute-force enumeration of the
+/// `2^n` assignments. Ground truth for the reduction (requires `n ≤ 26`).
+pub fn signature_counts(phi: &P2Cnf) -> BTreeMap<UndirectedSignature, Natural> {
+    assert!(phi.n_vars() <= 26);
+    let mut counts: BTreeMap<UndirectedSignature, u64> = BTreeMap::new();
+    for mask in 0u64..(1u64 << phi.n_vars()) {
+        *counts.entry(signature_of(phi, mask)).or_insert(0) += 1;
+    }
+    counts
+        .into_iter()
+        .map(|(k, c)| (k, Natural::from(c)))
+        .collect()
+}
+
+/// `#Φ` from signature counts: the satisfying assignments are exactly those
+/// with `k₀₀ = 0`.
+pub fn model_count_from_signatures(
+    counts: &BTreeMap<UndirectedSignature, Natural>,
+) -> Natural {
+    counts
+        .iter()
+        .filter(|(k, _)| k.k00 == 0)
+        .fold(Natural::zero(), |acc, (_, c)| &acc + c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signature_totals_equal_m() {
+        let phi = P2Cnf::new(3, vec![(0, 1), (1, 2)]);
+        for mask in 0u64..8 {
+            assert_eq!(signature_of(&phi, mask).total(), 2);
+        }
+    }
+
+    #[test]
+    fn signature_of_specific_assignments() {
+        let phi = P2Cnf::new(3, vec![(0, 1), (1, 2)]);
+        // All false: both clauses have both endpoints false.
+        assert_eq!(
+            signature_of(&phi, 0b000),
+            UndirectedSignature { k00: 2, k01_10: 0, k11: 0 }
+        );
+        // All true.
+        assert_eq!(
+            signature_of(&phi, 0b111),
+            UndirectedSignature { k00: 0, k01_10: 0, k11: 2 }
+        );
+        // Only X1 true: both clauses have exactly one true endpoint.
+        assert_eq!(
+            signature_of(&phi, 0b010),
+            UndirectedSignature { k00: 0, k01_10: 2, k11: 0 }
+        );
+    }
+
+    #[test]
+    fn counts_sum_to_all_assignments() {
+        let phi = P2Cnf::new(4, vec![(0, 1), (1, 2), (2, 3)]);
+        let counts = signature_counts(&phi);
+        let total = counts
+            .values()
+            .fold(Natural::zero(), |acc, c| &acc + c);
+        assert_eq!(total, Natural::from(16u64));
+    }
+
+    #[test]
+    fn model_count_via_signatures_matches_direct() {
+        let cases = [
+            P2Cnf::new(2, vec![(0, 1)]),
+            P2Cnf::new(3, vec![(0, 1), (1, 2), (0, 2)]),
+            P2Cnf::path(5),
+            P2Cnf::new(4, vec![(0, 2), (1, 3), (0, 3)]),
+        ];
+        for phi in &cases {
+            let counts = signature_counts(phi);
+            assert_eq!(
+                model_count_from_signatures(&counts),
+                phi.count_models()
+            );
+        }
+    }
+
+    #[test]
+    fn nonzero_signature_count_is_small() {
+        // At most (m+1)² of the possible signatures are nonzero
+        // (k₀₀ + k₀₁,₁₀ + k₁₁ = m).
+        let phi = P2Cnf::path(6);
+        let m = phi.n_clauses();
+        assert!(signature_counts(&phi).len() <= (m + 1) * (m + 1));
+    }
+}

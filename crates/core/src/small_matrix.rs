@@ -1,0 +1,237 @@
+//! The symbolic "small matrix" and Lemma 1.2: connecting logic and algebra.
+//!
+//! For a Boolean formula `Y` with distinguished variables `r, t`, the small
+//! matrix is `y = [[y₀₀, y₀₁], [y₁₀, y₁₁]]` where `y_ab` is the
+//! arithmetization of `Y[r:=a, t:=b]`. Lemma 1.2: `det(y) ≡ 0` iff `Y`
+//! disconnects `r` from `t` (i.e. `Y ≡ F ∧ G` with `r ∈ Vars(F)`,
+//! `t ∈ Vars(G)`, disjoint variables). Theorem 3.16 strengthens this for
+//! final Type-I queries: `f_A = det(y)` is a nonzero constant multiple of
+//! `∏ uᵢ(1−uᵢ)` (Corollary 3.18), hence nonzero on all of `(0,1)^N`.
+
+use crate::block::{path_block, ConstAlloc};
+use gfomc_arith::Rational;
+use gfomc_logic::{decompose, Cnf, Var};
+use gfomc_poly::{arithmetize, det2, PVar, Poly};
+use gfomc_query::BipartiteQuery;
+use gfomc_tid::{lineage, Tuple};
+use std::collections::BTreeSet;
+
+/// The four restricted arithmetizations of a formula at two distinguished
+/// variables, as polynomials over the remaining variables.
+#[derive(Clone, Debug)]
+pub struct SmallMatrix {
+    /// `y[r:=0, t:=0]`.
+    pub y00: Poly,
+    /// `y[r:=0, t:=1]`.
+    pub y01: Poly,
+    /// `y[r:=1, t:=0]`.
+    pub y10: Poly,
+    /// `y[r:=1, t:=1]`.
+    pub y11: Poly,
+}
+
+impl SmallMatrix {
+    /// Builds the small matrix of `f` at the distinguished variables `r, t`.
+    pub fn of_formula(f: &Cnf, r: Var, t: Var) -> Self {
+        let y = arithmetize(f);
+        let sub = |a: i64, b: i64| {
+            y.substitute(PVar(r.0), &Rational::from(a))
+                .substitute(PVar(t.0), &Rational::from(b))
+        };
+        SmallMatrix {
+            y00: sub(0, 0),
+            y01: sub(0, 1),
+            y10: sub(1, 0),
+            y11: sub(1, 1),
+        }
+    }
+
+    /// The determinant polynomial `f_A = y₀₀y₁₁ − y₀₁y₁₀` (Eq. (28)).
+    pub fn determinant(&self) -> Poly {
+        det2(&self.y00, &self.y01, &self.y10, &self.y11)
+    }
+
+    /// Lemma 1.2, algebraic side: true iff `det ≡ 0`.
+    pub fn is_singular(&self) -> bool {
+        self.determinant().is_zero()
+    }
+}
+
+/// Lemma 1.2, both directions, as a checkable predicate: the small matrix
+/// of `f` at `(r, t)` is singular iff `f` disconnects `{r}` from `{t}`.
+pub fn lemma_1_2_agrees(f: &Cnf, r: Var, t: Var) -> bool {
+    let singular = SmallMatrix::of_formula(f, r, t).is_singular();
+    let disconnected = decompose::disconnects(
+        f,
+        &BTreeSet::from([r]),
+        &BTreeSet::from([t]),
+    );
+    singular == disconnected
+}
+
+/// The small matrix of a query's `p = 1` block lineage at the endpoint
+/// variables `R(u)`, `R(v)` — the `A(1)` of Eq. (27), symbolically.
+pub fn block_small_matrix(q: &BipartiteQuery) -> SmallMatrix {
+    let mut alloc = ConstAlloc::new(2, 0);
+    let tid = path_block(q, 0, 1, 1, &mut alloc);
+    let lin = lineage(q, &tid);
+    let r = lin.vars.lookup(&Tuple::R(0)).expect("R(u) in lineage");
+    let t = lin.vars.lookup(&Tuple::R(1)).expect("R(v) in lineage");
+    SmallMatrix::of_formula(&lin.cnf, r, t)
+}
+
+/// Corollary 3.18: for a final Type-I query, `f_A = c·∏ uᵢ(1−uᵢ)` for some
+/// constant `c ≠ 0`. Returns `Some(c)` if the determinant has exactly this
+/// shape, `None` otherwise.
+pub fn corollary_3_18_constant(q: &BipartiteQuery) -> Option<Rational> {
+    let det = block_small_matrix(q).determinant();
+    if det.is_zero() {
+        return None;
+    }
+    let vars: Vec<PVar> = det.vars().into_iter().collect();
+    let mut shape = Poly::one();
+    for &v in &vars {
+        shape = &shape * &(&Poly::var(v) * &(&Poly::one() - &Poly::var(v)));
+    }
+    // det = c · shape iff the quotient at any non-root point matches and the
+    // difference c·shape − det ≡ 0.
+    let half_point: std::collections::BTreeMap<PVar, Rational> = vars
+        .iter()
+        .map(|&v| (v, Rational::one_half()))
+        .collect();
+    let denom = shape.eval(&half_point);
+    if denom.is_zero() {
+        return None;
+    }
+    let c = &det.eval(&half_point) / &denom;
+    if (&shape.scale(&c) - &det).is_zero() {
+        Some(c)
+    } else {
+        None
+    }
+}
+
+/// Theorem 3.16 at the uniform-½ point: `f_A(½,…,½) ≠ 0`.
+pub fn theorem_3_16_at_half(q: &BipartiteQuery) -> bool {
+    let det = block_small_matrix(q).determinant();
+    if det.is_zero() {
+        return false;
+    }
+    let point = det
+        .vars()
+        .into_iter()
+        .map(|v| (v, Rational::one_half()))
+        .collect();
+    !det.eval(&point).is_zero()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfomc_logic::Clause;
+    use gfomc_query::catalog;
+
+    fn cl(vs: &[u32]) -> Clause {
+        Clause::new(vs.iter().map(|&i| Var(i)))
+    }
+
+    #[test]
+    fn paper_intro_small_matrix() {
+        // Y = (R ∨ S) ∧ (S ∨ T); R=0, S=1, T=2.
+        // y = rt + s − rst; y00 = s, y01 = s, y10 = s, y11 = 1.
+        let f = Cnf::new([cl(&[0, 1]), cl(&[1, 2])]);
+        let sm = SmallMatrix::of_formula(&f, Var(0), Var(2));
+        let s = Poly::var(PVar(1));
+        assert_eq!(sm.y00, s);
+        assert_eq!(sm.y01, s);
+        assert_eq!(sm.y10, s);
+        assert_eq!(sm.y11, Poly::one());
+        // det = s − s² = s(1−s) ≠ 0: Y connects R and T.
+        assert!(!sm.is_singular());
+    }
+
+    #[test]
+    fn disconnected_formula_is_singular() {
+        // Y = R ∧ T: disconnects {R},{T}; det must vanish.
+        let f = Cnf::new([cl(&[0]), cl(&[2])]);
+        let sm = SmallMatrix::of_formula(&f, Var(0), Var(2));
+        assert!(sm.is_singular());
+        assert!(lemma_1_2_agrees(&f, Var(0), Var(2)));
+    }
+
+    #[test]
+    fn lemma_1_2_both_directions_on_fixed_formulas() {
+        let cases = [
+            // connected through a chain
+            Cnf::new([cl(&[0, 1]), cl(&[1, 2]), cl(&[2, 3])]),
+            // product form
+            Cnf::new([cl(&[0, 1]), cl(&[2, 3])]),
+            // direct co-occurrence
+            Cnf::new([cl(&[0, 3])]),
+            // disconnected via constants after minimization
+            Cnf::new([cl(&[0]), cl(&[3]), cl(&[1, 2])]),
+        ];
+        for f in &cases {
+            assert!(lemma_1_2_agrees(f, Var(0), Var(3)), "{f:?}");
+        }
+    }
+
+    #[test]
+    fn corollary_3_18_for_h1() {
+        // For H1 the block-1 lineage has det f_A = c·∏ u(1−u) with c ≠ 0.
+        let c = corollary_3_18_constant(&catalog::h1());
+        assert!(c.is_some());
+        assert!(!c.unwrap().is_zero());
+    }
+
+    #[test]
+    fn corollary_3_18_for_chains() {
+        for k in 1..=2 {
+            let c = corollary_3_18_constant(&catalog::hk(k));
+            assert!(c.is_some(), "h{k}");
+        }
+    }
+
+    #[test]
+    fn theorem_3_16_on_final_catalog() {
+        for (name, q) in [
+            ("h1", catalog::h1()),
+            ("h2", catalog::hk(2)),
+            ("h3", catalog::hk(3)),
+        ] {
+            assert!(theorem_3_16_at_half(&q), "{name}");
+        }
+    }
+
+    #[test]
+    fn symbolic_half_point_matches_numeric_transfer() {
+        // Evaluating the symbolic small matrix at the all-½ point must equal
+        // the numeric transfer matrix A(1).
+        let q = catalog::h1();
+        let sm = block_small_matrix(&q);
+        let a1 = crate::transfer::transfer_matrix(&q, 1);
+        for (poly, (i, j)) in [
+            (&sm.y00, (0, 0)),
+            (&sm.y01, (0, 1)),
+            (&sm.y10, (1, 0)),
+            (&sm.y11, (1, 1)),
+        ] {
+            let point = poly
+                .vars()
+                .into_iter()
+                .map(|v| (v, Rational::one_half()))
+                .collect();
+            assert_eq!(&poly.eval(&point), a1.get(i, j), "entry ({i},{j})");
+        }
+    }
+
+    #[test]
+    fn rank_one_product_direction() {
+        // (1) ⇒ (2) of Lemma 1.2: a formula that disconnects r,t has a
+        // product-form arithmetization, hence singular small matrix.
+        // F = (r ∨ a) ∧ (t ∨ b).
+        let f = Cnf::new([cl(&[0, 1]), cl(&[2, 3])]);
+        let sm = SmallMatrix::of_formula(&f, Var(0), Var(2));
+        assert!(sm.is_singular());
+    }
+}

@@ -1,0 +1,108 @@
+//! A minimal field abstraction.
+//!
+//! The workspace needs exact linear algebra over two coefficient fields:
+//! [`Rational`] and the quadratic extension [`QuadExt`]. `QuadExt` values
+//! carry their radicand at runtime, so the usual `Zero::zero()` associated
+//! constant does not work; instead every operation derives constants from an
+//! existing element (`zero_like`, `one_like`).
+
+use gfomc_arith::{QuadExt, Rational};
+
+/// An element of a field, with constants derived from an exemplar value.
+pub trait Field: Clone + PartialEq + std::fmt::Debug {
+    /// The additive identity of the field containing `self`.
+    fn zero_like(&self) -> Self;
+    /// The multiplicative identity of the field containing `self`.
+    fn one_like(&self) -> Self;
+    /// Addition.
+    fn add(&self, rhs: &Self) -> Self;
+    /// Subtraction.
+    fn sub(&self, rhs: &Self) -> Self;
+    /// Multiplication.
+    fn mul(&self, rhs: &Self) -> Self;
+    /// Division; panics if `rhs` is zero.
+    fn div(&self, rhs: &Self) -> Self;
+    /// Additive inverse.
+    fn neg(&self) -> Self;
+    /// Test for the additive identity.
+    fn is_zero(&self) -> bool;
+}
+
+impl Field for Rational {
+    fn zero_like(&self) -> Self {
+        Rational::zero()
+    }
+    fn one_like(&self) -> Self {
+        Rational::one()
+    }
+    fn add(&self, rhs: &Self) -> Self {
+        self + rhs
+    }
+    fn sub(&self, rhs: &Self) -> Self {
+        self - rhs
+    }
+    fn mul(&self, rhs: &Self) -> Self {
+        self * rhs
+    }
+    fn div(&self, rhs: &Self) -> Self {
+        self / rhs
+    }
+    fn neg(&self) -> Self {
+        -self
+    }
+    fn is_zero(&self) -> bool {
+        Rational::is_zero(self)
+    }
+}
+
+impl Field for QuadExt {
+    fn zero_like(&self) -> Self {
+        QuadExt::zero_like(self)
+    }
+    fn one_like(&self) -> Self {
+        QuadExt::one_like(self)
+    }
+    fn add(&self, rhs: &Self) -> Self {
+        self + rhs
+    }
+    fn sub(&self, rhs: &Self) -> Self {
+        self - rhs
+    }
+    fn mul(&self, rhs: &Self) -> Self {
+        self * rhs
+    }
+    fn div(&self, rhs: &Self) -> Self {
+        self / rhs
+    }
+    fn neg(&self) -> Self {
+        -self
+    }
+    fn is_zero(&self) -> bool {
+        QuadExt::is_zero(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rational_field_ops() {
+        let a = Rational::from_ints(1, 2);
+        let b = Rational::from_ints(1, 3);
+        assert_eq!(a.add(&b), Rational::from_ints(5, 6));
+        assert_eq!(a.mul(&b), Rational::from_ints(1, 6));
+        assert_eq!(a.div(&b), Rational::from_ints(3, 2));
+        assert!(a.zero_like().is_zero());
+        assert_eq!(a.one_like(), Rational::one());
+    }
+
+    #[test]
+    fn quadext_field_ops() {
+        let d = Rational::from_ints(2, 1);
+        let s = QuadExt::sqrt_d(d);
+        let two = s.mul(&s);
+        assert_eq!(two.to_rational(), Some(Rational::from_ints(2, 1)));
+        assert!(s.sub(&s).is_zero());
+    }
+}

@@ -1,0 +1,77 @@
+//! # gfomc-linalg
+//!
+//! Exact dense linear algebra over fields, as needed by the Kenig–Suciu
+//! hardness machinery:
+//!
+//! * [`Matrix`] over any [`Field`] — Gaussian elimination (determinant, rank,
+//!   solve, inverse), matrix powers, Kronecker products;
+//! * [`vandermonde`] — the Vandermonde systems of Lemma 3.7;
+//! * instantiations over [`gfomc_arith::Rational`] (big-matrix solving in the
+//!   reduction) and [`gfomc_arith::QuadExt`] (eigen-decompositions of the 2×2
+//!   transfer matrix).
+
+pub mod field;
+pub mod matrix;
+
+pub use field::Field;
+pub use matrix::{vandermonde, Matrix};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use gfomc_arith::Rational;
+    use proptest::prelude::*;
+
+    fn arb_entry() -> impl Strategy<Value = Rational> {
+        (-20i64..20, 1i64..6).prop_map(|(n, d)| Rational::from_ints(n, d))
+    }
+
+    fn arb_square(n: usize) -> impl Strategy<Value = Matrix<Rational>> {
+        proptest::collection::vec(arb_entry(), n * n).prop_map(move |v| {
+            Matrix::from_fn(n, n, |i, j| v[i * n + j].clone())
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn det_multiplicative(a in arb_square(3), b in arb_square(3)) {
+            prop_assert_eq!(a.mul(&b).det(), &a.det() * &b.det());
+        }
+
+        #[test]
+        fn det_transpose_invariant(a in arb_square(3)) {
+            prop_assert_eq!(a.det(), a.transpose().det());
+        }
+
+        #[test]
+        fn solve_verifies(a in arb_square(3), b in proptest::collection::vec(arb_entry(), 3)) {
+            if let Some(x) = a.solve(&b) {
+                let ax = a.mul_vec(&x);
+                prop_assert_eq!(ax, b);
+            } else {
+                prop_assert!(a.det().is_zero());
+            }
+        }
+
+        #[test]
+        fn inverse_roundtrips(a in arb_square(3)) {
+            if let Some(inv) = a.inverse() {
+                prop_assert_eq!(a.mul(&inv), Matrix::identity(3, &Rational::one()));
+            }
+        }
+
+        #[test]
+        fn rank_bounds(a in arb_square(3)) {
+            let r = a.rank();
+            prop_assert!(r <= 3);
+            prop_assert_eq!(r == 3, !a.det().is_zero());
+        }
+
+        #[test]
+        fn pow_additive(a in arb_square(2), p in 0u32..5, q in 0u32..5) {
+            prop_assert_eq!(a.pow(p).mul(&a.pow(q)), a.pow(p + q));
+        }
+    }
+}

@@ -1,0 +1,462 @@
+//! Dense matrices over an exact field.
+
+use crate::field::Field;
+use std::fmt;
+
+/// A dense `rows × cols` matrix over a field `F`, stored row-major.
+#[derive(Clone, PartialEq)]
+pub struct Matrix<F: Field> {
+    rows: usize,
+    cols: usize,
+    data: Vec<F>,
+}
+
+impl<F: Field> Matrix<F> {
+    /// Builds a matrix from row-major data. Panics on shape mismatch.
+    pub fn from_rows(rows: Vec<Vec<F>>) -> Self {
+        let r = rows.len();
+        assert!(r > 0, "matrix must have at least one row");
+        let c = rows[0].len();
+        assert!(rows.iter().all(|row| row.len() == c), "ragged rows");
+        Matrix {
+            rows: r,
+            cols: c,
+            data: rows.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Builds a matrix by evaluating `f(i, j)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> F) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// All-zero matrix in the field of `exemplar`.
+    pub fn zeros(rows: usize, cols: usize, exemplar: &F) -> Self {
+        Matrix::from_fn(rows, cols, |_, _| exemplar.zero_like())
+    }
+
+    /// Identity matrix in the field of `exemplar`.
+    pub fn identity(n: usize, exemplar: &F) -> Self {
+        Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                exemplar.one_like()
+            } else {
+                exemplar.zero_like()
+            }
+        })
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// True iff square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Element access.
+    pub fn get(&self, i: usize, j: usize) -> &F {
+        &self.data[i * self.cols + j]
+    }
+
+    /// Element mutation.
+    pub fn set(&mut self, i: usize, j: usize, v: F) {
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Iterates over a row.
+    pub fn row(&self, i: usize) -> &[F] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Self {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self.get(j, i).clone())
+    }
+
+    /// Matrix sum. Panics on shape mismatch.
+    pub fn add(&self, rhs: &Self) -> Self {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        Matrix::from_fn(self.rows, self.cols, |i, j| self.get(i, j).add(rhs.get(i, j)))
+    }
+
+    /// Matrix product. Panics on shape mismatch.
+    pub fn mul(&self, rhs: &Self) -> Self {
+        assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
+        let z = self.data[0].zero_like();
+        Matrix::from_fn(self.rows, rhs.cols, |i, j| {
+            let mut acc = z.clone();
+            for k in 0..self.cols {
+                acc = acc.add(&self.get(i, k).mul(rhs.get(k, j)));
+            }
+            acc
+        })
+    }
+
+    /// Scales every entry by `c`.
+    pub fn scale(&self, c: &F) -> Self {
+        Matrix::from_fn(self.rows, self.cols, |i, j| self.get(i, j).mul(c))
+    }
+
+    /// Matrix–vector product.
+    pub fn mul_vec(&self, v: &[F]) -> Vec<F> {
+        assert_eq!(self.cols, v.len());
+        (0..self.rows)
+            .map(|i| {
+                let mut acc = self.data[0].zero_like();
+                for k in 0..self.cols {
+                    acc = acc.add(&self.get(i, k).mul(&v[k]));
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// `self ^ p` by square-and-multiply. Panics if not square.
+    pub fn pow(&self, mut p: u32) -> Self {
+        assert!(self.is_square());
+        let mut base = self.clone();
+        let mut acc = Matrix::identity(self.rows, &self.data[0]);
+        while p > 0 {
+            if p & 1 == 1 {
+                acc = acc.mul(&base);
+            }
+            p >>= 1;
+            if p > 0 {
+                base = base.mul(&base);
+            }
+        }
+        acc
+    }
+
+    /// Kronecker (tensor) product `self ⊗ rhs`.
+    pub fn kronecker(&self, rhs: &Self) -> Self {
+        Matrix::from_fn(self.rows * rhs.rows, self.cols * rhs.cols, |i, j| {
+            self.get(i / rhs.rows, j / rhs.cols)
+                .mul(rhs.get(i % rhs.rows, j % rhs.cols))
+        })
+    }
+
+    /// Reduces a copy of `self` to row echelon form, returning
+    /// `(echelon, det, rank, pivot_cols)`. The determinant is meaningful only
+    /// for square matrices (zero for rank-deficient ones).
+    fn echelon(&self) -> (Matrix<F>, F, usize, Vec<usize>) {
+        let mut m = self.clone();
+        let one = m.data[0].one_like();
+        let mut det = one.clone();
+        let mut pivots = Vec::new();
+        let mut r = 0usize;
+        for c in 0..m.cols {
+            if r == m.rows {
+                break;
+            }
+            // Find a pivot.
+            let Some(p) = (r..m.rows).find(|&i| !m.get(i, c).is_zero()) else {
+                continue;
+            };
+            if p != r {
+                for j in 0..m.cols {
+                    let a = m.get(r, j).clone();
+                    let b = m.get(p, j).clone();
+                    m.set(r, j, b);
+                    m.set(p, j, a);
+                }
+                det = det.neg();
+            }
+            let pivot = m.get(r, c).clone();
+            det = det.mul(&pivot);
+            // Normalize pivot row.
+            for j in c..m.cols {
+                let v = m.get(r, j).div(&pivot);
+                m.set(r, j, v);
+            }
+            // Eliminate below.
+            for i in (r + 1)..m.rows {
+                let factor = m.get(i, c).clone();
+                if factor.is_zero() {
+                    continue;
+                }
+                for j in c..m.cols {
+                    let v = m.get(i, j).sub(&factor.mul(m.get(r, j)));
+                    m.set(i, j, v);
+                }
+            }
+            pivots.push(c);
+            r += 1;
+        }
+        if self.is_square() && r < self.rows {
+            det = det.zero_like();
+        }
+        (m, det, r, pivots)
+    }
+
+    /// Exact determinant via Gaussian elimination. Panics if not square.
+    pub fn det(&self) -> F {
+        assert!(self.is_square(), "determinant of non-square matrix");
+        self.echelon().1
+    }
+
+    /// Rank of the matrix.
+    pub fn rank(&self) -> usize {
+        self.echelon().2
+    }
+
+    /// True iff square with nonzero determinant.
+    pub fn is_invertible(&self) -> bool {
+        self.is_square() && self.rank() == self.rows
+    }
+
+    /// Solves `self · x = b` for a square, invertible `self`.
+    /// Returns `None` if the matrix is singular.
+    pub fn solve(&self, b: &[F]) -> Option<Vec<F>> {
+        assert!(self.is_square(), "solve requires a square system");
+        assert_eq!(self.rows, b.len());
+        // Augment and eliminate.
+        let mut aug = Matrix::from_fn(self.rows, self.cols + 1, |i, j| {
+            if j < self.cols {
+                self.get(i, j).clone()
+            } else {
+                b[i].clone()
+            }
+        });
+        let n = self.rows;
+        for c in 0..n {
+            let p = (c..n).find(|&i| !aug.get(i, c).is_zero())?;
+            if p != c {
+                for j in 0..=n {
+                    let a = aug.get(c, j).clone();
+                    let bb = aug.get(p, j).clone();
+                    aug.set(c, j, bb);
+                    aug.set(p, j, a);
+                }
+            }
+            let pivot = aug.get(c, c).clone();
+            for j in c..=n {
+                let v = aug.get(c, j).div(&pivot);
+                aug.set(c, j, v);
+            }
+            for i in 0..n {
+                if i == c {
+                    continue;
+                }
+                let factor = aug.get(i, c).clone();
+                if factor.is_zero() {
+                    continue;
+                }
+                for j in c..=n {
+                    let v = aug.get(i, j).sub(&factor.mul(aug.get(c, j)));
+                    aug.set(i, j, v);
+                }
+            }
+        }
+        Some((0..n).map(|i| aug.get(i, n).clone()).collect())
+    }
+
+    /// Exact inverse; `None` if singular. Panics if not square.
+    pub fn inverse(&self) -> Option<Matrix<F>> {
+        assert!(self.is_square());
+        let n = self.rows;
+        let mut cols = Vec::with_capacity(n);
+        for j in 0..n {
+            let e: Vec<F> = (0..n)
+                .map(|i| {
+                    if i == j {
+                        self.data[0].one_like()
+                    } else {
+                        self.data[0].zero_like()
+                    }
+                })
+                .collect();
+            cols.push(self.solve(&e)?);
+        }
+        Some(Matrix::from_fn(n, n, |i, j| cols[j][i].clone()))
+    }
+}
+
+/// The `(m+1) × (m+1)` Vandermonde matrix `V[k][ℓ] = points[ℓ]^k` used in
+/// Lemma 3.7 of the paper (linear independence of monomials `y^k`).
+pub fn vandermonde<F: Field>(points: &[F]) -> Matrix<F> {
+    assert!(!points.is_empty());
+    let n = points.len();
+    Matrix::from_fn(n, n, |k, l| {
+        let mut acc = points[0].one_like();
+        for _ in 0..k {
+            acc = acc.mul(&points[l]);
+        }
+        acc
+    })
+}
+
+impl<F: Field + fmt::Display> fmt::Display for Matrix<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            write!(f, "[")?;
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", self.get(i, j))?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+impl<F: Field> fmt::Debug for Matrix<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix({}x{})", self.rows, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfomc_arith::Rational;
+
+    fn r(n: i64) -> Rational {
+        Rational::from(n)
+    }
+
+    fn m(rows: Vec<Vec<i64>>) -> Matrix<Rational> {
+        Matrix::from_rows(
+            rows.into_iter()
+                .map(|row| row.into_iter().map(r).collect())
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = m(vec![vec![1, 2], vec![3, 4]]);
+        let id = Matrix::identity(2, &r(1));
+        assert_eq!(a.mul(&id), a);
+        assert_eq!(id.mul(&a), a);
+    }
+
+    #[test]
+    fn det_2x2_and_3x3() {
+        assert_eq!(m(vec![vec![1, 2], vec![3, 4]]).det(), r(-2));
+        assert_eq!(
+            m(vec![vec![2, 0, 0], vec![0, 3, 0], vec![0, 0, 5]]).det(),
+            r(30)
+        );
+        assert_eq!(
+            m(vec![vec![1, 2, 3], vec![4, 5, 6], vec![7, 8, 9]]).det(),
+            r(0)
+        );
+    }
+
+    #[test]
+    fn det_row_swap_sign() {
+        // First pivot search requires a swap.
+        assert_eq!(m(vec![vec![0, 1], vec![1, 0]]).det(), r(-1));
+    }
+
+    #[test]
+    fn rank_detects_deficiency() {
+        assert_eq!(m(vec![vec![1, 2], vec![2, 4]]).rank(), 1);
+        assert_eq!(m(vec![vec![1, 2], vec![3, 4]]).rank(), 2);
+        assert_eq!(m(vec![vec![0, 0], vec![0, 0]]).rank(), 0);
+    }
+
+    #[test]
+    fn solve_simple_system() {
+        // x + y = 3, x - y = 1  =>  x = 2, y = 1.
+        let a = m(vec![vec![1, 1], vec![1, -1]]);
+        let x = a.solve(&[r(3), r(1)]).unwrap();
+        assert_eq!(x, vec![r(2), r(1)]);
+    }
+
+    #[test]
+    fn solve_singular_returns_none() {
+        let a = m(vec![vec![1, 2], vec![2, 4]]);
+        assert!(a.solve(&[r(1), r(2)]).is_none());
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = m(vec![vec![4, 7], vec![2, 6]]);
+        let inv = a.inverse().unwrap();
+        assert_eq!(a.mul(&inv), Matrix::identity(2, &r(1)));
+        assert_eq!(inv.mul(&a), Matrix::identity(2, &r(1)));
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let a = m(vec![vec![1, 1], vec![1, 0]]); // Fibonacci matrix
+        let a5 = a.pow(5);
+        // F6 = 8, F5 = 5.
+        assert_eq!(*a5.get(0, 0), r(8));
+        assert_eq!(*a5.get(0, 1), r(5));
+        assert_eq!(a.pow(0), Matrix::identity(2, &r(1)));
+    }
+
+    #[test]
+    fn kronecker_shape_and_values() {
+        let a = m(vec![vec![1, 2]]);
+        let b = m(vec![vec![3], vec![4]]);
+        let k = a.kronecker(&b);
+        assert_eq!((k.nrows(), k.ncols()), (2, 2));
+        assert_eq!(*k.get(0, 0), r(3));
+        assert_eq!(*k.get(1, 1), r(8));
+    }
+
+    #[test]
+    fn kronecker_det_identity() {
+        // det(A ⊗ B) = det(A)^n det(B)^m for A m×m, B n×n.
+        let a = m(vec![vec![1, 2], vec![3, 4]]);
+        let b = m(vec![vec![2, 1], vec![1, 1]]);
+        let k = a.kronecker(&b);
+        let expect = a.det().pow(2) * b.det().pow(2);
+        assert_eq!(k.det(), expect);
+    }
+
+    #[test]
+    fn vandermonde_invertible_iff_distinct() {
+        let v = vandermonde(&[r(1), r(2), r(3)]);
+        assert!(v.is_invertible());
+        let v2 = vandermonde(&[r(1), r(2), r(2)]);
+        assert!(!v2.is_invertible());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = m(vec![vec![1, 2, 3], vec![4, 5, 6]]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn mul_vec_matches_mul() {
+        let a = m(vec![vec![1, 2], vec![3, 4]]);
+        let v = vec![r(5), r(6)];
+        assert_eq!(a.mul_vec(&v), vec![r(17), r(39)]);
+    }
+
+    #[test]
+    fn quadext_matrix_det() {
+        use gfomc_arith::QuadExt;
+        let d = Rational::from_ints(2, 1);
+        let s = QuadExt::sqrt_d(d.clone());
+        let one = s.one_like();
+        // [[1, √2], [√2, 1]] has det 1 - 2 = -1.
+        let a = Matrix::from_rows(vec![
+            vec![one.clone(), s.clone()],
+            vec![s.clone(), one.clone()],
+        ]);
+        assert_eq!(a.det().to_rational(), Some(Rational::from(-1i64)));
+    }
+}

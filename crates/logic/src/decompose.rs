@@ -1,0 +1,221 @@
+//! Connectivity and disconnection analysis for monotone CNFs (Appendix B).
+//!
+//! The hardness proofs repeatedly reason about whether a Boolean formula
+//! *disconnects* two sets of variables (Definition B.2), whether a single
+//! variable disconnects them in both cofactors, the clause-distance between
+//! variables, and *migrating* variables (Definition B.8). Because minimal
+//! monotone CNFs decompose uniquely into variable-disjoint components, all of
+//! these are graph computations on the clause–variable incidence graph.
+
+use crate::cnf::{Cnf, Var};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// True iff `f ≡ F₁ ∧ F₂` with disjoint variables such that no variable of
+/// `us` shares a component with a variable of `vs` (Definition B.2).
+///
+/// Variables of `us`/`vs` not occurring in `f` impose no constraint (the
+/// paper: "if F does not depend on U it trivially disconnects U, V").
+pub fn disconnects(f: &Cnf, us: &BTreeSet<Var>, vs: &BTreeSet<Var>) -> bool {
+    if f.is_false() {
+        // ⊥ = ⊥ ∧ ⊤ disconnects everything.
+        return true;
+    }
+    for comp in f.components() {
+        let cvars = comp.vars();
+        let touches_u = us.iter().any(|v| cvars.contains(v));
+        let touches_v = vs.iter().any(|v| cvars.contains(v));
+        if touches_u && touches_v {
+            return false;
+        }
+    }
+    true
+}
+
+/// True iff variable `x` disconnects `us` from `vs`: both cofactors
+/// `f[x:=0]` and `f[x:=1]` disconnect them (Definition B.2, third bullet).
+pub fn var_disconnects(f: &Cnf, x: Var, us: &BTreeSet<Var>, vs: &BTreeSet<Var>) -> bool {
+    disconnects(&f.restrict(x, false), us, vs) && disconnects(&f.restrict(x, true), us, vs)
+}
+
+/// Clause-distance `d(us, vs)` in `f`: the minimum `k` such that there are
+/// clauses `C₀, …, C_k` with `us ∩ Vars(C₀) ≠ ∅`, `vs ∩ Vars(C_k) ≠ ∅`, and
+/// consecutive clauses sharing a variable. `None` if no such path exists.
+/// A single clause touching both sets has distance 0.
+pub fn distance(f: &Cnf, us: &BTreeSet<Var>, vs: &BTreeSet<Var>) -> Option<usize> {
+    let clauses = f.clauses();
+    if clauses.is_empty() {
+        return None;
+    }
+    // BFS over clauses; adjacency = shared variable.
+    let mut var_to_clauses: HashMap<Var, Vec<usize>> = HashMap::new();
+    for (i, c) in clauses.iter().enumerate() {
+        for &v in c.vars() {
+            var_to_clauses.entry(v).or_default().push(i);
+        }
+    }
+    let mut dist: Vec<Option<usize>> = vec![None; clauses.len()];
+    let mut queue = VecDeque::new();
+    for (i, c) in clauses.iter().enumerate() {
+        if c.vars().iter().any(|v| us.contains(v)) {
+            dist[i] = Some(0);
+            queue.push_back(i);
+        }
+    }
+    let mut best: Option<usize> = None;
+    while let Some(i) = queue.pop_front() {
+        let d = dist[i].unwrap();
+        if clauses[i].vars().iter().any(|v| vs.contains(v)) {
+            best = Some(best.map_or(d, |b| b.min(d)));
+            // BFS: the first hit is minimal, but continue is harmless; break
+            // early since BFS explores in distance order.
+            break;
+        }
+        for &v in clauses[i].vars() {
+            for &j in &var_to_clauses[&v] {
+                if dist[j].is_none() {
+                    dist[j] = Some(d + 1);
+                    queue.push_back(j);
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Convenience: distance between two single variables.
+pub fn var_distance(f: &Cnf, u: Var, v: Var) -> Option<usize> {
+    distance(f, &BTreeSet::from([u]), &BTreeSet::from([v]))
+}
+
+/// The ball `B(us, m) = { z | d(us, z) ≤ m }` of Definition preceding
+/// Lemma B.6.
+pub fn ball(f: &Cnf, us: &BTreeSet<Var>, m: usize) -> BTreeSet<Var> {
+    f.vars()
+        .into_iter()
+        .filter(|&z| {
+            distance(f, us, &BTreeSet::from([z])).is_some_and(|d| d <= m)
+        })
+        .collect()
+}
+
+/// True iff `y` is a *migrating* variable w.r.t. `x, us, vs`
+/// (Definition B.8): `x` disconnects `us, vs`, but disconnects neither
+/// `us ∪ {y}, vs` nor `us, vs ∪ {y}`.
+pub fn is_migrating(f: &Cnf, x: Var, y: Var, us: &BTreeSet<Var>, vs: &BTreeSet<Var>) -> bool {
+    if !var_disconnects(f, x, us, vs) {
+        return false;
+    }
+    let mut uy = us.clone();
+    uy.insert(y);
+    let mut vy = vs.clone();
+    vy.insert(y);
+    !var_disconnects(f, x, &uy, vs) && !var_disconnects(f, x, us, &vy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::Clause;
+
+    fn cl(vs: &[u32]) -> Clause {
+        Clause::new(vs.iter().map(|&i| Var(i)))
+    }
+
+    fn set(vs: &[u32]) -> BTreeSet<Var> {
+        vs.iter().map(|&i| Var(i)).collect()
+    }
+
+    #[test]
+    fn disconnects_product_form() {
+        // (x1∨x2) ∧ (x3∨x4) disconnects {x1},{x3}.
+        let f = Cnf::new([cl(&[1, 2]), cl(&[3, 4])]);
+        assert!(disconnects(&f, &set(&[1]), &set(&[3])));
+        assert!(!disconnects(&f, &set(&[1]), &set(&[2])));
+    }
+
+    #[test]
+    fn disconnects_trivially_when_absent() {
+        let f = Cnf::new([cl(&[1, 2])]);
+        assert!(disconnects(&f, &set(&[9]), &set(&[1])));
+        assert!(disconnects(&Cnf::top(), &set(&[1]), &set(&[2])));
+        assert!(disconnects(&Cnf::bottom(), &set(&[1]), &set(&[2])));
+    }
+
+    #[test]
+    fn var_disconnects_chain_midpoint() {
+        // (u ∨ x) ∧ (x ∨ v): setting x to 0 gives u ∧ v (disconnected),
+        // setting to 1 gives ⊤.
+        let f = Cnf::new([cl(&[1, 2]), cl(&[2, 3])]);
+        assert!(var_disconnects(&f, Var(2), &set(&[1]), &set(&[3])));
+        // But u does not disconnect x from v.
+        assert!(!var_disconnects(&f, Var(1), &set(&[2]), &set(&[3])));
+    }
+
+    #[test]
+    fn distance_on_chain() {
+        // Clauses: (0,1)(1,2)(2,3)(3,4).
+        let f = Cnf::new([cl(&[0, 1]), cl(&[1, 2]), cl(&[2, 3]), cl(&[3, 4])]);
+        assert_eq!(var_distance(&f, Var(0), Var(4)), Some(3));
+        assert_eq!(var_distance(&f, Var(0), Var(1)), Some(0));
+        assert_eq!(var_distance(&f, Var(0), Var(2)), Some(1));
+        assert_eq!(var_distance(&f, Var(0), Var(0)), Some(0));
+    }
+
+    #[test]
+    fn distance_disconnected_is_none() {
+        let f = Cnf::new([cl(&[1, 2]), cl(&[3, 4])]);
+        assert_eq!(var_distance(&f, Var(1), Var(3)), None);
+        assert_eq!(var_distance(&f, Var(1), Var(9)), None);
+    }
+
+    #[test]
+    fn ball_collects_nearby_vars() {
+        let f = Cnf::new([cl(&[0, 1]), cl(&[1, 2]), cl(&[2, 3])]);
+        assert_eq!(ball(&f, &set(&[0]), 0), set(&[0, 1]));
+        assert_eq!(ball(&f, &set(&[0]), 1), set(&[0, 1, 2]));
+        assert_eq!(ball(&f, &set(&[0]), 2), set(&[0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn example_b10_migration() {
+        // Example B.10 from the paper. Variables:
+        // U=0, Z0=1, Z1=2, Z2=3, Z3=4, X=5, Y=6, Z4=7, V=8.
+        let f = Cnf::new([
+            cl(&[0, 1]),          // U ∨ Z0
+            cl(&[1, 2, 3, 4]),    // Z0 ∨ Z1 ∨ Z2 ∨ Z3   (C1)
+            cl(&[4, 5, 6]),       // Z3 ∨ X ∨ Y           (C2)
+            cl(&[5, 6, 7]),       // X ∨ Y ∨ Z4           (C3)
+            cl(&[5, 2]),          // X ∨ Z1
+            cl(&[6, 3]),          // Y ∨ Z2
+            cl(&[7, 8]),          // Z4 ∨ V
+        ]);
+        let u = set(&[0]);
+        let v = set(&[8]);
+        // X disconnects U, V.
+        assert!(var_disconnects(&f, Var(5), &u, &v));
+        // Y, Z2, Z3 migrate.
+        assert!(is_migrating(&f, Var(5), Var(6), &u, &v));
+        assert!(is_migrating(&f, Var(5), Var(3), &u, &v));
+        assert!(is_migrating(&f, Var(5), Var(4), &u, &v));
+        // Z0 does not migrate (it stays on the left).
+        assert!(!is_migrating(&f, Var(5), Var(1), &u, &v));
+        // Z4 does not migrate (it stays on the right).
+        assert!(!is_migrating(&f, Var(5), Var(7), &u, &v));
+    }
+
+    #[test]
+    fn corollary_b12_symmetry_on_example() {
+        // Migration is symmetric: if X causes Y to migrate and Y also
+        // disconnects U,V then Y causes X to migrate (Corollary B.12).
+        // Build a symmetric chain where both X and Y disconnect U,V:
+        // (U∨X)(X∨Y)(Y∨V).
+        let f = Cnf::new([cl(&[0, 1]), cl(&[1, 2]), cl(&[2, 3])]);
+        let u = set(&[0]);
+        let v = set(&[3]);
+        assert!(var_disconnects(&f, Var(1), &u, &v));
+        assert!(var_disconnects(&f, Var(2), &u, &v));
+        let x_migrates_y = is_migrating(&f, Var(1), Var(2), &u, &v);
+        let y_migrates_x = is_migrating(&f, Var(2), Var(1), &u, &v);
+        assert_eq!(x_migrates_y, y_migrates_x);
+    }
+}

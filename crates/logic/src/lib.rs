@@ -1,0 +1,119 @@
+//! # gfomc-logic
+//!
+//! The propositional substrate of the workspace:
+//!
+//! * [`cnf`] — monotone CNF formulas in canonical (subsumption-minimal) form,
+//!   with restriction, renaming, conjunction/disjunction, and decomposition
+//!   into variable-disjoint components;
+//! * [`mod@wmc`] — exact weighted model counting (the `Pr(Q)` oracle of the
+//!   paper's Cook reductions), by Shannon expansion with component
+//!   decomposition and memoization, plus brute-force ground truth;
+//! * [`decompose`] — the disconnection / distance / migrating-variable
+//!   analysis of Appendix B.
+
+pub mod cnf;
+pub mod decompose;
+pub mod wmc;
+
+pub use cnf::{Clause, Cnf, Var};
+pub use wmc::{
+    count_models, wmc, wmc_brute_force, ModelCounter, UniformWeight, WeightFn,
+    WmcConfig,
+};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use gfomc_arith::Rational;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    /// Random monotone CNF over at most 8 variables with at most 6 clauses.
+    fn arb_cnf() -> impl Strategy<Value = Cnf> {
+        proptest::collection::vec(
+            proptest::collection::btree_set(0u32..8, 1..4),
+            0..6,
+        )
+        .prop_map(|clauses| {
+            Cnf::new(
+                clauses
+                    .into_iter()
+                    .map(|c| Clause::new(c.into_iter().map(Var))),
+            )
+        })
+    }
+
+    fn arb_weights() -> impl Strategy<Value = HashMap<Var, Rational>> {
+        proptest::collection::vec(0i64..=4, 8).prop_map(|ws| {
+            ws.into_iter()
+                .enumerate()
+                .map(|(i, w)| (Var(i as u32), Rational::from_ints(w, 4)))
+                .collect()
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn wmc_matches_brute_force(f in arb_cnf(), w in arb_weights()) {
+            prop_assert_eq!(wmc(&f, &w), wmc_brute_force(&f, &w));
+        }
+
+        #[test]
+        fn wmc_uniform_half_matches(f in arb_cnf()) {
+            let w = UniformWeight(Rational::one_half());
+            prop_assert_eq!(wmc(&f, &w), wmc_brute_force(&f, &w));
+        }
+
+        #[test]
+        fn restriction_shannon_identity(f in arb_cnf(), v in 0u32..8) {
+            // Pr(F) = ½·Pr(F[v:=1]) + ½·Pr(F[v:=0]) at the uniform-½ point.
+            let w = UniformWeight(Rational::one_half());
+            let v = Var(v);
+            let lhs = wmc(&f, &w);
+            let hi = wmc(&f.restrict(v, true), &w);
+            let lo = wmc(&f.restrict(v, false), &w);
+            let half = Rational::one_half();
+            prop_assert_eq!(lhs, &(&half * &hi) + &(&half * &lo));
+        }
+
+        #[test]
+        fn minimization_preserves_semantics(f in arb_cnf(), mask in any::<u16>()) {
+            // `Cnf::new` minimized `f`; evaluation must agree with direct
+            // clause-by-clause semantics on arbitrary assignments.
+            let tv: std::collections::BTreeSet<Var> =
+                (0..8).filter(|i| mask >> i & 1 == 1).map(Var).collect();
+            let direct = f.clauses().iter().all(|c| c.vars().iter().any(|v| tv.contains(v)));
+            prop_assert_eq!(f.eval(&tv), direct);
+        }
+
+        #[test]
+        fn components_are_independent(f in arb_cnf()) {
+            let w = UniformWeight(Rational::one_half());
+            let product = f
+                .components()
+                .into_iter()
+                .fold(Rational::one(), |acc, c| &acc * &wmc(&c, &w));
+            prop_assert_eq!(wmc(&f, &w), product);
+        }
+
+        #[test]
+        fn or_and_are_sound(f in arb_cnf(), g in arb_cnf(), mask in any::<u16>()) {
+            let tv: std::collections::BTreeSet<Var> =
+                (0..8).filter(|i| mask >> i & 1 == 1).map(Var).collect();
+            prop_assert_eq!(f.or(&g).eval(&tv), f.eval(&tv) || g.eval(&tv));
+            prop_assert_eq!(f.and(&g).eval(&tv), f.eval(&tv) && g.eval(&tv));
+        }
+
+        #[test]
+        fn restrict_is_sound(f in arb_cnf(), v in 0u32..8, b in any::<bool>(), mask in any::<u16>()) {
+            let v = Var(v);
+            let mut tv: std::collections::BTreeSet<Var> =
+                (0..8).filter(|i| mask >> i & 1 == 1).map(Var).collect();
+            // Force the assignment to agree with the restriction.
+            if b { tv.insert(v); } else { tv.remove(&v); }
+            prop_assert_eq!(f.restrict(v, b).eval(&tv), f.eval(&tv));
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Arithmetization of Boolean formulas (§1.6 of the paper).
+//!
+//! The *arithmetization* of a Boolean function `Y` is the unique multilinear
+//! polynomial `y` agreeing with `Y` on `{0,1}ⁿ`; equivalently, `y` is the
+//! probability `Pr(Y)` as a polynomial in the variable probabilities. For
+//! example the lineage `Y = (R ∨ S) ∧ (S ∨ T)` has arithmetization
+//! `y(r,s,t) = rt + s − rst`.
+//!
+//! Computed by Shannon expansion with component decomposition (components
+//! multiply) and memoization — the symbolic twin of the WMC engine.
+
+use crate::poly::{PVar, Poly};
+use gfomc_arith::Rational;
+use gfomc_logic::{Cnf, Var};
+use std::collections::HashMap;
+
+/// Computes the arithmetization of a monotone CNF. Variable `Var(i)` of the
+/// formula becomes polynomial variable `PVar(i)`.
+pub fn arithmetize(f: &Cnf) -> Poly {
+    let mut memo = HashMap::new();
+    arith_rec(f, &mut memo)
+}
+
+fn arith_rec(f: &Cnf, memo: &mut HashMap<Cnf, Poly>) -> Poly {
+    if f.is_true() {
+        return Poly::one();
+    }
+    if f.is_false() {
+        return Poly::zero();
+    }
+    if let Some(hit) = memo.get(f) {
+        return hit.clone();
+    }
+    let comps = f.components();
+    let result = if comps.len() > 1 {
+        let mut acc = Poly::one();
+        for c in comps {
+            acc = &acc * &arith_rec(&c, memo);
+        }
+        acc
+    } else {
+        // Shannon expansion on the most frequent variable.
+        let v = f
+            .vars()
+            .into_iter()
+            .max_by_key(|&v| {
+                f.clauses().iter().filter(|c| c.contains(v)).count()
+            })
+            .expect("non-constant formula");
+        let x = Poly::var(PVar(v.0));
+        let one_minus_x = &Poly::one() - &x;
+        let hi = arith_rec(&f.restrict(v, true), memo);
+        let lo = arith_rec(&f.restrict(v, false), memo);
+        &(&x * &hi) + &(&one_minus_x * &lo)
+    };
+    memo.insert(f.clone(), result.clone());
+    result
+}
+
+/// Evaluates the arithmetization at a weight assignment — by definition this
+/// equals `Pr(f)`, giving an independent cross-check of the WMC engine.
+pub fn probability_via_arithmetization(
+    f: &Cnf,
+    weights: &HashMap<Var, Rational>,
+) -> Rational {
+    let poly = arithmetize(f);
+    let values = weights
+        .iter()
+        .map(|(v, w)| (PVar(v.0), w.clone()))
+        .collect();
+    poly.eval(&values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfomc_logic::{wmc, Clause, UniformWeight};
+
+    fn cl(vs: &[u32]) -> Clause {
+        Clause::new(vs.iter().map(|&i| Var(i)))
+    }
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::from_ints(n, d)
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(arithmetize(&Cnf::top()), Poly::one());
+        assert_eq!(arithmetize(&Cnf::bottom()), Poly::zero());
+    }
+
+    #[test]
+    fn single_variable() {
+        let f = Cnf::literal(Var(3));
+        assert_eq!(arithmetize(&f), Poly::var(PVar(3)));
+    }
+
+    #[test]
+    fn paper_intro_example() {
+        // Y = (R ∨ S) ∧ (S ∨ T) with R=x0, S=x1, T=x2:
+        // y = rt + s − rst.
+        let f = Cnf::new([cl(&[0, 1]), cl(&[1, 2])]);
+        let y = arithmetize(&f);
+        let (r_, s, t) = (Poly::var(PVar(0)), Poly::var(PVar(1)), Poly::var(PVar(2)));
+        let expect = &(&(&r_ * &t) + &s) - &(&(&r_ * &s) * &t);
+        assert_eq!(y, expect);
+        // And Pr at all-½ is 5/8 as in the paper.
+        let vals = [(PVar(0), r(1, 2)), (PVar(1), r(1, 2)), (PVar(2), r(1, 2))]
+            .into_iter()
+            .collect();
+        assert_eq!(y.eval(&vals), r(5, 8));
+    }
+
+    #[test]
+    fn always_multilinear() {
+        let f = Cnf::new([cl(&[0, 1, 2]), cl(&[1, 3]), cl(&[2, 3])]);
+        assert!(arithmetize(&f).is_multilinear());
+    }
+
+    #[test]
+    fn agrees_with_wmc_at_uniform_point() {
+        let formulas = [
+            Cnf::new([cl(&[0, 1]), cl(&[1, 2]), cl(&[2, 3])]),
+            Cnf::new([cl(&[0]), cl(&[1, 2])]),
+            Cnf::new([cl(&[0, 1, 2, 3])]),
+        ];
+        for f in &formulas {
+            let w = UniformWeight(r(1, 3));
+            let vals = f
+                .vars()
+                .into_iter()
+                .map(|v| (PVar(v.0), r(1, 3)))
+                .collect();
+            assert_eq!(arithmetize(f).eval(&vals), wmc(f, &w), "{f:?}");
+        }
+    }
+
+    #[test]
+    fn boolean_points_agree_with_eval() {
+        let f = Cnf::new([cl(&[0, 1]), cl(&[1, 2])]);
+        let y = arithmetize(&f);
+        for mask in 0u32..8 {
+            let tv: std::collections::BTreeSet<Var> =
+                (0..3).filter(|i| mask >> i & 1 == 1).map(Var).collect();
+            let vals = (0..3)
+                .map(|i| {
+                    (
+                        PVar(i),
+                        if mask >> i & 1 == 1 {
+                            Rational::one()
+                        } else {
+                            Rational::zero()
+                        },
+                    )
+                })
+                .collect();
+            let expected = if f.eval(&tv) { Rational::one() } else { Rational::zero() };
+            assert_eq!(y.eval(&vals), expected);
+        }
+    }
+
+    #[test]
+    fn disconnected_formula_factorizes() {
+        // (x0 ∨ x1) ∧ (x2 ∨ x3): arithmetization is a product.
+        let f = Cnf::new([cl(&[0, 1]), cl(&[2, 3])]);
+        let y = arithmetize(&f);
+        let a = arithmetize(&Cnf::new([cl(&[0, 1])]));
+        let b = arithmetize(&Cnf::new([cl(&[2, 3])]));
+        assert_eq!(y, &a * &b);
+    }
+}

@@ -1,0 +1,488 @@
+//! Sparse multivariate polynomials over the rationals.
+//!
+//! Used for the *arithmetization* of Boolean formulas (§1.6 of the paper) and
+//! for the determinant identities of Lemmas 1.1/1.2: the small matrix of a
+//! lineage is a 2×2 matrix of multilinear polynomials, and its determinant is
+//! a polynomial of degree ≤ 2 in each variable.
+
+use gfomc_arith::Rational;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A polynomial variable, identified by index. These indices align with
+/// [`gfomc_logic::Var`] when a polynomial arises as an arithmetization.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PVar(pub u32);
+
+/// A monomial: variables with positive exponents, sorted by variable.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Monomial {
+    powers: Vec<(PVar, u32)>,
+}
+
+impl Monomial {
+    /// The empty (constant) monomial.
+    pub fn unit() -> Self {
+        Monomial::default()
+    }
+
+    /// A single variable to the first power.
+    pub fn var(v: PVar) -> Self {
+        Monomial { powers: vec![(v, 1)] }
+    }
+
+    /// Builds from (variable, exponent) pairs; zero exponents are dropped.
+    pub fn new(powers: impl IntoIterator<Item = (PVar, u32)>) -> Self {
+        let mut map: BTreeMap<PVar, u32> = BTreeMap::new();
+        for (v, e) in powers {
+            if e > 0 {
+                *map.entry(v).or_insert(0) += e;
+            }
+        }
+        Monomial { powers: map.into_iter().collect() }
+    }
+
+    /// The (variable, exponent) pairs, sorted by variable.
+    pub fn powers(&self) -> &[(PVar, u32)] {
+        &self.powers
+    }
+
+    /// Exponent of `v` (0 if absent).
+    pub fn exponent(&self, v: PVar) -> u32 {
+        self.powers
+            .binary_search_by_key(&v, |&(w, _)| w)
+            .map(|i| self.powers[i].1)
+            .unwrap_or(0)
+    }
+
+    /// Product of two monomials.
+    pub fn mul(&self, other: &Monomial) -> Monomial {
+        Monomial::new(
+            self.powers.iter().chain(other.powers.iter()).copied(),
+        )
+    }
+
+    /// Total degree.
+    pub fn total_degree(&self) -> u32 {
+        self.powers.iter().map(|&(_, e)| e).sum()
+    }
+}
+
+impl fmt::Debug for Monomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.powers.is_empty() {
+            return write!(f, "1");
+        }
+        for (i, (v, e)) in self.powers.iter().enumerate() {
+            if i > 0 {
+                write!(f, "·")?;
+            }
+            if *e == 1 {
+                write!(f, "x{}", v.0)?;
+            } else {
+                write!(f, "x{}^{}", v.0, e)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A sparse multivariate polynomial with rational coefficients.
+///
+/// Invariant: no zero coefficients are stored; the zero polynomial has an
+/// empty term map. Equality is therefore exact identity of polynomials.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct Poly {
+    terms: BTreeMap<Monomial, Rational>,
+}
+
+impl Poly {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Poly::default()
+    }
+
+    /// The constant one.
+    pub fn one() -> Self {
+        Poly::constant(Rational::one())
+    }
+
+    /// A constant polynomial.
+    pub fn constant(c: Rational) -> Self {
+        let mut terms = BTreeMap::new();
+        if !c.is_zero() {
+            terms.insert(Monomial::unit(), c);
+        }
+        Poly { terms }
+    }
+
+    /// The polynomial `x_v`.
+    pub fn var(v: PVar) -> Self {
+        let mut terms = BTreeMap::new();
+        terms.insert(Monomial::var(v), Rational::one());
+        Poly { terms }
+    }
+
+    /// Builds from raw (monomial, coefficient) pairs, combining duplicates.
+    pub fn from_terms(pairs: impl IntoIterator<Item = (Monomial, Rational)>) -> Self {
+        let mut terms: BTreeMap<Monomial, Rational> = BTreeMap::new();
+        for (m, c) in pairs {
+            let entry = terms.entry(m).or_insert_with(Rational::zero);
+            *entry = &*entry + &c;
+        }
+        terms.retain(|_, c| !c.is_zero());
+        Poly { terms }
+    }
+
+    /// True iff identically zero.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// True iff a constant polynomial (including zero).
+    pub fn is_constant(&self) -> bool {
+        self.terms.len() <= 1
+            && self.terms.keys().all(|m| m.powers().is_empty())
+    }
+
+    /// The constant term.
+    pub fn constant_term(&self) -> Rational {
+        self.terms
+            .get(&Monomial::unit())
+            .cloned()
+            .unwrap_or_else(Rational::zero)
+    }
+
+    /// The term map (monomial → coefficient).
+    pub fn terms(&self) -> &BTreeMap<Monomial, Rational> {
+        &self.terms
+    }
+
+    /// The set of variables occurring with nonzero coefficient.
+    pub fn vars(&self) -> BTreeSet<PVar> {
+        self.terms
+            .keys()
+            .flat_map(|m| m.powers().iter().map(|&(v, _)| v))
+            .collect()
+    }
+
+    /// The degree in a specific variable.
+    pub fn degree_in(&self, v: PVar) -> u32 {
+        self.terms
+            .keys()
+            .map(|m| m.exponent(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total degree (0 for the zero polynomial).
+    pub fn total_degree(&self) -> u32 {
+        self.terms
+            .keys()
+            .map(|m| m.total_degree())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// True iff multilinear (every variable has degree ≤ 1).
+    pub fn is_multilinear(&self) -> bool {
+        self.terms
+            .keys()
+            .all(|m| m.powers().iter().all(|&(_, e)| e <= 1))
+    }
+
+    fn add_poly(&self, other: &Poly) -> Poly {
+        Poly::from_terms(
+            self.terms
+                .iter()
+                .chain(other.terms.iter())
+                .map(|(m, c)| (m.clone(), c.clone())),
+        )
+    }
+
+    fn mul_poly(&self, other: &Poly) -> Poly {
+        let mut pairs = Vec::with_capacity(self.terms.len() * other.terms.len());
+        for (m1, c1) in &self.terms {
+            for (m2, c2) in &other.terms {
+                pairs.push((m1.mul(m2), c1 * c2));
+            }
+        }
+        Poly::from_terms(pairs)
+    }
+
+    /// Scales by a rational constant.
+    pub fn scale(&self, c: &Rational) -> Poly {
+        if c.is_zero() {
+            return Poly::zero();
+        }
+        Poly {
+            terms: self
+                .terms
+                .iter()
+                .map(|(m, k)| (m.clone(), k * c))
+                .collect(),
+        }
+    }
+
+    /// `self ^ exp`.
+    pub fn pow(&self, exp: u32) -> Poly {
+        let mut acc = Poly::one();
+        for _ in 0..exp {
+            acc = acc.mul_poly(self);
+        }
+        acc
+    }
+
+    /// Substitutes a rational value for a variable.
+    pub fn substitute(&self, v: PVar, value: &Rational) -> Poly {
+        let mut pairs = Vec::with_capacity(self.terms.len());
+        for (m, c) in &self.terms {
+            let e = m.exponent(v);
+            if e == 0 {
+                pairs.push((m.clone(), c.clone()));
+            } else {
+                let rest = Monomial::new(
+                    m.powers().iter().copied().filter(|&(w, _)| w != v),
+                );
+                pairs.push((rest, c * &value.pow(e as i32)));
+            }
+        }
+        Poly::from_terms(pairs)
+    }
+
+    /// Substitutes several variables at once.
+    pub fn substitute_all(&self, assignment: &[(PVar, Rational)]) -> Poly {
+        let mut cur = self.clone();
+        for (v, val) in assignment {
+            cur = cur.substitute(*v, val);
+        }
+        cur
+    }
+
+    /// Identifies variable `from` with variable `to` (the substitution
+    /// `x_from := x_to` used when gluing migrating variables, Lemma C.30).
+    pub fn identify(&self, from: PVar, to: PVar) -> Poly {
+        Poly::from_terms(self.terms.iter().map(|(m, c)| {
+            let m2 = Monomial::new(m.powers().iter().map(|&(v, e)| {
+                if v == from {
+                    (to, e)
+                } else {
+                    (v, e)
+                }
+            }));
+            (m2, c.clone())
+        }))
+    }
+
+    /// Full evaluation; panics if a variable has no value.
+    pub fn eval(&self, values: &BTreeMap<PVar, Rational>) -> Rational {
+        let mut acc = Rational::zero();
+        for (m, c) in &self.terms {
+            let mut t = c.clone();
+            for &(v, e) in m.powers() {
+                let val = values
+                    .get(&v)
+                    .unwrap_or_else(|| panic!("no value for {v:?}"));
+                t = &t * &val.pow(e as i32);
+            }
+            acc = &acc + &t;
+        }
+        acc
+    }
+
+    /// Decomposes by a variable: returns `(g, h, k)` with
+    /// `self = g·v² + h·v + k` (degree in `v` must be ≤ 2).
+    pub fn quadratic_in(&self, v: PVar) -> (Poly, Poly, Poly) {
+        assert!(self.degree_in(v) <= 2, "degree > 2 in {v:?}");
+        let mut g = Vec::new();
+        let mut h = Vec::new();
+        let mut k = Vec::new();
+        for (m, c) in &self.terms {
+            let rest = Monomial::new(
+                m.powers().iter().copied().filter(|&(w, _)| w != v),
+            );
+            match m.exponent(v) {
+                0 => k.push((rest, c.clone())),
+                1 => h.push((rest, c.clone())),
+                2 => g.push((rest, c.clone())),
+                _ => unreachable!(),
+            }
+        }
+        (
+            Poly::from_terms(g),
+            Poly::from_terms(h),
+            Poly::from_terms(k),
+        )
+    }
+}
+
+impl Add<&Poly> for &Poly {
+    type Output = Poly;
+    fn add(self, rhs: &Poly) -> Poly {
+        self.add_poly(rhs)
+    }
+}
+impl Sub<&Poly> for &Poly {
+    type Output = Poly;
+    fn sub(self, rhs: &Poly) -> Poly {
+        self.add_poly(&rhs.neg())
+    }
+}
+impl Mul<&Poly> for &Poly {
+    type Output = Poly;
+    fn mul(self, rhs: &Poly) -> Poly {
+        self.mul_poly(rhs)
+    }
+}
+impl Neg for &Poly {
+    type Output = Poly;
+    fn neg(self) -> Poly {
+        self.scale(&Rational::from(-1i64))
+    }
+}
+
+impl fmt::Debug for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        for (i, (m, c)) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            write!(f, "{c:?}·{m:?}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Determinant of a 2×2 matrix of polynomials — the `f_A` of Eq. (28).
+pub fn det2(m00: &Poly, m01: &Poly, m10: &Poly, m11: &Poly) -> Poly {
+    &(m00 * m11) - &(m01 * m10)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::from_ints(n, d)
+    }
+
+    fn x(i: u32) -> Poly {
+        Poly::var(PVar(i))
+    }
+
+    #[test]
+    fn zero_and_constants() {
+        assert!(Poly::zero().is_zero());
+        assert!(Poly::constant(Rational::zero()).is_zero());
+        assert!(Poly::one().is_constant());
+        assert_eq!(Poly::one().constant_term(), Rational::one());
+    }
+
+    #[test]
+    fn ring_ops() {
+        // (x0 + x1)^2 = x0^2 + 2 x0 x1 + x1^2.
+        let s = &x(0) + &x(1);
+        let sq = &s * &s;
+        assert_eq!(sq.degree_in(PVar(0)), 2);
+        assert_eq!(
+            sq.terms()
+                .get(&Monomial::new([(PVar(0), 1), (PVar(1), 1)])),
+            Some(&r(2, 1))
+        );
+        assert_eq!(&sq - &sq, Poly::zero());
+    }
+
+    #[test]
+    fn cancellation_removes_terms() {
+        let p = &(&x(0) + &x(1)) - &x(1);
+        assert_eq!(p, x(0));
+    }
+
+    #[test]
+    fn substitute_evaluates_partially() {
+        // p = x0·x1 + x1 + 2
+        let p = &(&(&x(0) * &x(1)) + &x(1)) + &Poly::constant(r(2, 1));
+        let q = p.substitute(PVar(0), &r(3, 1));
+        // q = 3 x1 + x1 + 2 = 4 x1 + 2
+        let expect = &x(1).scale(&r(4, 1)) + &Poly::constant(r(2, 1));
+        assert_eq!(q, expect);
+    }
+
+    #[test]
+    fn eval_full() {
+        let p = &(&x(0) * &x(1)) + &x(2);
+        let vals: BTreeMap<PVar, Rational> = [
+            (PVar(0), r(1, 2)),
+            (PVar(1), r(1, 3)),
+            (PVar(2), r(1, 4)),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(p.eval(&vals), r(5, 12));
+    }
+
+    #[test]
+    fn identify_merges_variables() {
+        // x0·x1 with x1 := x0 becomes x0².
+        let p = &x(0) * &x(1);
+        let q = p.identify(PVar(1), PVar(0));
+        assert_eq!(q.degree_in(PVar(0)), 2);
+        assert!(!q.is_multilinear());
+        // 2a - a² example from Lemma C.30's discussion: a + b - ab, b := a.
+        let f = &(&x(0) + &x(1)) - &(&x(0) * &x(1));
+        let g = f.identify(PVar(1), PVar(0));
+        let expect = &x(0).scale(&r(2, 1)) - &(&x(0) * &x(0));
+        assert_eq!(g, expect);
+    }
+
+    #[test]
+    fn quadratic_decomposition() {
+        // p = (x1+1)·x0² + x2·x0 + 5
+        let p = &(&(&(&x(1) + &Poly::one()) * &x(0)) * &x(0))
+            + &(&(&x(2) * &x(0)) + &Poly::constant(r(5, 1)));
+        let (g, h, k) = p.quadratic_in(PVar(0));
+        assert_eq!(g, &x(1) + &Poly::one());
+        assert_eq!(h, x(2));
+        assert_eq!(k, Poly::constant(r(5, 1)));
+        // Reassembling gives p back.
+        let back = &(&(&g * &x(0)) * &x(0)) + &(&(&h * &x(0)) + &k);
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn det2_antisymmetric_example() {
+        // det [[x0, x1], [x1, x0]] = x0² - x1².
+        let d = det2(&x(0), &x(1), &x(1), &x(0));
+        let expect = &(&x(0) * &x(0)) - &(&x(1) * &x(1));
+        assert_eq!(d, expect);
+    }
+
+    #[test]
+    fn det2_rank_one_vanishes() {
+        // Rank-1 matrix [[f·h, f·k], [g·h, g·k]] has zero determinant
+        // (this is the (1) ⇒ (2) direction of Lemma 1.2).
+        let (f, g, h, k) = (x(0), x(1), x(2), x(3));
+        let d = det2(&(&f * &h), &(&f * &k), &(&g * &h), &(&g * &k));
+        assert!(d.is_zero());
+    }
+
+    #[test]
+    fn multilinearity_check() {
+        assert!((&x(0) * &x(1)).is_multilinear());
+        assert!(!(&x(0) * &x(0)).is_multilinear());
+    }
+
+    #[test]
+    fn degree_queries() {
+        let p = &(&x(0) * &x(0)) + &(&x(1) * &x(2));
+        assert_eq!(p.degree_in(PVar(0)), 2);
+        assert_eq!(p.degree_in(PVar(1)), 1);
+        assert_eq!(p.degree_in(PVar(9)), 0);
+        assert_eq!(p.total_degree(), 2);
+        assert_eq!(Poly::zero().total_degree(), 0);
+    }
+}

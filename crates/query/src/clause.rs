@@ -1,0 +1,550 @@
+//! Universally-quantified clauses of ∀CNF queries, with homomorphisms,
+//! core minimization, and classification into the shapes of Definition 2.3.
+//!
+//! A clause is a disjunction of atoms with all variables universally
+//! quantified (prenex per clause). Following the paper:
+//!
+//! * a homomorphism `C → C'` is a sort-preserving variable mapping sending
+//!   every atom of `C` to an atom of `C'`; its existence implies
+//!   `∀C ⇒ ∀C'`, making `C'` redundant in a conjunction containing `C`;
+//! * a clause is *minimized* if every homomorphism `C → C` is a bijection;
+//!   the core is computed by greedily dropping atoms `a` such that
+//!   `C → C∖{a}` exists.
+
+use crate::atom::{Atom, CVar, Pred};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A universally quantified clause (disjunction of atoms).
+///
+/// The constant `true` clause is not representable (true clauses are dropped
+/// from queries); the empty clause is `false`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Clause {
+    atoms: Vec<Atom>,
+}
+
+/// Renames bound variables to the lexicographically-least α-variant:
+/// the minimum sorted atom vector over all injective renamings of the
+/// `x`- and `y`-variables onto `0..n`. Variable counts per clause are tiny
+/// (Definition 2.3 shapes), so permutation search is cheap.
+fn canonicalize_vars(atoms: Vec<Atom>) -> Vec<Atom> {
+    let xs: Vec<CVar> = dedup_vars(atoms.iter().flat_map(|a| a.vars()).filter(CVar::is_x));
+    let ys: Vec<CVar> = dedup_vars(atoms.iter().flat_map(|a| a.vars()).filter(CVar::is_y));
+    if xs.len() <= 1 && ys.len() <= 1 {
+        // Fast path: a single variable of each sort just becomes index 0.
+        return atoms
+            .into_iter()
+            .map(|a| {
+                a.map_vars(&mut |v| match v {
+                    CVar::X(_) => CVar::X(0),
+                    CVar::Y(_) => CVar::Y(0),
+                })
+            })
+            .collect();
+    }
+    assert!(
+        xs.len() <= 6 && ys.len() <= 6,
+        "clause has too many variables to canonicalize"
+    );
+    let mut best: Option<Vec<Atom>> = None;
+    for xperm in permutations(xs.len()) {
+        for yperm in permutations(ys.len()) {
+            let mut renamed: Vec<Atom> = atoms
+                .iter()
+                .map(|a| {
+                    a.map_vars(&mut |v| match v {
+                        CVar::X(_) => {
+                            let i = xs.iter().position(|&w| w == v).unwrap();
+                            CVar::X(xperm[i] as u8)
+                        }
+                        CVar::Y(_) => {
+                            let i = ys.iter().position(|&w| w == v).unwrap();
+                            CVar::Y(yperm[i] as u8)
+                        }
+                    })
+                })
+                .collect();
+            renamed.sort();
+            if best.as_ref().is_none_or(|b| renamed < *b) {
+                best = Some(renamed);
+            }
+        }
+    }
+    best.unwrap_or_default()
+}
+
+fn dedup_vars(it: impl Iterator<Item = CVar>) -> Vec<CVar> {
+    let mut out = Vec::new();
+    for v in it {
+        if !out.contains(&v) {
+            out.push(v);
+        }
+    }
+    out
+}
+
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    if n == 0 {
+        return vec![Vec::new()];
+    }
+    let mut out = Vec::new();
+    for rest in permutations(n - 1) {
+        for pos in 0..=rest.len() {
+            let mut p = rest.clone();
+            p.insert(pos, n - 1);
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// Shape classification of a clause per Definition 2.3.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ClauseShape {
+    /// `∀x∀y (R(x) ∨ S_J(x,y))` — left clause of Type I; `J` is the set of
+    /// binary symbol indices.
+    LeftI(BTreeSet<u32>),
+    /// `∀x (∨_ℓ ∀y S_{J_ℓ}(x,y))` — left clause of Type II; one `J_ℓ` per
+    /// `y`-variable.
+    LeftII(Vec<BTreeSet<u32>>),
+    /// `∀x∀y S_J(x,y)` — middle clause.
+    Middle(BTreeSet<u32>),
+    /// `∀x∀y (S_J(x,y) ∨ T(y))` — right clause of Type I.
+    RightI(BTreeSet<u32>),
+    /// `∀y (∨_ℓ ∀x S_{J_ℓ}(x,y))` — right clause of Type II.
+    RightII(Vec<BTreeSet<u32>>),
+    /// Anything else (e.g. `R(x) ∨ T(y) ∨ …` before simplification).
+    Other,
+}
+
+impl Clause {
+    /// Builds a clause, sorting and deduplicating atoms and canonicalizing
+    /// bound-variable names (α-equivalent clauses compare equal).
+    /// Panics on ill-sorted atoms.
+    pub fn new(atoms: impl IntoIterator<Item = Atom>) -> Self {
+        let mut atoms: Vec<Atom> = atoms.into_iter().collect();
+        assert!(
+            atoms.iter().all(Atom::is_well_sorted),
+            "ill-sorted atom in clause"
+        );
+        atoms.sort();
+        atoms.dedup();
+        Clause { atoms: canonicalize_vars(atoms) }
+    }
+
+    /// Convenience: the middle clause `∀x∀y S_J(x,y)`.
+    pub fn middle(j: impl IntoIterator<Item = u32>) -> Self {
+        Clause::new(j.into_iter().map(|i| Atom::S(i, CVar::X(0), CVar::Y(0))))
+    }
+
+    /// Convenience: the left Type-I clause `∀x∀y (R(x) ∨ S_J(x,y))`.
+    pub fn left_i(j: impl IntoIterator<Item = u32>) -> Self {
+        Clause::new(
+            std::iter::once(Atom::R(CVar::X(0)))
+                .chain(j.into_iter().map(|i| Atom::S(i, CVar::X(0), CVar::Y(0)))),
+        )
+    }
+
+    /// Convenience: the right Type-I clause `∀x∀y (S_J(x,y) ∨ T(y))`.
+    pub fn right_i(j: impl IntoIterator<Item = u32>) -> Self {
+        Clause::new(
+            std::iter::once(Atom::T(CVar::Y(0)))
+                .chain(j.into_iter().map(|i| Atom::S(i, CVar::X(0), CVar::Y(0)))),
+        )
+    }
+
+    /// Convenience: the left Type-II clause `∀x (∨_ℓ ∀y S_{J_ℓ}(x,y))`,
+    /// realized in prenex form with one `y`-variable per subclause.
+    pub fn left_ii(subclauses: &[&[u32]]) -> Self {
+        assert!(subclauses.len() > 1, "type II clause needs > 1 subclause");
+        Clause::new(subclauses.iter().enumerate().flat_map(|(l, js)| {
+            js.iter()
+                .map(move |&i| Atom::S(i, CVar::X(0), CVar::Y(l as u8)))
+        }))
+    }
+
+    /// Convenience: the right Type-II clause `∀y (∨_ℓ ∀x S_{J_ℓ}(x,y))`.
+    pub fn right_ii(subclauses: &[&[u32]]) -> Self {
+        assert!(subclauses.len() > 1, "type II clause needs > 1 subclause");
+        Clause::new(subclauses.iter().enumerate().flat_map(|(l, js)| {
+            js.iter()
+                .map(move |&i| Atom::S(i, CVar::X(l as u8), CVar::Y(0)))
+        }))
+    }
+
+    /// The atoms, sorted.
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// True iff the clause has no atoms (the constant `false`).
+    pub fn is_false(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// The set of predicate symbols — `Symb(C)` in the paper.
+    pub fn symbols(&self) -> BTreeSet<Pred> {
+        self.atoms.iter().map(Atom::pred).collect()
+    }
+
+    /// The set of variables.
+    pub fn vars(&self) -> BTreeSet<CVar> {
+        self.atoms.iter().flat_map(|a| a.vars()).collect()
+    }
+
+    /// True iff the clause contains the given predicate.
+    pub fn mentions(&self, p: Pred) -> bool {
+        self.atoms.iter().any(|a| a.pred() == p)
+    }
+
+    /// Drops all atoms with predicate `p` (the `p := false` rewriting).
+    /// May produce the empty (false) clause.
+    pub fn drop_pred(&self, p: Pred) -> Clause {
+        Clause::new(self.atoms.iter().copied().filter(|a| a.pred() != p))
+    }
+
+    /// Searches for a homomorphism from `self` to `target`: a sort-preserving
+    /// variable mapping sending every atom of `self` into `target`.
+    pub fn homomorphism_to(&self, target: &Clause) -> Option<BTreeMap<CVar, CVar>> {
+        let my_vars: Vec<CVar> = self.vars().into_iter().collect();
+        let target_xs: Vec<CVar> = target
+            .vars()
+            .into_iter()
+            .filter(CVar::is_x)
+            .collect();
+        let target_ys: Vec<CVar> = target
+            .vars()
+            .into_iter()
+            .filter(CVar::is_y)
+            .collect();
+        let target_atoms: BTreeSet<Atom> = target.atoms.iter().copied().collect();
+        let mut assignment: BTreeMap<CVar, CVar> = BTreeMap::new();
+        fn search(
+            vars: &[CVar],
+            idx: usize,
+            target_xs: &[CVar],
+            target_ys: &[CVar],
+            atoms: &[Atom],
+            target_atoms: &BTreeSet<Atom>,
+            assignment: &mut BTreeMap<CVar, CVar>,
+        ) -> bool {
+            if idx == vars.len() {
+                return atoms.iter().all(|a| {
+                    let mapped = a.map_vars(&mut |v| assignment[&v]);
+                    target_atoms.contains(&mapped)
+                });
+            }
+            let v = vars[idx];
+            let candidates = if v.is_x() { target_xs } else { target_ys };
+            for &c in candidates {
+                assignment.insert(v, c);
+                // Prune: atoms fully assigned so far must map into target.
+                let ok = atoms.iter().all(|a| {
+                    let avars = a.vars();
+                    if avars.iter().all(|w| assignment.contains_key(w)) {
+                        let mapped = a.map_vars(&mut |w| assignment[&w]);
+                        target_atoms.contains(&mapped)
+                    } else {
+                        true
+                    }
+                });
+                if ok
+                    && search(
+                        vars,
+                        idx + 1,
+                        target_xs,
+                        target_ys,
+                        atoms,
+                        target_atoms,
+                        assignment,
+                    )
+                {
+                    return true;
+                }
+                assignment.remove(&v);
+            }
+            false
+        }
+        if search(
+            &my_vars,
+            0,
+            &target_xs,
+            &target_ys,
+            &self.atoms,
+            &target_atoms,
+            &mut assignment,
+        ) {
+            Some(assignment)
+        } else {
+            None
+        }
+    }
+
+    /// Core minimization: repeatedly removes atoms `a` such that a
+    /// homomorphism `C → C∖{a}` exists (then `C ≡ C∖{a}` as clauses).
+    pub fn minimize(&self) -> Clause {
+        let mut cur = self.clone();
+        'outer: loop {
+            for i in 0..cur.atoms.len() {
+                let mut atoms = cur.atoms.clone();
+                atoms.remove(i);
+                // Keep raw variable names during the homomorphism check;
+                // canonicalize only when accepting the smaller clause.
+                let smaller = Clause { atoms };
+                if smaller.is_false() {
+                    continue;
+                }
+                if cur.homomorphism_to(&smaller).is_some() {
+                    cur = Clause::new(smaller.atoms);
+                    continue 'outer;
+                }
+            }
+            return cur;
+        }
+    }
+
+    /// True iff every homomorphism `C → C` is a bijection — equivalently,
+    /// here, the core equals the clause.
+    pub fn is_minimized(&self) -> bool {
+        self.minimize().atoms.len() == self.atoms.len()
+    }
+
+    /// Classifies the clause per Definition 2.3 (assumes it is minimized).
+    pub fn shape(&self) -> ClauseShape {
+        let has_r = self.mentions(Pred::R);
+        let has_t = self.mentions(Pred::T);
+        let xs: BTreeSet<CVar> = self.vars().into_iter().filter(CVar::is_x).collect();
+        let ys: BTreeSet<CVar> = self.vars().into_iter().filter(CVar::is_y).collect();
+        let s_by_y = |_: ()| -> Vec<BTreeSet<u32>> {
+            let mut groups: BTreeMap<CVar, BTreeSet<u32>> = BTreeMap::new();
+            for a in &self.atoms {
+                if let Atom::S(i, _, y) = a {
+                    groups.entry(*y).or_default().insert(*i);
+                }
+            }
+            groups.into_values().collect()
+        };
+        let s_by_x = |_: ()| -> Vec<BTreeSet<u32>> {
+            let mut groups: BTreeMap<CVar, BTreeSet<u32>> = BTreeMap::new();
+            for a in &self.atoms {
+                if let Atom::S(i, x, _) = a {
+                    groups.entry(*x).or_default().insert(*i);
+                }
+            }
+            groups.into_values().collect()
+        };
+        match (has_r, has_t, xs.len(), ys.len()) {
+            (true, false, 1, 1) => {
+                let j: BTreeSet<u32> = self
+                    .atoms
+                    .iter()
+                    .filter_map(|a| match a {
+                        Atom::S(i, _, _) => Some(*i),
+                        _ => None,
+                    })
+                    .collect();
+                if j.is_empty() {
+                    ClauseShape::Other // bare R(x): degenerate
+                } else {
+                    ClauseShape::LeftI(j)
+                }
+            }
+            (false, true, 1, 1) => {
+                let j: BTreeSet<u32> = self
+                    .atoms
+                    .iter()
+                    .filter_map(|a| match a {
+                        Atom::S(i, _, _) => Some(*i),
+                        _ => None,
+                    })
+                    .collect();
+                if j.is_empty() {
+                    ClauseShape::Other
+                } else {
+                    ClauseShape::RightI(j)
+                }
+            }
+            (false, false, 1, 1) => ClauseShape::Middle(
+                self.atoms
+                    .iter()
+                    .filter_map(|a| match a {
+                        Atom::S(i, _, _) => Some(*i),
+                        _ => None,
+                    })
+                    .collect(),
+            ),
+            (false, false, 1, _) if ys.len() > 1 => ClauseShape::LeftII(s_by_y(())),
+            (false, false, _, 1) if xs.len() > 1 => ClauseShape::RightII(s_by_x(())),
+            _ => ClauseShape::Other,
+        }
+    }
+
+    /// True iff a left clause (Type I or II).
+    pub fn is_left(&self) -> bool {
+        matches!(self.shape(), ClauseShape::LeftI(_) | ClauseShape::LeftII(_))
+    }
+
+    /// True iff a right clause (Type I or II).
+    pub fn is_right(&self) -> bool {
+        matches!(
+            self.shape(),
+            ClauseShape::RightI(_) | ClauseShape::RightII(_)
+        )
+    }
+
+    /// True iff a middle clause.
+    pub fn is_middle(&self) -> bool {
+        matches!(self.shape(), ClauseShape::Middle(_))
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.atoms.is_empty() {
+            return write!(f, "false");
+        }
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " v ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "∀({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_shapes() {
+        assert_eq!(
+            Clause::middle([0, 1]).shape(),
+            ClauseShape::Middle([0, 1].into())
+        );
+        assert_eq!(
+            Clause::left_i([0, 2]).shape(),
+            ClauseShape::LeftI([0, 2].into())
+        );
+        assert_eq!(
+            Clause::right_i([1]).shape(),
+            ClauseShape::RightI([1].into())
+        );
+        assert_eq!(
+            Clause::left_ii(&[&[0], &[1]]).shape(),
+            ClauseShape::LeftII(vec![[0].into(), [1].into()])
+        );
+        assert_eq!(
+            Clause::right_ii(&[&[2], &[3]]).shape(),
+            ClauseShape::RightII(vec![[2].into(), [3].into()])
+        );
+    }
+
+    #[test]
+    fn left_right_middle_predicates() {
+        assert!(Clause::left_i([0]).is_left());
+        assert!(!Clause::left_i([0]).is_right());
+        assert!(Clause::right_ii(&[&[0], &[1]]).is_right());
+        assert!(Clause::middle([0]).is_middle());
+    }
+
+    #[test]
+    fn homomorphism_middle_to_middle() {
+        // S_{0} → S_{0,1}: J ⊆ J' gives a homomorphism.
+        let c1 = Clause::middle([0]);
+        let c2 = Clause::middle([0, 1]);
+        assert!(c1.homomorphism_to(&c2).is_some());
+        assert!(c2.homomorphism_to(&c1).is_none());
+    }
+
+    #[test]
+    fn homomorphism_middle_to_left_i() {
+        // S_0(x,y) maps into R(x) ∨ S_0(x,y) ∨ S_1(x,y).
+        let m = Clause::middle([0]);
+        let l = Clause::left_i([0, 1]);
+        assert!(m.homomorphism_to(&l).is_some());
+        // But the left clause cannot map back (R has no target).
+        assert!(l.homomorphism_to(&m).is_none());
+    }
+
+    #[test]
+    fn homomorphism_into_type_ii_picks_branch() {
+        // Middle S_1 maps into ∀y S_{0,1} ∨ ∀y S_{1,2} via either branch.
+        let m = Clause::middle([1]);
+        let l = Clause::left_ii(&[&[0, 1], &[1, 2]]);
+        assert!(m.homomorphism_to(&l).is_some());
+        // Middle S_3 does not.
+        let m2 = Clause::middle([3]);
+        assert!(m2.homomorphism_to(&l).is_none());
+    }
+
+    #[test]
+    fn homomorphism_left_ii_to_right_ii_requires_union() {
+        // Left II ∨_ℓ ∀y S_{J_ℓ}(x,y_ℓ) maps into right II iff some right
+        // subclause contains the union of all left subclauses (x maps to a
+        // single x_k).
+        let l = Clause::left_ii(&[&[0], &[1]]);
+        let r_good = Clause::right_ii(&[&[0, 1, 2], &[3]]);
+        let r_bad = Clause::right_ii(&[&[0], &[1]]);
+        assert!(l.homomorphism_to(&r_good).is_some());
+        assert!(l.homomorphism_to(&r_bad).is_none());
+    }
+
+    #[test]
+    fn minimize_drops_absorbed_subclause() {
+        // ∀y S_{0}(x,y0) ∨ ∀y S_{0,1}(x,y1): the first subclause implies the
+        // second, so the clause minimizes to ∀y S_{0,1} — i.e. J maximal kept.
+        let c = Clause::left_ii(&[&[0], &[0, 1]]);
+        let m = c.minimize();
+        assert_eq!(m.shape(), ClauseShape::Middle([0, 1].into()));
+        assert!(!c.is_minimized());
+    }
+
+    #[test]
+    fn minimize_keeps_antichain() {
+        let c = Clause::left_ii(&[&[0, 1], &[1, 2]]);
+        assert!(c.is_minimized());
+        assert_eq!(c.minimize(), c);
+    }
+
+    #[test]
+    fn drop_pred_rewrites() {
+        let c = Clause::left_i([0, 1]);
+        let without_r = c.drop_pred(Pred::R);
+        assert_eq!(without_r.shape(), ClauseShape::Middle([0, 1].into()));
+        let without_s0 = c.drop_pred(Pred::S(0));
+        assert_eq!(without_s0.shape(), ClauseShape::LeftI([1].into()));
+        // Dropping everything gives the false clause.
+        let f = Clause::middle([0]).drop_pred(Pred::S(0));
+        assert!(f.is_false());
+    }
+
+    #[test]
+    fn symbols_and_vars() {
+        let c = Clause::left_ii(&[&[0], &[1]]);
+        assert_eq!(
+            c.symbols(),
+            [Pred::S(0), Pred::S(1)].into_iter().collect()
+        );
+        assert_eq!(c.vars().len(), 3); // x0, y0, y1
+    }
+
+    #[test]
+    fn self_homomorphism_always_exists() {
+        for c in [
+            Clause::middle([0, 1]),
+            Clause::left_i([0]),
+            Clause::left_ii(&[&[0, 1], &[2]]),
+        ] {
+            assert!(c.homomorphism_to(&c).is_some());
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! The CNF-lattice with Möbius function of Definition C.6.
+//!
+//! Given formulas `F = {F₁, …, F_m}`, each subset `α ⊆ [m]` induces the
+//! conjunction `F_α = ∧_{i∈α} F_i`. The *closure* of `α` is
+//! `ᾱ = {i | F_α ⇒ F_i}`; the lattice `L̂(F)` consists of all closed sets
+//! ordered by **reverse** inclusion (top element `1̂ = ∅`). The Möbius
+//! function is `µ(1̂) = 1` and `µ(α) = −Σ_{β > α} µ(β)`.
+//!
+//! The paper's Type-II reduction sums over the *strict support*
+//! `L₀ = {α closed | µ(α) ≠ 0} ∖ {1̂}` (Definition C.8), and uses the Möbius
+//! inversion formula
+//! `Pr(Y₁ ∨ … ∨ Y_m) = −Σ_{α < 1̂} µ(α)·Pr(Y_α)`.
+//!
+//! Here the formulas are monotone CNFs ([`gfomc_logic::Cnf`]); implication
+//! between monotone CNFs is decidable by clause subsumption (a minimal
+//! monotone CNF implies a clause iff one of its clauses subsumes it).
+
+use gfomc_arith::Integer;
+use gfomc_logic::Cnf;
+use std::collections::BTreeSet;
+
+/// Decides `a ⇒ b` for monotone CNFs: every clause of `b` must be subsumed
+/// by some clause of `a`.
+pub fn cnf_implies(a: &Cnf, b: &Cnf) -> bool {
+    if a.is_false() {
+        return true;
+    }
+    b.clauses().iter().all(|cb| {
+        a.clauses().iter().any(|ca| ca.subsumes(cb))
+    })
+}
+
+/// One element of the lattice: a closed set with its conjunction and Möbius
+/// value.
+#[derive(Clone, Debug)]
+pub struct LatticeElement {
+    /// The closed subset of `[m]` (indices into the generating formulas).
+    pub set: BTreeSet<usize>,
+    /// The conjunction `F_α` (minimized).
+    pub formula: Cnf,
+    /// The Möbius value `µ(α)`.
+    pub mobius: Integer,
+}
+
+/// The lattice `L̂(F)` of Definition C.6.
+#[derive(Clone, Debug)]
+pub struct MobiusLattice {
+    /// All closed sets, sorted by cardinality (so `1̂ = ∅` comes first).
+    pub elements: Vec<LatticeElement>,
+}
+
+impl MobiusLattice {
+    /// Builds the lattice of the given formulas. `m = formulas.len()` must be
+    /// small (the construction enumerates all `2^m` subsets).
+    pub fn build(formulas: &[Cnf]) -> Self {
+        let m = formulas.len();
+        assert!(m <= 16, "lattice construction is exponential in m");
+        // Compute the closure of every subset; collect distinct closed sets.
+        let mut closed: Vec<(BTreeSet<usize>, Cnf)> = Vec::new();
+        let mut seen: BTreeSet<BTreeSet<usize>> = BTreeSet::new();
+        for mask in 0u32..(1u32 << m) {
+            let alpha: BTreeSet<usize> =
+                (0..m).filter(|i| mask >> i & 1 == 1).collect();
+            let f_alpha = Cnf::and_all(alpha.iter().map(|&i| formulas[i].clone()));
+            let closure: BTreeSet<usize> = (0..m)
+                .filter(|&i| cnf_implies(&f_alpha, &formulas[i]))
+                .collect();
+            if seen.insert(closure.clone()) {
+                let f_closure =
+                    Cnf::and_all(closure.iter().map(|&i| formulas[i].clone()));
+                debug_assert_eq!(f_closure, f_alpha, "closure changes formula");
+                closed.push((closure, f_alpha));
+            }
+        }
+        // Sort by cardinality so the top 1̂ = ∅ comes first; Möbius recursion
+        // then proceeds top-down (µ(α) = −Σ over closed strict subsets of α).
+        closed.sort_by_key(|(s, _)| (s.len(), s.clone()));
+        let mut elements: Vec<LatticeElement> = Vec::with_capacity(closed.len());
+        for (set, formula) in closed {
+            let mobius = if set.is_empty() {
+                Integer::one()
+            } else {
+                // β > α in the reverse-inclusion order means β ⊊ α.
+                let mut sum = Integer::zero();
+                for e in &elements {
+                    if e.set.is_subset(&set) && e.set != set {
+                        sum += &e.mobius;
+                    }
+                }
+                // Strict supersets in reverse order are strict subsets as
+                // sets; all of them are already placed (sorted by size), but
+                // only those that are subsets of `set` participate.
+                -sum
+            };
+            elements.push(LatticeElement { set, formula, mobius });
+        }
+        MobiusLattice { elements }
+    }
+
+    /// The top element `1̂` (the empty closed set; `F_1̂ = F₁ ∨ … ∨ F_m` by
+    /// the paper's convention).
+    pub fn top(&self) -> &LatticeElement {
+        &self.elements[0]
+    }
+
+    /// The support `L(F)`: elements with nonzero Möbius value.
+    pub fn support(&self) -> Vec<&LatticeElement> {
+        self.elements
+            .iter()
+            .filter(|e| !e.mobius.is_zero())
+            .collect()
+    }
+
+    /// The strict support `L₀(F) = L(F) ∖ {1̂}`.
+    pub fn strict_support(&self) -> Vec<&LatticeElement> {
+        self.elements
+            .iter()
+            .filter(|e| !e.mobius.is_zero() && !e.set.is_empty())
+            .collect()
+    }
+
+    /// Looks up an element by its closed set.
+    pub fn element(&self, set: &BTreeSet<usize>) -> Option<&LatticeElement> {
+        self.elements.iter().find(|e| &e.set == set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfomc_logic::{Clause, Var};
+
+    fn conj(vars: &[u32]) -> Cnf {
+        // A conjunction of unit clauses Z_i.
+        Cnf::new(vars.iter().map(|&v| Clause::new([Var(v)])))
+    }
+
+    fn set(xs: &[usize]) -> BTreeSet<usize> {
+        xs.iter().copied().collect()
+    }
+
+    #[test]
+    fn cnf_implication_by_subsumption() {
+        let a = Cnf::new([Clause::new([Var(0)])]);
+        let b = Cnf::new([Clause::new([Var(0), Var(1)])]);
+        assert!(cnf_implies(&a, &b));
+        assert!(!cnf_implies(&b, &a));
+        assert!(cnf_implies(&Cnf::bottom(), &a));
+        assert!(cnf_implies(&a, &Cnf::top()));
+    }
+
+    #[test]
+    fn example_c7_first() {
+        // Y1 = Z1Z2, Y2 = Z1Z3, Y3 = Z2Z3 (paper Example C.7, first part):
+        // lattice {∅,1,2,3,123}, µ(∅)=1, µ(i)=-1, µ(123)=2.
+        let ys = [conj(&[1, 2]), conj(&[1, 3]), conj(&[2, 3])];
+        let lat = MobiusLattice::build(&ys);
+        assert_eq!(lat.elements.len(), 5);
+        assert_eq!(lat.element(&set(&[])).unwrap().mobius, Integer::one());
+        for i in 0..3 {
+            assert_eq!(
+                lat.element(&set(&[i])).unwrap().mobius,
+                Integer::from(-1i64)
+            );
+        }
+        assert_eq!(
+            lat.element(&set(&[0, 1, 2])).unwrap().mobius,
+            Integer::from(2i64)
+        );
+        // Pairwise conjunctions all close to {0,1,2}: no 2-element closed sets.
+        assert!(lat.element(&set(&[0, 1])).is_none());
+    }
+
+    #[test]
+    fn example_c7_second() {
+        // Y1 = Z1Z2, Y2 = Z2Z3, Y3 = Z3Z4:
+        // L̂ = {∅,1,2,3,12,23,123}; µ(123) = 0, so support drops it.
+        let ys = [conj(&[1, 2]), conj(&[2, 3]), conj(&[3, 4])];
+        let lat = MobiusLattice::build(&ys);
+        assert_eq!(lat.elements.len(), 7);
+        assert_eq!(lat.element(&set(&[0, 1])).unwrap().mobius, Integer::one());
+        assert_eq!(lat.element(&set(&[1, 2])).unwrap().mobius, Integer::one());
+        // {0,2} closes to {0,1,2}? No: Z1Z2 ∧ Z3Z4 does not imply Z2Z3...
+        // actually it does: Z1Z2Z3Z4 ⇒ Z2Z3. So {0,2} closes to {0,1,2}.
+        assert!(lat.element(&set(&[0, 2])).is_none());
+        assert_eq!(
+            lat.element(&set(&[0, 1, 2])).unwrap().mobius,
+            Integer::zero()
+        );
+        let support_sets: Vec<BTreeSet<usize>> = lat
+            .support()
+            .into_iter()
+            .map(|e| e.set.clone())
+            .collect();
+        assert_eq!(support_sets.len(), 6);
+        assert!(!support_sets.contains(&set(&[0, 1, 2])));
+    }
+
+    #[test]
+    fn mobius_sums_to_zero_below_top() {
+        // In any lattice with ≥ 2 elements, Σ_α µ(α) over all closed α = 0
+        // (definition unrolled at the bottom element).
+        let ys = [conj(&[1, 2]), conj(&[2, 3]), conj(&[3, 4])];
+        let lat = MobiusLattice::build(&ys);
+        let bottom = lat.elements.last().unwrap();
+        let total: Integer = lat
+            .elements
+            .iter()
+            .filter(|e| e.set.is_subset(&bottom.set))
+            .fold(Integer::zero(), |acc, e| acc + &e.mobius);
+        assert!(total.is_zero());
+    }
+
+    #[test]
+    fn singleton_lattice() {
+        let ys = [conj(&[1])];
+        let lat = MobiusLattice::build(&ys);
+        assert_eq!(lat.elements.len(), 2);
+        assert_eq!(lat.strict_support().len(), 1);
+        assert_eq!(
+            lat.element(&set(&[0])).unwrap().mobius,
+            Integer::from(-1i64)
+        );
+    }
+
+    #[test]
+    fn duplicate_formulas_collapse() {
+        let ys = [conj(&[1]), conj(&[1])];
+        let lat = MobiusLattice::build(&ys);
+        // {} and {0,1} are the only closed sets ({0} closes to {0,1}).
+        assert_eq!(lat.elements.len(), 2);
+    }
+}

@@ -1,0 +1,106 @@
+//! # gfomc-query
+//!
+//! Bipartite ∀CNF queries — the duals of UCQs studied by Kenig & Suciu
+//! (PODS 2021, Definition 2.3):
+//!
+//! * [`atom`] — the sorted vocabulary `R(x)`, `T(y)`, `S_i(x,y)`;
+//! * [`clause`] — universally quantified clauses with homomorphisms, core
+//!   minimization, and the Left/Middle/Right Type I/II shape taxonomy;
+//! * [`query`] — whole queries with redundancy removal, the `Q[S := 0/1]`
+//!   rewritings of Lemma 2.7, the `G_i`/`H_j` DNF decompositions of
+//!   Eqs. (47)–(49), and a catalog of queries from the paper;
+//! * [`lattice`] — the CNF lattice with Möbius function of Definition C.6,
+//!   reproducing Example C.7.
+
+pub mod atom;
+pub mod clause;
+pub mod lattice;
+pub mod parser;
+pub mod query;
+
+pub use atom::{Atom, CVar, Pred};
+pub use clause::{Clause, ClauseShape};
+pub use lattice::{cnf_implies, LatticeElement, MobiusLattice};
+pub use parser::{parse_clause, parse_query, ParseError};
+pub use query::{catalog, BipartiteQuery, PartType, QueryType};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    /// Random middle/left/right clauses over up to 5 binary symbols.
+    fn arb_clause() -> impl Strategy<Value = Clause> {
+        let arb_j = proptest::collection::btree_set(0u32..5, 1..4);
+        prop_oneof![
+            arb_j.clone().prop_map(Clause::middle),
+            arb_j.clone().prop_map(Clause::left_i),
+            arb_j.clone().prop_map(Clause::right_i),
+            (arb_j.clone(), arb_j.clone()).prop_map(|(a, b)| {
+                let a: Vec<u32> = a.into_iter().collect();
+                let b: Vec<u32> = b.into_iter().collect();
+                Clause::left_ii(&[&a, &b])
+            }),
+        ]
+    }
+
+    fn arb_query() -> impl Strategy<Value = BipartiteQuery> {
+        proptest::collection::vec(arb_clause(), 1..4).prop_map(BipartiteQuery::new)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn construction_is_idempotent(q in arb_query()) {
+            let q2 = BipartiteQuery::new(q.clauses().iter().cloned());
+            prop_assert_eq!(q2, q);
+        }
+
+        #[test]
+        fn clause_minimization_idempotent(c in arb_clause()) {
+            let m = c.minimize();
+            prop_assert_eq!(m.minimize(), m);
+        }
+
+        #[test]
+        fn homomorphism_is_reflexive_and_transitive(
+            a in arb_clause(), b in arb_clause(), c in arb_clause()
+        ) {
+            prop_assert!(a.homomorphism_to(&a).is_some());
+            if a.homomorphism_to(&b).is_some() && b.homomorphism_to(&c).is_some() {
+                prop_assert!(a.homomorphism_to(&c).is_some());
+            }
+        }
+
+        #[test]
+        fn set_symbol_removes_symbol(q in arb_query(), s in 0u32..5, v in any::<bool>()) {
+            let q2 = q.set_symbol(Pred::S(s), v);
+            prop_assert!(!q2.symbols().contains(&Pred::S(s)));
+        }
+
+        #[test]
+        fn set_symbol_commutes(q in arb_query(), s1 in 0u32..5, s2 in 0u32..5, v1 in any::<bool>(), v2 in any::<bool>()) {
+            prop_assume!(s1 != s2);
+            let a = q.set_symbol(Pred::S(s1), v1).set_symbol(Pred::S(s2), v2);
+            let b = q.set_symbol(Pred::S(s2), v2).set_symbol(Pred::S(s1), v1);
+            prop_assert_eq!(a, b);
+        }
+
+        #[test]
+        fn display_parse_roundtrip(q in arb_query()) {
+            prop_assume!(!q.is_true() && !q.is_false());
+            let text = q.to_string();
+            let back = parse_query(&text).unwrap();
+            prop_assert_eq!(back, q);
+        }
+
+        #[test]
+        fn symbols_union_of_clause_symbols(q in arb_query()) {
+            let direct: BTreeSet<Pred> =
+                q.clauses().iter().flat_map(|c| c.symbols()).collect();
+            prop_assert_eq!(q.symbols(), direct);
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Final queries (Definition 2.8) and the simplification order of Lemma 2.7.
+//!
+//! A bipartite unsafe query `Q` is **final** if for *every* symbol `S` of
+//! `Q`, both rewritings `Q[S := 0]` and `Q[S := 1]` are safe — i.e. no
+//! further hardness-preserving simplification is possible. Final queries are
+//! the irreducible targets of the paper's hardness proofs (Theorem 2.9).
+
+use crate::paths::{is_safe, is_unsafe, query_length};
+use gfomc_query::{BipartiteQuery, PartType, Pred, QueryType};
+
+/// True iff `q` is unsafe and every single-symbol 0/1 rewriting is safe
+/// (Definition 2.8).
+pub fn is_final(q: &BipartiteQuery) -> bool {
+    if !is_unsafe(q) {
+        return false;
+    }
+    q.symbols().into_iter().all(|p| {
+        is_safe(&q.set_symbol(p, false)) && is_safe(&q.set_symbol(p, true))
+    })
+}
+
+/// Greedily simplifies an unsafe query towards a final one: repeatedly
+/// applies `Q[S := 0]` or `Q[S := 1]` while the result stays unsafe
+/// (each step is hardness-preserving by Lemma 2.7). Returns the reached
+/// query together with the rewriting trace.
+pub fn simplify_to_final(q: &BipartiteQuery) -> (BipartiteQuery, Vec<(Pred, bool)>) {
+    assert!(is_unsafe(q), "only unsafe queries can be simplified to final");
+    let mut cur = q.clone();
+    let mut trace = Vec::new();
+    'outer: loop {
+        for p in cur.symbols() {
+            for value in [false, true] {
+                let candidate = cur.set_symbol(p, value);
+                if is_unsafe(&candidate) {
+                    trace.push((p, value));
+                    cur = candidate;
+                    continue 'outer;
+                }
+            }
+        }
+        return (cur, trace);
+    }
+}
+
+/// Full classification report for a query — the observable side of the
+/// dichotomy (Theorems 2.1/2.2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Classification {
+    /// Safe ⇒ `PQE(Q)` and `GFOMC(Q)` are in PTIME; unsafe ⇒ both #P-hard.
+    pub safe: bool,
+    /// The minimal left-right path length, for unsafe queries.
+    pub length: Option<usize>,
+    /// Whether no 0/1 symbol rewriting preserves unsafety.
+    pub is_final: bool,
+    /// The `A–B` type (Definition 2.3), when the query is of bipartite shape
+    /// with both left and right clauses.
+    pub query_type: Option<QueryType>,
+}
+
+/// Classifies a query.
+pub fn classify(q: &BipartiteQuery) -> Classification {
+    let safe = is_safe(q);
+    Classification {
+        safe,
+        length: query_length(q),
+        is_final: !safe && is_final(q),
+        query_type: q.query_type(),
+    }
+}
+
+/// Convenience: true iff `q` is a final query of Type I–I (the hypothesis of
+/// Theorem 2.9 (1), which proves `FOMC(Q)` #P-hard).
+pub fn is_final_type_i(q: &BipartiteQuery) -> bool {
+    is_final(q)
+        && matches!(
+            q.query_type(),
+            Some(QueryType { left: PartType::I, right: PartType::I })
+        )
+}
+
+/// Convenience: true iff `q` is a final query of Type II–II (the hypothesis
+/// of Theorem 2.9 (2)).
+pub fn is_final_type_ii(q: &BipartiteQuery) -> bool {
+    is_final(q)
+        && matches!(
+            q.query_type(),
+            Some(QueryType { left: PartType::II, right: PartType::II })
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfomc_query::{catalog, Clause};
+
+    #[test]
+    fn h1_is_final_type_i() {
+        assert!(is_final_type_i(&catalog::h1()));
+    }
+
+    #[test]
+    fn hk_chains_are_final() {
+        for k in 1..=4 {
+            assert!(is_final(&catalog::hk(k)), "h{k}");
+        }
+    }
+
+    #[test]
+    fn type_i_wide_is_not_final_but_simplifies() {
+        // S1 := 0 keeps the left-right path (R∨S0)(S0∨S2)(S2∨T) alive, so
+        // the wide query is not final; greedy simplification reaches a
+        // final query.
+        let q = catalog::type_i_wide();
+        assert!(crate::paths::is_unsafe(&q));
+        assert!(!is_final(&q));
+        let (f, _) = simplify_to_final(&q);
+        assert!(is_final(&f));
+    }
+
+    #[test]
+    fn safe_queries_are_not_final() {
+        for (name, q) in catalog::safe_catalog() {
+            assert!(!is_final(&q), "{name}");
+        }
+    }
+
+    #[test]
+    fn non_final_unsafe_query() {
+        // (R∨S0) ∧ (S0∨T) ∧ (S1∨S2): the extra middle clause on fresh
+        // symbols can be simplified away (S1 := 1 keeps unsafety).
+        let q = gfomc_query::BipartiteQuery::new([
+            Clause::left_i([0]),
+            Clause::right_i([0]),
+            Clause::middle([1, 2]),
+        ]);
+        assert!(crate::paths::is_unsafe(&q));
+        assert!(!is_final(&q));
+        let (final_q, trace) = simplify_to_final(&q);
+        assert!(is_final(&final_q));
+        assert!(!trace.is_empty());
+        assert_eq!(final_q, catalog::h1());
+    }
+
+    #[test]
+    fn type_ii_examples_are_final() {
+        // Both C.9 and C.15 are final Type-II queries; they differ in
+        // *forbiddenness* (Definition C.11), not finality — C.9 is
+        // simplified by shattering, C.15 by the Appendix C machinery.
+        assert!(is_final_type_ii(&catalog::example_c9()));
+        assert!(is_final_type_ii(&catalog::example_c15()));
+    }
+
+    #[test]
+    fn classification_report_fields() {
+        let c = classify(&catalog::h1());
+        assert!(!c.safe);
+        assert_eq!(c.length, Some(1));
+        assert!(c.is_final);
+        assert!(c.query_type.is_some());
+        let s = classify(&catalog::safe_no_right());
+        assert!(s.safe);
+        assert_eq!(s.length, None);
+        assert!(!s.is_final);
+    }
+
+    #[test]
+    fn simplify_is_idempotent_on_final() {
+        let q = catalog::h1();
+        let (f, trace) = simplify_to_final(&q);
+        assert_eq!(f, q);
+        assert!(trace.is_empty());
+    }
+
+    #[test]
+    fn braided_query_finality() {
+        // type_i_braided: check the classifier runs and the verdict is
+        // consistent with a manual scan of all rewritings.
+        let q = catalog::type_i_braided();
+        let verdict = is_final(&q);
+        let manual = q.symbols().into_iter().all(|p| {
+            crate::paths::is_safe(&q.set_symbol(p, false))
+                && crate::paths::is_safe(&q.set_symbol(p, true))
+        });
+        assert_eq!(verdict, manual);
+    }
+}

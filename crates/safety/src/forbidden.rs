@@ -1,0 +1,242 @@
+//! Forbidden Type-II queries (Definition C.11) and ubiquitous symbols.
+//!
+//! A binary symbol is *left-ubiquitous* if it occurs in every subclause of
+//! every left clause (symmetrically on the right). A final Type-II query is
+//! **forbidden** if on every minimal-length left-right path `C₀, …, C_k`,
+//! every symbol of `C₀` is left-ubiquitous or occurs in `C₁`, and every
+//! symbol of `C_k` is right-ubiquitous or occurs in `C_{k−1}`. Forbidden
+//! queries are the targets of the Appendix C hardness proof; non-forbidden
+//! final queries are first simplified by shattering
+//! (`gfomc_core::shattering`).
+
+use crate::finality::is_final_type_ii;
+use crate::paths::{clause_role, query_length};
+use gfomc_query::{BipartiteQuery, ClauseShape, Pred};
+use std::collections::BTreeSet;
+
+/// The left-ubiquitous binary symbols: those in every subclause of every
+/// left clause. Empty if there are no left clauses.
+pub fn left_ubiquitous_symbols(q: &BipartiteQuery) -> BTreeSet<u32> {
+    intersect_subclauses(q, true)
+}
+
+/// The right-ubiquitous binary symbols.
+pub fn right_ubiquitous_symbols(q: &BipartiteQuery) -> BTreeSet<u32> {
+    intersect_subclauses(q, false)
+}
+
+fn intersect_subclauses(q: &BipartiteQuery, left: bool) -> BTreeSet<u32> {
+    let mut result: Option<BTreeSet<u32>> = None;
+    for c in q.clauses() {
+        let subclauses: Vec<BTreeSet<u32>> = match (c.shape(), left) {
+            (ClauseShape::LeftI(j), true) | (ClauseShape::RightI(j), false) => vec![j],
+            (ClauseShape::LeftII(subs), true)
+            | (ClauseShape::RightII(subs), false) => subs,
+            _ => continue,
+        };
+        for j in subclauses {
+            result = Some(match result {
+                None => j,
+                Some(acc) => acc.intersection(&j).copied().collect(),
+            });
+        }
+    }
+    result.unwrap_or_default()
+}
+
+/// Enumerates all minimal-length left-right paths (as clause index
+/// sequences). The clause graph is small, so plain DFS over the BFS layer
+/// structure suffices.
+pub fn all_minimal_left_right_paths(q: &BipartiteQuery) -> Vec<Vec<usize>> {
+    let Some(k) = query_length(q) else {
+        return Vec::new();
+    };
+    let clauses = q.clauses();
+    let n = clauses.len();
+    let shares = |i: usize, j: usize| -> bool {
+        let si = clauses[i].symbols();
+        clauses[j].symbols().iter().any(|p| si.contains(p))
+    };
+    let mut paths = Vec::new();
+    let mut stack: Vec<usize> = Vec::new();
+    fn dfs(
+        cur: usize,
+        remaining: usize,
+        n: usize,
+        shares: &dyn Fn(usize, usize) -> bool,
+        rightish: &dyn Fn(usize) -> bool,
+        stack: &mut Vec<usize>,
+        paths: &mut Vec<Vec<usize>>,
+    ) {
+        if remaining == 0 {
+            if rightish(cur) {
+                paths.push(stack.clone());
+            }
+            return;
+        }
+        for next in 0..n {
+            if !stack.contains(&next) && shares(cur, next) {
+                stack.push(next);
+                dfs(next, remaining - 1, n, shares, rightish, stack, paths);
+                stack.pop();
+            }
+        }
+    }
+    let rightish = |i: usize| clause_role(&clauses[i]).rightish;
+    for start in 0..n {
+        if clause_role(&clauses[start]).leftish {
+            stack.push(start);
+            dfs(start, k, n, &shares, &rightish, &mut stack, &mut paths);
+            stack.pop();
+        }
+    }
+    paths
+}
+
+/// True iff `q` is a forbidden Type-II query (Definition C.11).
+pub fn is_forbidden_type_ii(q: &BipartiteQuery) -> bool {
+    if !is_final_type_ii(q) {
+        return false;
+    }
+    let left_ubiq = left_ubiquitous_symbols(q);
+    let right_ubiq = right_ubiquitous_symbols(q);
+    let clauses = q.clauses();
+    let binary = |c: usize| -> BTreeSet<u32> {
+        clauses[c]
+            .symbols()
+            .into_iter()
+            .filter_map(|p| match p {
+                Pred::S(i) => Some(i),
+                _ => None,
+            })
+            .collect()
+    };
+    for path in all_minimal_left_right_paths(q) {
+        let c0 = path[0];
+        let ck = *path.last().unwrap();
+        if path.len() >= 2 {
+            let c1 = path[1];
+            let ck1 = path[path.len() - 2];
+            let c1_syms = binary(c1);
+            if !binary(c0)
+                .iter()
+                .all(|s| left_ubiq.contains(s) || c1_syms.contains(s))
+            {
+                return false;
+            }
+            let ck1_syms = binary(ck1);
+            if !binary(ck)
+                .iter()
+                .all(|s| right_ubiq.contains(s) || ck1_syms.contains(s))
+            {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfomc_query::{catalog, Clause};
+
+    #[test]
+    fn c15_is_forbidden() {
+        let q = catalog::example_c15();
+        assert_eq!(left_ubiquitous_symbols(&q), [0u32].into());
+        assert_eq!(right_ubiquitous_symbols(&q), [5u32].into());
+        assert!(is_forbidden_type_ii(&q));
+    }
+
+    #[test]
+    fn c9_is_final_but_not_forbidden() {
+        // C.9 is final, but S1 is neither ubiquitous nor in C1, so the
+        // Definition C.11 condition fails — shattering applies instead.
+        let q = catalog::example_c9();
+        assert!(crate::finality::is_final_type_ii(&q));
+        assert!(left_ubiquitous_symbols(&q).is_empty());
+        assert!(!is_forbidden_type_ii(&q));
+    }
+
+    #[test]
+    fn type_i_queries_are_not_forbidden_type_ii() {
+        assert!(!is_forbidden_type_ii(&catalog::h1()));
+    }
+
+    #[test]
+    fn minimal_paths_enumeration() {
+        let q = catalog::example_c15();
+        let paths = all_minimal_left_right_paths(&q);
+        assert!(!paths.is_empty());
+        let k = query_length(&q).unwrap();
+        for p in &paths {
+            assert_eq!(p.len(), k + 1);
+        }
+    }
+
+    #[test]
+    fn ubiquitous_requires_every_subclause() {
+        // ∀x(∀y(S0∨S1) ∨ ∀yS2): S0 occurs in one subclause only.
+        let q = gfomc_query::BipartiteQuery::new([
+            Clause::left_ii(&[&[0, 1], &[2]]),
+            Clause::right_i([3]),
+        ]);
+        assert!(left_ubiquitous_symbols(&q).is_empty());
+        // Adding S0 to both subclauses makes it ubiquitous.
+        let q2 = gfomc_query::BipartiteQuery::new([
+            Clause::left_ii(&[&[0, 1], &[0, 2]]),
+            Clause::right_i([3]),
+        ]);
+        assert_eq!(left_ubiquitous_symbols(&q2), [0u32].into());
+    }
+
+    #[test]
+    fn lemma_c12_no_ubiquitous_symbol_in_c1() {
+        // Lemma C.12 (2): on a minimal left-right path of a forbidden query,
+        // no ubiquitous symbol occurs in C1 (resp. C_{k-1} on the right).
+        let q = catalog::example_c15();
+        let ubiq_l = left_ubiquitous_symbols(&q);
+        let ubiq_r = right_ubiquitous_symbols(&q);
+        let clauses = q.clauses();
+        for path in all_minimal_left_right_paths(&q) {
+            let c1 = &clauses[path[1]];
+            for s in &ubiq_l {
+                assert!(
+                    !c1.mentions(gfomc_query::Pred::S(*s)),
+                    "ubiquitous S{s} occurs in C1"
+                );
+            }
+            let ck1 = &clauses[path[path.len() - 2]];
+            for s in &ubiq_r {
+                assert!(!ck1.mentions(gfomc_query::Pred::S(*s)));
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_c12_item4_multiple_ubiquitous_in_middle_clauses() {
+        // Lemma C.12 (4): with more than one left-ubiquitous symbol, each
+        // occurs in some middle clause — Example C.18's configuration.
+        let q = catalog::example_c18();
+        let ubiq = left_ubiquitous_symbols(&q);
+        assert!(ubiq.len() > 1);
+        for s in ubiq {
+            let in_middle = q
+                .middle_clauses()
+                .iter()
+                .any(|c| c.mentions(gfomc_query::Pred::S(s)));
+            assert!(in_middle, "ubiquitous S{s} not in any middle clause");
+        }
+    }
+
+    #[test]
+    fn example_c18_classification() {
+        // Example C.18: two left-ubiquitous symbols, both in middle clauses.
+        let q = catalog::example_c18();
+        assert_eq!(left_ubiquitous_symbols(&q), [0u32, 1].into());
+        // The paper argues no simplification keeps it unsafe: it is final.
+        assert!(crate::paths::is_unsafe(&q));
+        assert!(crate::finality::is_final(&q), "C.18 should be final");
+    }
+}

@@ -1,0 +1,113 @@
+//! # gfomc-safety
+//!
+//! The static-analysis side of the Dalvi–Suciu/Kenig–Suciu dichotomy for
+//! bipartite ∀CNF queries:
+//!
+//! * [`paths`] — left-right paths, safe/unsafe classification, and query
+//!   *length* (Definition 2.4);
+//! * [`finality`] — final queries (Definition 2.8), the hardness-preserving
+//!   simplification order of Lemma 2.7, and Type I/II classification;
+//! * [`forbidden`] — forbidden Type-II queries (Definition C.11):
+//!   ubiquitous symbols and the minimal-path symbol condition;
+//! * [`lifted`] — the PTIME lifted evaluator for safe queries (the easy side
+//!   of Theorem 2.1): independence across symbol components, product over
+//!   the one-sided domain, Shannon + inclusion–exclusion per element.
+
+pub mod finality;
+pub mod forbidden;
+pub mod lifted;
+pub mod paths;
+
+pub use finality::{
+    classify, is_final, is_final_type_i, is_final_type_ii, simplify_to_final,
+    Classification,
+};
+pub use forbidden::{
+    all_minimal_left_right_paths, is_forbidden_type_ii, left_ubiquitous_symbols,
+    right_ubiquitous_symbols,
+};
+pub use lifted::{lifted_probability, UnsafeQueryError};
+pub use paths::{
+    clause_role, is_safe, is_unsafe, query_length, shortest_left_right_path,
+    ClauseRole,
+};
+
+#[cfg(test)]
+mod dichotomy_tests {
+    //! Cross-checks tying the two sides of the dichotomy together.
+    use super::*;
+    use gfomc_arith::Rational;
+    use gfomc_query::{catalog, BipartiteQuery, Pred};
+    use gfomc_tid::{probability, Tid, Tuple};
+
+    fn uniform_tid(q: &BipartiteQuery, nu: u32, nv: u32) -> Tid {
+        let left: Vec<u32> = (0..nu).collect();
+        let right: Vec<u32> = (100..100 + nv).collect();
+        let mut tid = Tid::all_present(left.clone(), right.clone());
+        for &u in &left {
+            tid.set_prob(Tuple::R(u), Rational::one_half());
+            for &v in &right {
+                for s in q.binary_symbols() {
+                    tid.set_prob(Tuple::S(s, u, v), Rational::one_half());
+                }
+            }
+        }
+        for &v in &right {
+            tid.set_prob(Tuple::T(v), Rational::one_half());
+        }
+        tid
+    }
+
+    #[test]
+    fn lifted_succeeds_exactly_on_safe_queries() {
+        let tidless: Vec<(&str, BipartiteQuery)> = catalog::unsafe_catalog()
+            .into_iter()
+            .chain(catalog::safe_catalog())
+            .collect();
+        for (name, q) in tidless {
+            let tid = uniform_tid(&q, 2, 2);
+            let lifted = lifted_probability(&q, &tid);
+            assert_eq!(lifted.is_ok(), is_safe(&q), "{name}");
+        }
+    }
+
+    #[test]
+    fn every_final_query_becomes_safe_after_any_rewriting() {
+        // Definition 2.8, checked via the classifier on the whole catalog.
+        for (name, q) in catalog::unsafe_catalog() {
+            if is_final(&q) {
+                for p in q.symbols() {
+                    assert!(is_safe(&q.set_symbol(p, false)), "{name}[{p}:=0]");
+                    assert!(is_safe(&q.set_symbol(p, true)), "{name}[{p}:=1]");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rewriting_preserves_probability_oracle_consistency() {
+        // Lemma 2.7 (1) in its observable form: Q[S:=1] evaluated on ∆
+        // equals Q evaluated on ∆ with all S-tuples set to probability 1.
+        let q = catalog::hk(2);
+        let tid = uniform_tid(&q, 2, 2);
+        for s in q.binary_symbols() {
+            for value in [false, true] {
+                let q2 = q.set_symbol(Pred::S(s), value);
+                let mut tid2 = tid.clone();
+                for &u in tid.left_domain() {
+                    for &v in tid.right_domain() {
+                        tid2.set_prob(
+                            Tuple::S(s, u, v),
+                            if value { Rational::one() } else { Rational::zero() },
+                        );
+                    }
+                }
+                assert_eq!(
+                    probability(&q2, &tid),
+                    probability(&q, &tid2),
+                    "S{s} := {value}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Left-right paths and the safe/unsafe dichotomy for bipartite queries
+//! (Definition 2.4).
+//!
+//! A bipartite query is **unsafe** iff some left clause is connected to some
+//! right clause by a sequence of clauses in which consecutive clauses share
+//! a relational symbol; the *length* of the query is the minimal number of
+//! steps `k` over all such paths `C₀, C₁, …, C_k`.
+//!
+//! `H₀ = R(x) ∨ S(x,y) ∨ T(y)` is handled by treating a clause that mentions
+//! both unary symbols as simultaneously left and right (a left-right path of
+//! length 0), consistent with its #P-hardness (Theorem 2.5).
+
+use gfomc_query::{BipartiteQuery, Clause, Pred};
+use std::collections::VecDeque;
+
+/// Role of a clause in path analysis.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ClauseRole {
+    /// Counts as a left endpoint (mentions `R` or is a Type-II left clause).
+    pub leftish: bool,
+    /// Counts as a right endpoint (mentions `T` or is a Type-II right clause).
+    pub rightish: bool,
+}
+
+/// Determines whether a clause can serve as a left and/or right endpoint.
+pub fn clause_role(c: &Clause) -> ClauseRole {
+    let leftish = c.mentions(Pred::R) || c.is_left();
+    let rightish = c.mentions(Pred::T) || c.is_right();
+    ClauseRole { leftish, rightish }
+}
+
+/// Finds the minimal left-right path, returned as clause indices
+/// `[C₀, …, C_k]`; `None` if the query is safe (no such path).
+pub fn shortest_left_right_path(q: &BipartiteQuery) -> Option<Vec<usize>> {
+    let clauses = q.clauses();
+    let roles: Vec<ClauseRole> = clauses.iter().map(clause_role).collect();
+    // BFS from all left-ish clauses simultaneously.
+    let mut prev: Vec<Option<usize>> = vec![None; clauses.len()];
+    let mut dist: Vec<Option<usize>> = vec![None; clauses.len()];
+    let mut queue = VecDeque::new();
+    for (i, role) in roles.iter().enumerate() {
+        if role.leftish {
+            dist[i] = Some(0);
+            queue.push_back(i);
+        }
+    }
+    let shares_symbol = |i: usize, j: usize| -> bool {
+        let si = clauses[i].symbols();
+        clauses[j].symbols().iter().any(|p| si.contains(p))
+    };
+    let mut goal = None;
+    'bfs: while let Some(i) = queue.pop_front() {
+        if roles[i].rightish {
+            goal = Some(i);
+            break 'bfs;
+        }
+        for j in 0..clauses.len() {
+            if dist[j].is_none() && shares_symbol(i, j) {
+                dist[j] = Some(dist[i].unwrap() + 1);
+                prev[j] = Some(i);
+                queue.push_back(j);
+            }
+        }
+    }
+    let goal = goal?;
+    let mut path = vec![goal];
+    let mut cur = goal;
+    while let Some(p) = prev[cur] {
+        path.push(p);
+        cur = p;
+    }
+    path.reverse();
+    Some(path)
+}
+
+/// True iff the query is unsafe per Definition 2.4 (a left-right path
+/// exists). The constants `true`/`false` are safe.
+pub fn is_unsafe(q: &BipartiteQuery) -> bool {
+    if q.is_true() || q.is_false() {
+        return false;
+    }
+    shortest_left_right_path(q).is_some()
+}
+
+/// True iff the query is safe (the complement of [`is_unsafe`]).
+pub fn is_safe(q: &BipartiteQuery) -> bool {
+    !is_unsafe(q)
+}
+
+/// The *length* of an unsafe query: the number of steps in the shortest
+/// left-right path (Definition 2.4). `None` for safe queries.
+pub fn query_length(q: &BipartiteQuery) -> Option<usize> {
+    shortest_left_right_path(q).map(|p| p.len() - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfomc_query::catalog;
+
+    #[test]
+    fn h0_is_unsafe_length_zero() {
+        let q = catalog::h0();
+        assert!(is_unsafe(&q));
+        assert_eq!(query_length(&q), Some(0));
+    }
+
+    #[test]
+    fn h1_is_unsafe_length_one() {
+        assert_eq!(query_length(&catalog::h1()), Some(1));
+    }
+
+    #[test]
+    fn hk_length_matches_k() {
+        for k in 1..=5 {
+            assert_eq!(query_length(&catalog::hk(k)), Some(k), "h{k}");
+        }
+    }
+
+    #[test]
+    fn catalog_safety_labels() {
+        for (name, q) in catalog::unsafe_catalog() {
+            assert!(is_unsafe(&q), "{name} should be unsafe");
+        }
+        for (name, q) in catalog::safe_catalog() {
+            assert!(is_safe(&q), "{name} should be safe");
+        }
+    }
+
+    #[test]
+    fn c9_and_c15_lengths() {
+        assert_eq!(query_length(&catalog::example_c9()), Some(2));
+        assert_eq!(query_length(&catalog::example_c15()), Some(2));
+    }
+
+    #[test]
+    fn constants_are_safe() {
+        assert!(is_safe(&gfomc_query::BipartiteQuery::top()));
+        assert!(is_safe(&gfomc_query::BipartiteQuery::bottom()));
+    }
+
+    #[test]
+    fn path_endpoints_have_roles() {
+        let q = catalog::type_i_braided();
+        let path = shortest_left_right_path(&q).unwrap();
+        let clauses = q.clauses();
+        assert!(clause_role(&clauses[*path.first().unwrap()]).leftish);
+        assert!(clause_role(&clauses[*path.last().unwrap()]).rightish);
+        // Consecutive clauses share a symbol.
+        for w in path.windows(2) {
+            let a = clauses[w[0]].symbols();
+            assert!(clauses[w[1]].symbols().iter().any(|p| a.contains(p)));
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! # gfomc-tid
+//!
+//! Tuple-independent probabilistic databases (TIDs) over the bipartite
+//! vocabulary of Kenig & Suciu (PODS 2021):
+//!
+//! * [`database`] — bipartite domains, tuples, probability maps with 0/1
+//!   defaults, `GFOMC`/`FOMC` instance classification, disjoint unions;
+//! * [`mod@lineage`] — grounding a ∀CNF query into its monotone-CNF lineage
+//!   `Φ_∆(Q)` with deterministic tuples folded in;
+//! * [`evaluate`] — exact `Pr_∆(Q)` (lineage + WMC), possible-world brute
+//!   force, and generalized model counts.
+
+pub mod database;
+pub mod evaluate;
+pub mod lineage;
+
+pub use database::{Tid, Tuple};
+pub use evaluate::{
+    generalized_model_count, probability, probability_brute_force,
+    uncertain_tuple_count,
+};
+pub use lineage::{lineage, Lineage, VarTable};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use gfomc_arith::Rational;
+    use gfomc_query::catalog;
+    use proptest::prelude::*;
+
+    /// Random GFOMC database over a 2×2 domain for a given query: every
+    /// tuple independently gets probability 0, ½, or 1.
+    fn arb_tid_for(q: &gfomc_query::BipartiteQuery) -> impl Strategy<Value = Tid> {
+        let symbols: Vec<u32> = q.binary_symbols().into_iter().collect();
+        let n_tuples = 2 + 2 + symbols.len() * 4; // R×2, T×2, S×4 each
+        proptest::collection::vec(0u8..3, n_tuples).prop_map(move |choices| {
+            let mut tid = Tid::all_present([0, 1], [100, 101]);
+            let mut it = choices.into_iter().map(|c| match c {
+                0 => Rational::zero(),
+                1 => Rational::one_half(),
+                _ => Rational::one(),
+            });
+            for u in [0u32, 1] {
+                tid.set_prob(Tuple::R(u), it.next().unwrap());
+            }
+            for v in [100u32, 101] {
+                tid.set_prob(Tuple::T(v), it.next().unwrap());
+            }
+            for &s in &symbols {
+                for u in [0u32, 1] {
+                    for v in [100u32, 101] {
+                        tid.set_prob(Tuple::S(s, u, v), it.next().unwrap());
+                    }
+                }
+            }
+            tid
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn h1_fast_equals_brute(tid in arb_tid_for(&catalog::h1())) {
+            let q = catalog::h1();
+            prop_assert_eq!(probability(&q, &tid), probability_brute_force(&q, &tid));
+        }
+
+        #[test]
+        fn c9_fast_equals_brute(tid in arb_tid_for(&catalog::example_c9())) {
+            let q = catalog::example_c9();
+            if uncertain_tuple_count(&tid) <= 12 {
+                prop_assert_eq!(probability(&q, &tid), probability_brute_force(&q, &tid));
+            }
+        }
+
+        #[test]
+        fn probabilities_in_range(tid in arb_tid_for(&catalog::hk(2))) {
+            let q = catalog::hk(2);
+            let p = probability(&q, &tid);
+            prop_assert!(p.is_probability());
+        }
+
+        #[test]
+        fn gfomc_instances_recognized(tid in arb_tid_for(&catalog::h1())) {
+            prop_assert!(tid.is_gfomc_instance());
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! Lineage construction: grounding a ∀CNF query over a TID.
+//!
+//! The lineage `Φ_∆(Q)` (§2, footnote 4) is the monotone CNF obtained by
+//! grounding every clause of `Q` over the database domain, one propositional
+//! variable per ground tuple. Deterministic tuples are folded in during
+//! grounding: a probability-1 tuple satisfies its ground clause outright, a
+//! probability-0 tuple disappears from it.
+
+use crate::database::{Tid, Tuple};
+use gfomc_arith::Rational;
+use gfomc_logic::{Clause as PropClause, Cnf, Var};
+use gfomc_query::{Atom, BipartiteQuery, CVar, Clause};
+use std::collections::HashMap;
+
+/// Bidirectional mapping between ground tuples and propositional variables,
+/// carrying the tuple probabilities as WMC weights.
+#[derive(Clone, Debug, Default)]
+pub struct VarTable {
+    tuples: Vec<Tuple>,
+    index: HashMap<Tuple, Var>,
+    weights: HashMap<Var, Rational>,
+}
+
+impl VarTable {
+    /// Interns a tuple, assigning it the next variable id.
+    pub fn var_for(&mut self, t: Tuple, prob: &Rational) -> Var {
+        if let Some(&v) = self.index.get(&t) {
+            return v;
+        }
+        let v = Var(self.tuples.len() as u32);
+        self.tuples.push(t);
+        self.index.insert(t, v);
+        self.weights.insert(v, prob.clone());
+        v
+    }
+
+    /// Looks up the variable of a tuple, if interned.
+    pub fn lookup(&self, t: &Tuple) -> Option<Var> {
+        self.index.get(t).copied()
+    }
+
+    /// The tuple of a variable.
+    pub fn tuple_of(&self, v: Var) -> Tuple {
+        self.tuples[v.0 as usize]
+    }
+
+    /// The weight map for the WMC engine.
+    pub fn weights(&self) -> &HashMap<Var, Rational> {
+        &self.weights
+    }
+
+    /// Number of interned tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True iff no tuples are interned.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+}
+
+/// The lineage of a query over a TID, together with the variable table.
+#[derive(Clone, Debug)]
+pub struct Lineage {
+    /// The ground CNF `Φ_∆(Q)`.
+    pub cnf: Cnf,
+    /// Tuple ↔ variable mapping with probabilities.
+    pub vars: VarTable,
+}
+
+/// Computes the lineage `Φ_∆(Q)`.
+///
+/// Probability-1 tuples are *not* interned (their ground clauses are
+/// satisfied or the atom is constant-true only if it satisfies the clause —
+/// a true disjunct makes the whole ground clause true); probability-0 tuples
+/// are dropped from their clauses. The resulting CNF thus mentions only
+/// tuples with probability in `(0, 1)`.
+pub fn lineage(q: &BipartiteQuery, tid: &Tid) -> Lineage {
+    let mut vars = VarTable::default();
+    if q.is_false() {
+        return Lineage { cnf: Cnf::bottom(), vars };
+    }
+    let mut clauses: Vec<PropClause> = Vec::new();
+    for clause in q.clauses() {
+        ground_clause(clause, tid, &mut vars, &mut clauses);
+        // Early exit: a false ground clause makes the lineage false.
+        if clauses.iter().any(|c| c.is_empty()) {
+            return Lineage { cnf: Cnf::bottom(), vars };
+        }
+    }
+    Lineage { cnf: Cnf::new(clauses), vars }
+}
+
+/// Grounds one query clause over all assignments of its sorted variables.
+fn ground_clause(
+    clause: &Clause,
+    tid: &Tid,
+    vars: &mut VarTable,
+    out: &mut Vec<PropClause>,
+) {
+    let xs: Vec<CVar> = clause.vars().into_iter().filter(CVar::is_x).collect();
+    let ys: Vec<CVar> = clause.vars().into_iter().filter(CVar::is_y).collect();
+    let u = tid.left_domain();
+    let v = tid.right_domain();
+    // With an empty domain on a quantified sort, the universal clause is
+    // vacuously true: no groundings.
+    if (!xs.is_empty() && u.is_empty()) || (!ys.is_empty() && v.is_empty()) {
+        return;
+    }
+    // Iterate over all |U|^|xs| × |V|^|ys| assignments.
+    let mut x_assign = vec![0usize; xs.len()];
+    loop {
+        let mut y_assign = vec![0usize; ys.len()];
+        loop {
+            ground_one(clause, tid, &xs, &x_assign, &ys, &y_assign, u, v, vars, out);
+            if !increment(&mut y_assign, v.len()) {
+                break;
+            }
+        }
+        if !increment(&mut x_assign, u.len()) {
+            break;
+        }
+    }
+}
+
+/// Advances a mixed-radix counter; false when it wraps to all-zero.
+fn increment(digits: &mut [usize], radix: usize) -> bool {
+    if radix == 0 {
+        return false;
+    }
+    for d in digits.iter_mut() {
+        *d += 1;
+        if *d < radix {
+            return true;
+        }
+        *d = 0;
+    }
+    false
+}
+
+#[allow(clippy::too_many_arguments)]
+fn ground_one(
+    clause: &Clause,
+    tid: &Tid,
+    xs: &[CVar],
+    x_assign: &[usize],
+    ys: &[CVar],
+    y_assign: &[usize],
+    u: &[u32],
+    v: &[u32],
+    vars: &mut VarTable,
+    out: &mut Vec<PropClause>,
+) {
+    let lookup = |cv: CVar| -> u32 {
+        match cv {
+            CVar::X(_) => {
+                let i = xs.iter().position(|&w| w == cv).unwrap();
+                u[x_assign[i]]
+            }
+            CVar::Y(_) => {
+                let i = ys.iter().position(|&w| w == cv).unwrap();
+                v[y_assign[i]]
+            }
+        }
+    };
+    let mut lits: Vec<Var> = Vec::with_capacity(clause.atoms().len());
+    for atom in clause.atoms() {
+        let tuple = match *atom {
+            Atom::R(x) => Tuple::R(lookup(x)),
+            Atom::T(y) => Tuple::T(lookup(y)),
+            Atom::S(i, x, y) => Tuple::S(i, lookup(x), lookup(y)),
+        };
+        let p = tid.prob(&tuple);
+        if p.is_one() {
+            // A certain disjunct: the whole ground clause is satisfied.
+            return;
+        }
+        if p.is_zero() {
+            // An impossible disjunct: drop it.
+            continue;
+        }
+        lits.push(vars.var_for(tuple, &p));
+    }
+    out.push(PropClause::new(lits));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfomc_arith::Rational;
+    use gfomc_query::catalog;
+
+    fn half() -> Rational {
+        Rational::one_half()
+    }
+
+    /// The standard small database: U = {0,1}, V = {10}, all tuples at ½.
+    fn small_tid(q: &BipartiteQuery) -> Tid {
+        let mut tid = Tid::all_present([0, 1], [10]);
+        for u in [0u32, 1] {
+            tid.set_prob(Tuple::R(u), half());
+            for s in q.binary_symbols() {
+                tid.set_prob(Tuple::S(s, u, 10), half());
+            }
+        }
+        tid.set_prob(Tuple::T(10), half());
+        tid
+    }
+
+    #[test]
+    fn h1_lineage_shape() {
+        // H1 = (R∨S0)(S0∨T) over U={0,1}, V={10}: 4 ground clauses.
+        let q = catalog::h1();
+        let tid = small_tid(&q);
+        let lin = lineage(&q, &tid);
+        assert_eq!(lin.cnf.len(), 4);
+        // Variables: R(0), R(1), S0(0,10), S0(1,10), T(10) = 5.
+        assert_eq!(lin.vars.len(), 5);
+    }
+
+    #[test]
+    fn prob_one_tuples_satisfy_clauses() {
+        let q = catalog::h1();
+        let mut tid = small_tid(&q);
+        tid.set_prob(Tuple::S(0, 0, 10), Rational::one());
+        let lin = lineage(&q, &tid);
+        // Clauses touching S0(0,10) are gone: only the x=1 groundings remain.
+        assert_eq!(lin.cnf.len(), 2);
+    }
+
+    #[test]
+    fn prob_zero_tuples_drop_from_clauses() {
+        let q = catalog::h1();
+        let mut tid = small_tid(&q);
+        tid.set_prob(Tuple::S(0, 0, 10), Rational::zero());
+        let lin = lineage(&q, &tid);
+        // Ground clause (R(0) ∨ S0(0,10)) became unit R(0).
+        assert!(lin
+            .cnf
+            .clauses()
+            .iter()
+            .any(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn all_zero_middle_clause_gives_false() {
+        let q = BipartiteQuery::new([gfomc_query::Clause::middle([0])]);
+        let mut tid = Tid::all_present([0], [10]);
+        tid.set_prob(Tuple::S(0, 0, 10), Rational::zero());
+        let lin = lineage(&q, &tid);
+        assert!(lin.cnf.is_false());
+    }
+
+    #[test]
+    fn false_query_has_false_lineage() {
+        let tid = Tid::all_present([0], [10]);
+        let lin = lineage(&BipartiteQuery::bottom(), &tid);
+        assert!(lin.cnf.is_false());
+    }
+
+    #[test]
+    fn true_query_has_true_lineage() {
+        let tid = Tid::all_present([0], [10]);
+        let lin = lineage(&BipartiteQuery::top(), &tid);
+        assert!(lin.cnf.is_true());
+    }
+
+    #[test]
+    fn type_ii_clause_grounds_over_y_pairs() {
+        // ∀x (∀y S0 ∨ ∀y S1) over U={0}, V={10,11}: prenex has y0,y1, so
+        // 4 ground clauses (some may be subsumed after minimization).
+        let q = catalog::example_c9();
+        let mut tid = Tid::all_present([0], [10, 11]);
+        for s in q.binary_symbols() {
+            for v in [10u32, 11] {
+                tid.set_prob(Tuple::S(s, 0, v), half());
+            }
+        }
+        let lin = lineage(&q, &tid);
+        assert!(!lin.cnf.is_false());
+        assert!(!lin.cnf.is_true());
+        // S0(0,10)∨S1(0,10), S0(0,10)∨S1(0,11), S0(0,11)∨S1(0,10),
+        // S0(0,11)∨S1(0,11) from the left clause, plus middle and right.
+        assert!(lin.cnf.len() >= 4);
+    }
+
+    #[test]
+    fn var_table_roundtrip() {
+        let q = catalog::h1();
+        let tid = small_tid(&q);
+        let lin = lineage(&q, &tid);
+        for v in lin.cnf.vars() {
+            let t = lin.vars.tuple_of(v);
+            assert_eq!(lin.vars.lookup(&t), Some(v));
+            assert_eq!(lin.vars.weights()[&v], tid.prob(&t));
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Cross-crate integration tests for the dichotomy: static classification,
+//! the lifted PTIME evaluator, and the exact WMC engine must tell one
+//! consistent story on randomized databases.
+
+use gfomc::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random GFOMC database (probabilities in {0, ½, 1}) for a query over
+/// `nu × nv` with the given zero/one bias.
+fn random_gfomc_db(
+    q: &BipartiteQuery,
+    nu: u32,
+    nv: u32,
+    rng: &mut StdRng,
+) -> Tid {
+    let left: Vec<u32> = (0..nu).collect();
+    let right: Vec<u32> = (500..500 + nv).collect();
+    let mut tid = Tid::all_present(left.clone(), right.clone());
+    let pick = |rng: &mut StdRng| match rng.gen_range(0..4) {
+        0 => Rational::zero(),
+        1 => Rational::one(),
+        _ => Rational::one_half(),
+    };
+    for &u in &left {
+        let p = pick(rng);
+        tid.set_prob(Tuple::R(u), p);
+        for &v in &right {
+            for s in q.binary_symbols() {
+                let p = pick(rng);
+                tid.set_prob(Tuple::S(s, u, v), p);
+            }
+        }
+    }
+    for &v in &right {
+        let p = pick(rng);
+        tid.set_prob(Tuple::T(v), p);
+    }
+    tid
+}
+
+#[test]
+fn classification_is_stable_under_catalog() {
+    // The published classification of every catalog query.
+    let expectations = [
+        ("h0", false, Some(0)),
+        ("h1", false, Some(1)),
+        ("h2", false, Some(2)),
+        ("h3", false, Some(3)),
+        ("type_i_wide", false, Some(2)),
+        ("type_i_braided", false, Some(1)),
+        ("example_c9", false, Some(2)),
+        ("example_c15", false, Some(2)),
+        ("example_a3", false, Some(2)),
+        ("example_c18", false, Some(2)),
+    ];
+    let cat = catalog::unsafe_catalog();
+    for (name, safe, length) in expectations {
+        let q = &cat.iter().find(|(n, _)| *n == name).unwrap().1;
+        let c = classify(q);
+        assert_eq!(c.safe, safe, "{name}");
+        assert_eq!(c.length, length, "{name}");
+    }
+}
+
+#[test]
+fn wmc_matches_brute_force_on_random_gfomc_instances() {
+    let mut rng = StdRng::seed_from_u64(0xD1C407);
+    for (name, q) in catalog::unsafe_catalog() {
+        for trial in 0..3 {
+            let tid = random_gfomc_db(&q, 2, 2, &mut rng);
+            if tid.uncertain_tuples().len() > 16 {
+                continue;
+            }
+            assert_eq!(
+                probability(&q, &tid),
+                probability_brute_force(&q, &tid),
+                "{name} trial {trial}"
+            );
+        }
+    }
+}
+
+#[test]
+fn lifted_matches_wmc_on_random_safe_instances() {
+    let mut rng = StdRng::seed_from_u64(0x5AFE);
+    for (name, q) in catalog::safe_catalog() {
+        for trial in 0..5 {
+            let tid = random_gfomc_db(&q, 3, 3, &mut rng);
+            let lifted = lifted_probability(&q, &tid).expect(name);
+            let exact = probability(&q, &tid);
+            assert_eq!(lifted, exact, "{name} trial {trial}");
+        }
+    }
+}
+
+#[test]
+fn lifted_rejects_every_unsafe_catalog_query() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for (name, q) in catalog::unsafe_catalog() {
+        let tid = random_gfomc_db(&q, 2, 2, &mut rng);
+        assert!(lifted_probability(&q, &tid).is_err(), "{name}");
+    }
+}
+
+#[test]
+fn rewriting_chain_terminates_at_final_queries() {
+    // Lemma 2.7 / Definition 2.8: greedy simplification of every unsafe
+    // catalog query reaches a final query whose every rewriting is safe.
+    for (name, q) in catalog::unsafe_catalog() {
+        if !q.is_bipartite_shape() {
+            continue; // H0 is handled directly by Theorem 2.5.
+        }
+        let (f, _) = simplify_to_final(&q);
+        assert!(is_final(&f), "{name}");
+        for p in f.symbols() {
+            assert!(is_safe(&f.set_symbol(p, false)), "{name}[{p}:=0]");
+            assert!(is_safe(&f.set_symbol(p, true)), "{name}[{p}:=1]");
+        }
+    }
+}
+
+#[test]
+fn duality_of_probability_values() {
+    // §1.3: GFOMC is closed under duality because 1−p stays in {0,½,1}.
+    // Observable shard: complement probabilities of a database remain a
+    // valid GFOMC instance.
+    let q = catalog::h1();
+    let mut rng = StdRng::seed_from_u64(99);
+    let tid = random_gfomc_db(&q, 2, 2, &mut rng);
+    assert!(tid.is_gfomc_instance());
+    let mut dual = Tid::all_present(
+        tid.left_domain().iter().copied(),
+        tid.right_domain().iter().copied(),
+    );
+    for (t, p) in tid.explicit_tuples() {
+        dual.set_prob(*t, p.complement());
+    }
+    assert!(dual.is_gfomc_instance());
+}
+
+#[test]
+fn generalized_model_count_scales_probability() {
+    let q = catalog::hk(2);
+    let mut rng = StdRng::seed_from_u64(0xC0DE);
+    for _ in 0..3 {
+        let tid = random_gfomc_db(&q, 2, 1, &mut rng);
+        let count = generalized_model_count(&q, &tid);
+        let halves = tid
+            .uncertain_tuples()
+            .iter()
+            .filter(|t| tid.prob(t) == Rational::one_half())
+            .count() as i32;
+        let expect = &probability(&q, &tid) * &Rational::from_ints(2, 1).pow(halves);
+        assert_eq!(Rational::from(Integer::from(count)), expect);
+    }
+}

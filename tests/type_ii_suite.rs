@@ -1,0 +1,147 @@
+//! Integration tests for the Type-II pipeline: forbidden classification →
+//! shattering → Möbius formula → block structure, crossing the safety and
+//! core crates.
+
+use gfomc::core::ccp::{ccp_counts, pp2cnf_from_ccp, CcpInstance};
+use gfomc::core::reduction_type2::{
+    mobius_formula_probability, theorem_c19_holds, type_ii_lattices,
+};
+use gfomc::core::shattering;
+use gfomc::core::type2_block::{type2_block, y_alpha_beta};
+use gfomc::core::ConstAlloc;
+use gfomc::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn pipeline_classification_consistency() {
+    // C.15 is forbidden; C.9 is final Type II-II but NOT forbidden (its
+    // left clause has the non-ubiquitous symbol S1 missing from C1), which
+    // is exactly why the paper shatters it (Example C.14) rather than
+    // running the Appendix C machinery on it directly.
+    let c15 = catalog::example_c15();
+    let c9 = catalog::example_c9();
+    assert!(is_forbidden_type_ii(&c15));
+    assert!(is_unsafe(&c9));
+    assert!(is_final(&c9));
+    assert!(!is_forbidden_type_ii(&c9));
+    let shattered = shattering::shattered_query();
+    assert!(is_unsafe(&shattered));
+    assert_eq!(
+        shattered.query_type().map(|t| t.left),
+        Some(PartType::I)
+    );
+}
+
+#[test]
+fn ubiquitous_symbols_do_not_appear_on_inner_path_clauses() {
+    // Lemma C.12 (2) through the public API.
+    let q = catalog::example_c15();
+    let ubiq = left_ubiquitous_symbols(&q);
+    assert!(!ubiq.is_empty());
+    for path in gfomc::safety::all_minimal_left_right_paths(&q) {
+        let c1 = &q.clauses()[path[1]];
+        for s in &ubiq {
+            assert!(!c1.mentions(Pred::S(*s)));
+        }
+    }
+}
+
+#[test]
+fn mobius_formula_with_randomized_cells() {
+    // Theorem C.19 under randomized {0,½,1} cell probabilities, several
+    // seeds, both Type-II catalog queries.
+    let mut rng = StdRng::seed_from_u64(0xC19);
+    for q in [catalog::example_c15(), catalog::example_c9()] {
+        for _ in 0..2 {
+            let seed: u64 = rng.gen();
+            let prob = move |s: u32, u: u32, v: u32| -> Rational {
+                let h = seed
+                    .wrapping_mul(0x9E3779B97F4A7C15)
+                    .wrapping_add((s as u64) << 20 | (u as u64) << 10 | v as u64);
+                match (h >> 30) % 5 {
+                    0 => Rational::one(),
+                    _ => Rational::one_half(),
+                }
+            };
+            assert!(theorem_c19_holds(&q, 2, 2, &prob));
+        }
+    }
+}
+
+#[test]
+fn mobius_formula_value_is_probability() {
+    let q = catalog::example_c15();
+    let half = |_: u32, _: u32, _: u32| Rational::one_half();
+    let p = mobius_formula_probability(&q, 2, 2, &half);
+    assert!(p.is_probability());
+    assert!(p.is_positive());
+}
+
+#[test]
+fn shattering_composes_with_mobius_source() {
+    // The shattering source is exactly Example C.9; its lattices have the
+    // sizes the Type-II reduction needs (m̄, n̄ ≥ 3 for unsafe queries).
+    let q = shattering::source_query();
+    let lats = type_ii_lattices(&q);
+    assert!(lats.left.strict_support().len() >= 3);
+    assert!(lats.right.strict_support().len() >= 3);
+}
+
+#[test]
+fn type2_block_scales_with_parameters() {
+    let q = catalog::example_c15();
+    let mut alloc = ConstAlloc::new(10, 10);
+    let small = type2_block(&q, 0, 0, 1, 1, &mut alloc);
+    let mut alloc = ConstAlloc::new(10, 10);
+    let large = type2_block(&q, 0, 0, 3, 2, &mut alloc);
+    assert!(large.tid.uncertain_tuples().len() > small.tid.uncertain_tuples().len());
+    assert!(large.tid.is_fomc_instance());
+}
+
+#[test]
+fn type2_block_lineage_distinguishes_lattice_corners() {
+    // Y_{1̂-adjacent} vs Y_{bottom} must have different probabilities on a
+    // nontrivial block (monotonicity: stronger α ⇒ smaller probability).
+    let q = catalog::example_c15();
+    let lats = type_ii_lattices(&q);
+    let mut alloc = ConstAlloc::new(10, 10);
+    let block = type2_block(&q, 0, 0, 1, 1, &mut alloc);
+    let supports = lats.left.strict_support();
+    // Find a singleton and the bottom (full) element.
+    let singleton = supports.iter().find(|e| e.set.len() == 1).unwrap();
+    let bottom = supports.iter().max_by_key(|e| e.set.len()).unwrap();
+    let h = lats.right.strict_support()[0].formula.clone();
+    let (cnf_s, vars_s) = y_alpha_beta(&q, &block, &singleton.formula, &h);
+    let (cnf_b, vars_b) = y_alpha_beta(&q, &block, &bottom.formula, &h);
+    let p_s = gfomc::logic::wmc(&cnf_s, vars_s.weights());
+    let p_b = gfomc::logic::wmc(&cnf_b, vars_b.weights());
+    assert!(p_b <= p_s, "stronger G_α must not increase probability");
+    assert!(p_b < p_s, "corners should be strictly separated on this block");
+}
+
+#[test]
+fn ccp_counts_respect_node_totals() {
+    let phi = Pp2Cnf::new(2, 2, vec![(0, 0), (1, 1)]);
+    let counts = ccp_counts(&CcpInstance::from_pp2cnf(&phi), 2, 3);
+    for sig in counts.keys() {
+        assert_eq!(sig.left.iter().sum::<usize>(), 2);
+        assert_eq!(sig.right.iter().sum::<usize>(), 2);
+        let edge_total: usize = sig.edge.iter().flatten().sum();
+        assert_eq!(edge_total, 2);
+    }
+    assert_eq!(pp2cnf_from_ccp(&counts), phi.count_models());
+}
+
+#[test]
+fn zigzag_then_type_ii_classification() {
+    // zg of a Type II-II query is Type II-II with doubled length; the
+    // lattices of the rewritten query still build (sanity of the composed
+    // pipeline Lemma 2.6 → Appendix C).
+    let q = catalog::example_c15();
+    let zq = gfomc::core::zigzag::zg_query(&q);
+    let t = zq.query.query_type().unwrap();
+    assert_eq!((t.left, t.right), (PartType::II, PartType::II));
+    let lats = type_ii_lattices(&zq.query);
+    assert!(lats.left.strict_support().len() >= 3);
+}
