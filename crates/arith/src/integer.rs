@@ -28,17 +28,26 @@ pub struct Integer {
 impl Integer {
     /// The constant zero.
     pub fn zero() -> Self {
-        Integer { sign: Sign::Zero, magnitude: Natural::zero() }
+        Integer {
+            sign: Sign::Zero,
+            magnitude: Natural::zero(),
+        }
     }
 
     /// The constant one.
     pub fn one() -> Self {
-        Integer { sign: Sign::Positive, magnitude: Natural::one() }
+        Integer {
+            sign: Sign::Positive,
+            magnitude: Natural::one(),
+        }
     }
 
     /// The constant minus one.
     pub fn neg_one() -> Self {
-        Integer { sign: Sign::Negative, magnitude: Natural::one() }
+        Integer {
+            sign: Sign::Negative,
+            magnitude: Natural::one(),
+        }
     }
 
     /// Builds an integer from a sign and magnitude, normalizing zero.
@@ -89,7 +98,11 @@ impl Integer {
     /// Absolute value.
     pub fn abs(&self) -> Integer {
         Integer::from_sign_magnitude(
-            if self.is_zero() { Sign::Zero } else { Sign::Positive },
+            if self.is_zero() {
+                Sign::Zero
+            } else {
+                Sign::Positive
+            },
             self.magnitude.clone(),
         )
     }
@@ -173,19 +186,15 @@ impl Integer {
         match (self.sign, other.sign) {
             (Sign::Zero, _) => other.clone(),
             (_, Sign::Zero) => self.clone(),
-            (a, b) if a == b => {
-                Integer::from_sign_magnitude(a, &self.magnitude + &other.magnitude)
-            }
+            (a, b) if a == b => Integer::from_sign_magnitude(a, &self.magnitude + &other.magnitude),
             _ => match self.magnitude.cmp(&other.magnitude) {
                 Ordering::Equal => Integer::zero(),
-                Ordering::Greater => Integer::from_sign_magnitude(
-                    self.sign,
-                    &self.magnitude - &other.magnitude,
-                ),
-                Ordering::Less => Integer::from_sign_magnitude(
-                    other.sign,
-                    &other.magnitude - &self.magnitude,
-                ),
+                Ordering::Greater => {
+                    Integer::from_sign_magnitude(self.sign, &self.magnitude - &other.magnitude)
+                }
+                Ordering::Less => {
+                    Integer::from_sign_magnitude(other.sign, &other.magnitude - &self.magnitude)
+                }
             },
         }
     }
@@ -205,7 +214,10 @@ impl Integer {
             Sign::Positive => Sign::Negative,
             Sign::Negative => Sign::Positive,
         };
-        Integer { sign, magnitude: self.magnitude.clone() }
+        Integer {
+            sign,
+            magnitude: self.magnitude.clone(),
+        }
     }
 
     /// Parses a decimal string with optional leading `-`.
@@ -227,7 +239,9 @@ impl From<i64> for Integer {
     fn from(v: i64) -> Self {
         match v.cmp(&0) {
             Ordering::Equal => Integer::zero(),
-            Ordering::Greater => Integer::from_sign_magnitude(Sign::Positive, Natural::from(v as u64)),
+            Ordering::Greater => {
+                Integer::from_sign_magnitude(Sign::Positive, Natural::from(v as u64))
+            }
             Ordering::Less => Integer::from_sign_magnitude(
                 Sign::Negative,
                 Natural::from((v as i128).unsigned_abs() as u64),

@@ -39,8 +39,7 @@ mod proptests {
     }
 
     fn arb_rational() -> impl Strategy<Value = Rational> {
-        (any::<i32>(), 1..10_000i64)
-            .prop_map(|(n, d)| Rational::from_ints(n as i64, d))
+        (any::<i32>(), 1..10_000i64).prop_map(|(n, d)| Rational::from_ints(n as i64, d))
     }
 
     proptest! {

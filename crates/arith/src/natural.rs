@@ -116,9 +116,9 @@ impl Natural {
         };
         let mut out = Vec::with_capacity(long.len() + 1);
         let mut carry = 0u64;
-        for i in 0..long.len() {
+        for (i, &a) in long.iter().enumerate() {
             let b = short.get(i).copied().unwrap_or(0);
-            let (s1, c1) = long[i].overflowing_add(b);
+            let (s1, c1) = a.overflowing_add(b);
             let (s2, c2) = s1.overflowing_add(carry);
             out.push(s2);
             carry = (c1 as u64) + (c2 as u64);
@@ -237,9 +237,7 @@ impl Natural {
             let mut qhat = hi / vtop;
             let mut rhat = hi % vtop;
             // Refine qhat (at most two corrections).
-            while qhat >= 1u128 << 64
-                || qhat * vsec > (rhat << 64 | un[j + n - 2] as u128)
-            {
+            while qhat >= 1u128 << 64 || qhat * vsec > (rhat << 64 | un[j + n - 2] as u128) {
                 qhat -= 1;
                 rhat += vtop;
                 if rhat >= 1u128 << 64 {
@@ -672,7 +670,10 @@ mod tests {
     fn pow_basic() {
         assert_eq!(n(2).pow(10), n(1024));
         assert_eq!(n(3).pow(0), n(1));
-        assert_eq!(n(10).pow(20), Natural::from(100_000_000_000_000_000_000u128));
+        assert_eq!(
+            n(10).pow(20),
+            Natural::from(100_000_000_000_000_000_000u128)
+        );
     }
 
     #[test]

@@ -28,7 +28,11 @@ impl QuadExt {
     /// Embeds a rational into `Q(√d)`.
     pub fn rational(a: Rational, d: Rational) -> Self {
         assert!(d.is_positive(), "radicand must be positive");
-        QuadExt { a, b: Rational::zero(), d }
+        QuadExt {
+            a,
+            b: Rational::zero(),
+            d,
+        }
     }
 
     /// Builds `a + b·√d`.
@@ -88,7 +92,11 @@ impl QuadExt {
 
     /// Galois conjugate `a - b·√d`.
     pub fn conjugate(&self) -> Self {
-        QuadExt { a: self.a.clone(), b: -&self.b, d: self.d.clone() }
+        QuadExt {
+            a: self.a.clone(),
+            b: -&self.b,
+            d: self.d.clone(),
+        }
     }
 
     /// Field norm `(a + b√d)(a - b√d) = a² - b²·d ∈ Q`.
@@ -225,7 +233,11 @@ impl Div<&QuadExt> for &QuadExt {
 impl Neg for &QuadExt {
     type Output = QuadExt;
     fn neg(self) -> QuadExt {
-        QuadExt { a: -&self.a, b: -&self.b, d: self.d.clone() }
+        QuadExt {
+            a: -&self.a,
+            b: -&self.b,
+            d: self.d.clone(),
+        }
     }
 }
 

@@ -18,12 +18,18 @@ pub struct Rational {
 impl Rational {
     /// The constant zero.
     pub fn zero() -> Self {
-        Rational { numer: Integer::zero(), denom: Natural::one() }
+        Rational {
+            numer: Integer::zero(),
+            denom: Natural::one(),
+        }
     }
 
     /// The constant one.
     pub fn one() -> Self {
-        Rational { numer: Integer::one(), denom: Natural::one() }
+        Rational {
+            numer: Integer::one(),
+            denom: Natural::one(),
+        }
     }
 
     /// The constant one half — the workhorse probability of the paper.
@@ -96,7 +102,10 @@ impl Rational {
 
     /// Absolute value.
     pub fn abs(&self) -> Rational {
-        Rational { numer: self.numer.abs(), denom: self.denom.clone() }
+        Rational {
+            numer: self.numer.abs(),
+            denom: self.denom.clone(),
+        }
     }
 
     /// Multiplicative inverse; panics on zero.
@@ -157,20 +166,29 @@ impl Rational {
                     Some(Rational::new(n, d))
                 }
             }
-            None => Some(Rational::new(Integer::from_decimal(s.trim())?, Integer::one())),
+            None => Some(Rational::new(
+                Integer::from_decimal(s.trim())?,
+                Integer::one(),
+            )),
         }
     }
 }
 
 impl From<i64> for Rational {
     fn from(v: i64) -> Self {
-        Rational { numer: Integer::from(v), denom: Natural::one() }
+        Rational {
+            numer: Integer::from(v),
+            denom: Natural::one(),
+        }
     }
 }
 
 impl From<Integer> for Rational {
     fn from(v: Integer) -> Self {
-        Rational { numer: v, denom: Natural::one() }
+        Rational {
+            numer: v,
+            denom: Natural::one(),
+        }
     }
 }
 
@@ -274,13 +292,19 @@ impl Div<Rational> for &Rational {
 impl Neg for &Rational {
     type Output = Rational;
     fn neg(self) -> Rational {
-        Rational { numer: -&self.numer, denom: self.denom.clone() }
+        Rational {
+            numer: -&self.numer,
+            denom: self.denom.clone(),
+        }
     }
 }
 impl Neg for Rational {
     type Output = Rational;
     fn neg(self) -> Rational {
-        Rational { numer: -self.numer, denom: self.denom }
+        Rational {
+            numer: -self.numer,
+            denom: self.denom,
+        }
     }
 }
 

@@ -1,8 +1,8 @@
 //! E6 — assembling and solving the big system of Theorem 3.6.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gfomc_core::transfer::transfer_matrix;
 use gfomc_core::big_system;
+use gfomc_core::transfer::transfer_matrix;
 use gfomc_query::catalog;
 
 fn bench_big_matrix(c: &mut Criterion) {

@@ -18,9 +18,7 @@ fn bench_block_tid(c: &mut Criterion) {
         b.iter(|| block_database(&q, &phi, &[1, 2]))
     });
     let tid = block_database(&q, &phi, &[1, 2]);
-    c.bench_function("oracle_full_wmc", |b| {
-        b.iter(|| probability(&q, &tid))
-    });
+    c.bench_function("oracle_full_wmc", |b| b.iter(|| probability(&q, &tid)));
     c.bench_function("oracle_factorized", |b| {
         b.iter(|| probability_via_factorization(&phi, &[t1.clone(), t2.clone()]))
     });

@@ -8,9 +8,7 @@ use gfomc_query::catalog;
 
 fn bench_eigen(c: &mut Criterion) {
     let a1 = transfer_matrix(&catalog::h1(), 1);
-    c.bench_function("eigen_decompose", |b| {
-        b.iter(|| EigenData::decompose(&a1))
-    });
+    c.bench_function("eigen_decompose", |b| b.iter(|| EigenData::decompose(&a1)));
     let e = EigenData::decompose(&a1);
     c.bench_function("eigen_conditions_22_24", |b| {
         b.iter(|| assert!(e.theorem_3_14_conditions()))

@@ -18,9 +18,7 @@ fn bench_type2(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{nu}x{nv}")),
             &(nu, nv),
-            |b, &(nu, nv)| {
-                b.iter(|| assert!(theorem_c19_holds(&q, nu, nv, &half)))
-            },
+            |b, &(nu, nv)| b.iter(|| assert!(theorem_c19_holds(&q, nu, nv, &half))),
         );
     }
     group.finish();

@@ -51,10 +51,34 @@ fn bench_wmc_ablation(c: &mut Criterion) {
     let f = grid_cnf(3);
     let mut group = c.benchmark_group("wmc_ablation_grid3");
     for (name, cfg) in [
-        ("full", WmcConfig { use_components: true, use_memo: true }),
-        ("no_memo", WmcConfig { use_components: true, use_memo: false }),
-        ("no_components", WmcConfig { use_components: false, use_memo: true }),
-        ("plain_shannon", WmcConfig { use_components: false, use_memo: false }),
+        (
+            "full",
+            WmcConfig {
+                use_components: true,
+                use_memo: true,
+            },
+        ),
+        (
+            "no_memo",
+            WmcConfig {
+                use_components: true,
+                use_memo: false,
+            },
+        ),
+        (
+            "no_components",
+            WmcConfig {
+                use_components: false,
+                use_memo: true,
+            },
+        ),
+        (
+            "plain_shannon",
+            WmcConfig {
+                use_components: false,
+                use_memo: false,
+            },
+        ),
     ] {
         group.bench_function(name, |b| {
             b.iter(|| {

@@ -13,9 +13,7 @@ fn bench_zigzag(c: &mut Criterion) {
     });
     let zq = zg_query(&catalog::h1());
     let delta = pseudo_random_delta(&zq, 2, 2, 42);
-    c.bench_function("zg_database_map", |b| {
-        b.iter(|| zg_database(&zq, &delta))
-    });
+    c.bench_function("zg_database_map", |b| b.iter(|| zg_database(&zq, &delta)));
     c.bench_function("lemma_a1_both_sides", |b| {
         b.iter(|| {
             let lhs = probability(&zq.query, &delta);

@@ -23,7 +23,10 @@ pub struct ConstAlloc {
 impl ConstAlloc {
     /// Starts allocating above the given bounds.
     pub fn new(first_left: u32, first_right: u32) -> Self {
-        ConstAlloc { next_left: first_left, next_right: first_right }
+        ConstAlloc {
+            next_left: first_left,
+            next_right: first_right,
+        }
     }
 
     /// A fresh left constant.
@@ -45,13 +48,7 @@ impl ConstAlloc {
 /// Both endpoints `u ≠ v` are left constants; interior constants are drawn
 /// from `alloc`. All tuple probabilities are in `{½, 1}` — block databases
 /// are `FOMC` instances (Theorem 2.9 (1)).
-pub fn path_block(
-    q: &BipartiteQuery,
-    u: u32,
-    v: u32,
-    p: usize,
-    alloc: &mut ConstAlloc,
-) -> Tid {
+pub fn path_block(q: &BipartiteQuery, u: u32, v: u32, p: usize, alloc: &mut ConstAlloc) -> Tid {
     assert!(p >= 1, "block parameter must be ≥ 1");
     assert_ne!(u, v, "block endpoints must differ");
     let symbols: Vec<u32> = q.binary_symbols().into_iter().collect();

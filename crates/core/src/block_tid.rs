@@ -21,11 +21,7 @@ use gfomc_tid::{Tid, Tuple};
 ///
 /// Endpoint constants are `0..n`; interiors are fresh. All probabilities are
 /// in `{½, 1}` (an `FOMC` instance).
-pub fn block_database(
-    q: &BipartiteQuery,
-    phi: &P2Cnf,
-    params: &[usize],
-) -> Tid {
+pub fn block_database(q: &BipartiteQuery, phi: &P2Cnf, params: &[usize]) -> Tid {
     let n = phi.n_vars() as u32;
     let mut alloc = ConstAlloc::new(n, 0);
     let mut tid = Tid::all_present(0..n, std::iter::empty::<u32>());
@@ -43,10 +39,7 @@ pub fn block_database(
 
 /// `Pr_∆(Q)` by the factorization formula (Eq. (8)): exponential in `n` but
 /// *linear* in the block sizes, using the per-parameter transfer matrices.
-pub fn probability_via_factorization(
-    phi: &P2Cnf,
-    transfer: &[Matrix<Rational>],
-) -> Rational {
+pub fn probability_via_factorization(phi: &P2Cnf, transfer: &[Matrix<Rational>]) -> Rational {
     let n = phi.n_vars();
     assert!(n <= 26);
     let mut total = Rational::zero();
@@ -142,8 +135,8 @@ mod tests {
         let t1 = transfer_matrix(&q, 1);
         // Factorized values agree (the isolated variable sums to 2·½ = 1).
         assert_eq!(
-            probability_via_factorization(&phi_iso, &[t1.clone()]),
-            probability_via_factorization(&phi, &[t1.clone()]),
+            probability_via_factorization(&phi_iso, std::slice::from_ref(&t1)),
+            probability_via_factorization(&phi, std::slice::from_ref(&t1)),
         );
         // And both match the direct WMC on the database with the isolated
         // vertex present.

@@ -84,14 +84,9 @@ pub fn ccp_signature(
 
 /// Solves `CCP(m,n)` by brute-force enumeration of all `m^|U| · n^|V|`
 /// colorings. The "oracle" of Theorem C.3's reduction in our experiments.
-pub fn ccp_counts(
-    inst: &CcpInstance,
-    m: usize,
-    n: usize,
-) -> BTreeMap<CcpSignature, Natural> {
+pub fn ccp_counts(inst: &CcpInstance, m: usize, n: usize) -> BTreeMap<CcpSignature, Natural> {
     assert!(
-        (inst.nu as f64) * (m as f64).log2() + (inst.nv as f64) * (n as f64).log2()
-            <= 24.0,
+        (inst.nu as f64) * (m as f64).log2() + (inst.nv as f64) * (n as f64).log2() <= 24.0,
         "coloring enumeration too large"
     );
     let mut counts: BTreeMap<CcpSignature, u64> = BTreeMap::new();
@@ -131,18 +126,14 @@ fn increment(digits: &mut [usize], radix: usize) -> bool {
 /// (`m, n ≥ 2`). Valid colorings use only colors `{0, 1}`; interpreting
 /// color 0 as *false*, a clause fails iff its edge is colored `(0,0)`, so
 /// `#Φ = Σ { #k : k valid, k_edge[0][0] = 0 }`.
-pub fn pp2cnf_from_ccp(
-    counts: &BTreeMap<CcpSignature, Natural>,
-) -> Natural {
+pub fn pp2cnf_from_ccp(counts: &BTreeMap<CcpSignature, Natural>) -> Natural {
     let mut total = Natural::zero();
     for (sig, count) in counts {
         let m = sig.left.len();
         let n = sig.right.len();
-        let valid_nodes = sig.left.iter().skip(2).all(|&c| c == 0)
-            && sig.right.iter().skip(2).all(|&c| c == 0);
-        let valid_edges = (0..m).all(|a| {
-            (0..n).all(|b| a < 2 && b < 2 || sig.edge[a][b] == 0)
-        });
+        let valid_nodes =
+            sig.left.iter().skip(2).all(|&c| c == 0) && sig.right.iter().skip(2).all(|&c| c == 0);
+        let valid_edges = (0..m).all(|a| (0..n).all(|b| a < 2 && b < 2 || sig.edge[a][b] == 0));
         if valid_nodes && valid_edges && sig.edge[0][0] == 0 {
             total = &total + count;
         }
@@ -191,11 +182,7 @@ mod tests {
         for phi in &cases {
             let inst = CcpInstance::from_pp2cnf(phi);
             let counts = ccp_counts(&inst, 2, 2);
-            assert_eq!(
-                pp2cnf_from_ccp(&counts),
-                phi.count_models(),
-                "{phi:?}"
-            );
+            assert_eq!(pp2cnf_from_ccp(&counts), phi.count_models(), "{phi:?}");
         }
     }
 
@@ -207,11 +194,7 @@ mod tests {
         let inst = CcpInstance::from_pp2cnf(&phi);
         for (m, n) in [(2, 3), (3, 2), (3, 3)] {
             let counts = ccp_counts(&inst, m, n);
-            assert_eq!(
-                pp2cnf_from_ccp(&counts),
-                phi.count_models(),
-                "CCP({m},{n})"
-            );
+            assert_eq!(pp2cnf_from_ccp(&counts), phi.count_models(), "CCP({m},{n})");
         }
     }
 

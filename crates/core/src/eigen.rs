@@ -74,7 +74,12 @@ impl EigenData {
                 *cell = &(&(&lambda1 * &q(&ident(i, j))) - &q(m.get(i, j))) / &denom;
             }
         }
-        EigenData { lambda1, lambda2, a, b }
+        EigenData {
+            lambda1,
+            lambda2,
+            a,
+            b,
+        }
     }
 
     /// Reconstructs `(A(1)^p)_ab = a_ab·λ₁^p + b_ab·λ₂^p`.
@@ -129,10 +134,7 @@ mod tests {
 
     #[test]
     fn decompose_reconstructs_identity_and_matrix() {
-        let m = Matrix::from_rows(vec![
-            vec![r(1, 4), r(3, 8)],
-            vec![r(3, 8), r(5, 8)],
-        ]);
+        let m = Matrix::from_rows(vec![vec![r(1, 4), r(3, 8)], vec![r(3, 8), r(5, 8)]]);
         let e = EigenData::decompose(&m);
         // p = 0 gives the identity.
         assert_eq!(e.power_entry(0, 0, 0).to_rational(), Some(Rational::one()));

@@ -51,8 +51,7 @@ pub use nonroot::{gfomc_nonroot, nonroot_assignment};
 pub use p2cnf::{P2Cnf, Pp2Cnf};
 pub use reduction_type1::{reduce_p2cnf, OracleMode, ReductionOutcome};
 pub use signatures::{
-    model_count_from_signatures, signature_counts, signature_of,
-    UndirectedSignature,
+    model_count_from_signatures, signature_counts, signature_of, UndirectedSignature,
 };
 pub use small_matrix::{block_small_matrix, SmallMatrix};
 pub use transfer::{lemma_3_19_holds, proposition_3_20_holds, transfer_matrix};

@@ -17,10 +17,7 @@ use std::collections::BTreeMap;
 /// Finds an assignment `θ : Vars(f) → {c₁, c₂, c₃}` with `f[θ] ≠ 0`.
 /// Requires `f ≢ 0`, degree ≤ 2 in every variable, and distinct constants.
 /// The existence is Lemma 1.1; this function also *returns* the witness.
-pub fn nonroot_assignment(
-    f: &Poly,
-    candidates: &[Rational; 3],
-) -> BTreeMap<PVar, Rational> {
+pub fn nonroot_assignment(f: &Poly, candidates: &[Rational; 3]) -> BTreeMap<PVar, Rational> {
     assert!(!f.is_zero(), "Lemma 1.1 requires f ≢ 0");
     assert!(
         candidates[0] != candidates[1]
@@ -142,10 +139,7 @@ mod tests {
     fn works_with_alternative_constants() {
         // Theorem 2.2's final claim: any {0, c, 1} works. Use c = 1/3.
         let f = &x(0) * &(&Poly::one() - &x(0));
-        let theta = nonroot_assignment(
-            &f,
-            &[Rational::zero(), r(1, 3), Rational::one()],
-        );
+        let theta = nonroot_assignment(&f, &[Rational::zero(), r(1, 3), Rational::one()]);
         assert_eq!(f.eval(&theta), r(2, 9));
     }
 
@@ -155,7 +149,9 @@ mod tests {
         // quadratic terms; verify the witness on many instances.
         let mut seed = 0x12345u64;
         let mut next = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) % 7) as i64 - 3
         };
         for _ in 0..50 {

@@ -57,18 +57,18 @@ pub struct ReductionOutcome {
 /// check with `gfomc_safety::is_final_type_i`); the big system is verified
 /// non-singular at runtime, which is what Theorem 3.6 guarantees under the
 /// coefficient conditions established by Theorem 3.14.
-pub fn reduce_p2cnf(
-    q: &BipartiteQuery,
-    phi: &P2Cnf,
-    mode: OracleMode,
-) -> ReductionOutcome {
+pub fn reduce_p2cnf(q: &BipartiteQuery, phi: &P2Cnf, mode: OracleMode) -> ReductionOutcome {
     let m = phi.n_clauses();
     let n = phi.n_vars();
     if m == 0 {
         // No clauses: every assignment satisfies Φ.
         let mut counts = BTreeMap::new();
         counts.insert(
-            UndirectedSignature { k00: 0, k01_10: 0, k11: 0 },
+            UndirectedSignature {
+                k00: 0,
+                k01_10: 0,
+                k11: 0,
+            },
             Natural::from(2u64).pow(n as u32),
         );
         return ReductionOutcome {
@@ -79,8 +79,7 @@ pub fn reduce_p2cnf(
         };
     }
     // Step 1: transfer matrices A(p), p = 1..=m+1.
-    let z_tables: Vec<Matrix<Rational>> =
-        (1..=m + 1).map(|p| transfer_matrix(q, p)).collect();
+    let z_tables: Vec<Matrix<Rational>> = (1..=m + 1).map(|p| transfer_matrix(q, p)).collect();
     // Step 2 + 3: the big system and one oracle call per row.
     let sys = big_system(&z_tables, m);
     let two_pow_n = Rational::from_ints(2, 1).pow(n as i32);
@@ -128,10 +127,7 @@ pub fn reduce_p2cnf(
 /// Converts an exactly-recovered count to a natural number, validating that
 /// it is a nonnegative integer (any deviation indicates a broken reduction).
 fn rational_to_count(r: &Rational) -> Natural {
-    assert!(
-        r.denom().is_one(),
-        "recovered count is not integral: {r}"
-    );
+    assert!(r.denom().is_one(), "recovered count is not integral: {r}");
     assert!(
         r.numer().sign() != Sign::Negative,
         "recovered count is negative: {r}"

@@ -38,10 +38,8 @@ pub struct TypeIiLattices {
 /// Builds both lattices for a Type-II query.
 pub fn type_ii_lattices(q: &BipartiteQuery) -> TypeIiLattices {
     let c = q.middle_cnf();
-    let left_formulas: Vec<Cnf> =
-        q.left_dnf().into_iter().map(|g| g.and(&c)).collect();
-    let right_formulas: Vec<Cnf> =
-        q.right_dnf().into_iter().map(|h| c.and(&h)).collect();
+    let left_formulas: Vec<Cnf> = q.left_dnf().into_iter().map(|g| g.and(&c)).collect();
+    let right_formulas: Vec<Cnf> = q.right_dnf().into_iter().map(|h| c.and(&h)).collect();
     TypeIiLattices {
         left: MobiusLattice::build(&left_formulas),
         right: MobiusLattice::build(&right_formulas),
@@ -165,8 +163,7 @@ pub fn mobius_formula_probability(
             if !term.is_zero() {
                 'pairs: for u in 0..nu {
                     for v in 0..nv {
-                        term = &term
-                            * &y(u, v, sigma[u as usize], tau[v as usize]);
+                        term = &term * &y(u, v, sigma[u as usize], tau[v as usize]);
                         if term.is_zero() {
                             break 'pairs;
                         }
@@ -242,10 +239,7 @@ mod tests {
             mus.iter().filter(|m| **m == Integer::from(-1i64)).count(),
             2
         );
-        assert_eq!(
-            mus.iter().filter(|m| **m == Integer::one()).count(),
-            1
-        );
+        assert_eq!(mus.iter().filter(|m| **m == Integer::one()).count(), 1);
     }
 
     #[test]
@@ -263,18 +257,38 @@ mod tests {
 
     #[test]
     fn theorem_c19_uniform_1x1() {
-        assert!(theorem_c19_holds(&catalog::example_c15(), 1, 1, &uniform_half));
+        assert!(theorem_c19_holds(
+            &catalog::example_c15(),
+            1,
+            1,
+            &uniform_half
+        ));
     }
 
     #[test]
     fn theorem_c19_uniform_2x1_and_1x2() {
-        assert!(theorem_c19_holds(&catalog::example_c15(), 2, 1, &uniform_half));
-        assert!(theorem_c19_holds(&catalog::example_c15(), 1, 2, &uniform_half));
+        assert!(theorem_c19_holds(
+            &catalog::example_c15(),
+            2,
+            1,
+            &uniform_half
+        ));
+        assert!(theorem_c19_holds(
+            &catalog::example_c15(),
+            1,
+            2,
+            &uniform_half
+        ));
     }
 
     #[test]
     fn theorem_c19_uniform_2x2() {
-        assert!(theorem_c19_holds(&catalog::example_c15(), 2, 2, &uniform_half));
+        assert!(theorem_c19_holds(
+            &catalog::example_c15(),
+            2,
+            2,
+            &uniform_half
+        ));
     }
 
     #[test]
@@ -296,13 +310,23 @@ mod tests {
                 Rational::one_half()
             }
         };
-        assert!(theorem_c19_holds(&catalog::example_c15(), 2, 2, &prob_with_zero));
+        assert!(theorem_c19_holds(
+            &catalog::example_c15(),
+            2,
+            2,
+            &prob_with_zero
+        ));
     }
 
     #[test]
     fn theorem_c19_on_example_c9() {
         // Example C.9 is unsafe Type II (not forbidden); the Möbius identity
         // holds for any Type-II query over disjoint blocks.
-        assert!(theorem_c19_holds(&catalog::example_c9(), 2, 2, &uniform_half));
+        assert!(theorem_c19_holds(
+            &catalog::example_c9(),
+            2,
+            2,
+            &uniform_half
+        ));
     }
 }

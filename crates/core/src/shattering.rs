@@ -44,10 +44,7 @@ pub fn shatter_database(delta_prime: &Tid) -> Tid {
     let left: Vec<u32> = delta_prime.left_domain().to_vec();
     let right: Vec<u32> = delta_prime.right_domain().to_vec();
     let b1 = right.iter().max().map_or(0, |m| m + 1);
-    let mut out = Tid::all_present(
-        left.iter().copied(),
-        right.iter().copied().chain([b1]),
-    );
+    let mut out = Tid::all_present(left.iter().copied(), right.iter().copied().chain([b1]));
     for &a in &left {
         // S₁(a, b₁) carries R(a); S₁ is 1 elsewhere (the TID default).
         out.set_prob(Tuple::S(1, a, b1), delta_prime.prob(&Tuple::R(a)));
@@ -119,11 +116,7 @@ mod tests {
         for seed in 0..5u64 {
             let dp = random_delta_prime(2, 2, seed);
             let d = shatter_database(&dp);
-            assert_eq!(
-                probability(&qp, &dp),
-                probability(&q, &d),
-                "seed {seed}"
-            );
+            assert_eq!(probability(&qp, &dp), probability(&q, &d), "seed {seed}");
         }
     }
 
@@ -134,10 +127,7 @@ mod tests {
         let d = shatter_database(&dp);
         assert!(d.is_gfomc_instance());
         // The mapped database has exactly one extra right constant.
-        assert_eq!(
-            d.right_domain().len(),
-            dp.right_domain().len() + 1
-        );
+        assert_eq!(d.right_domain().len(), dp.right_domain().len() + 1);
     }
 
     #[test]

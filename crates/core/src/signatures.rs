@@ -30,7 +30,11 @@ impl UndirectedSignature {
 
 /// Computes the undirected signature of one assignment.
 pub fn signature_of(phi: &P2Cnf, assignment: u64) -> UndirectedSignature {
-    let mut sig = UndirectedSignature { k00: 0, k01_10: 0, k11: 0 };
+    let mut sig = UndirectedSignature {
+        k00: 0,
+        k01_10: 0,
+        k11: 0,
+    };
     for &(i, j) in phi.edges() {
         let a = assignment >> i & 1 == 1;
         let b = assignment >> j & 1 == 1;
@@ -59,9 +63,7 @@ pub fn signature_counts(phi: &P2Cnf) -> BTreeMap<UndirectedSignature, Natural> {
 
 /// `#Φ` from signature counts: the satisfying assignments are exactly those
 /// with `k₀₀ = 0`.
-pub fn model_count_from_signatures(
-    counts: &BTreeMap<UndirectedSignature, Natural>,
-) -> Natural {
+pub fn model_count_from_signatures(counts: &BTreeMap<UndirectedSignature, Natural>) -> Natural {
     counts
         .iter()
         .filter(|(k, _)| k.k00 == 0)
@@ -86,17 +88,29 @@ mod tests {
         // All false: both clauses have both endpoints false.
         assert_eq!(
             signature_of(&phi, 0b000),
-            UndirectedSignature { k00: 2, k01_10: 0, k11: 0 }
+            UndirectedSignature {
+                k00: 2,
+                k01_10: 0,
+                k11: 0
+            }
         );
         // All true.
         assert_eq!(
             signature_of(&phi, 0b111),
-            UndirectedSignature { k00: 0, k01_10: 0, k11: 2 }
+            UndirectedSignature {
+                k00: 0,
+                k01_10: 0,
+                k11: 2
+            }
         );
         // Only X1 true: both clauses have exactly one true endpoint.
         assert_eq!(
             signature_of(&phi, 0b010),
-            UndirectedSignature { k00: 0, k01_10: 2, k11: 0 }
+            UndirectedSignature {
+                k00: 0,
+                k01_10: 2,
+                k11: 0
+            }
         );
     }
 
@@ -104,9 +118,7 @@ mod tests {
     fn counts_sum_to_all_assignments() {
         let phi = P2Cnf::new(4, vec![(0, 1), (1, 2), (2, 3)]);
         let counts = signature_counts(&phi);
-        let total = counts
-            .values()
-            .fold(Natural::zero(), |acc, c| &acc + c);
+        let total = counts.values().fold(Natural::zero(), |acc, c| &acc + c);
         assert_eq!(total, Natural::from(16u64));
     }
 
@@ -120,10 +132,7 @@ mod tests {
         ];
         for phi in &cases {
             let counts = signature_counts(phi);
-            assert_eq!(
-                model_count_from_signatures(&counts),
-                phi.count_models()
-            );
+            assert_eq!(model_count_from_signatures(&counts), phi.count_models());
         }
     }
 

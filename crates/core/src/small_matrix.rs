@@ -61,11 +61,7 @@ impl SmallMatrix {
 /// of `f` at `(r, t)` is singular iff `f` disconnects `{r}` from `{t}`.
 pub fn lemma_1_2_agrees(f: &Cnf, r: Var, t: Var) -> bool {
     let singular = SmallMatrix::of_formula(f, r, t).is_singular();
-    let disconnected = decompose::disconnects(
-        f,
-        &BTreeSet::from([r]),
-        &BTreeSet::from([t]),
-    );
+    let disconnected = decompose::disconnects(f, &BTreeSet::from([r]), &BTreeSet::from([t]));
     singular == disconnected
 }
 
@@ -95,10 +91,8 @@ pub fn corollary_3_18_constant(q: &BipartiteQuery) -> Option<Rational> {
     }
     // det = c · shape iff the quotient at any non-root point matches and the
     // difference c·shape − det ≡ 0.
-    let half_point: std::collections::BTreeMap<PVar, Rational> = vars
-        .iter()
-        .map(|&v| (v, Rational::one_half()))
-        .collect();
+    let half_point: std::collections::BTreeMap<PVar, Rational> =
+        vars.iter().map(|&v| (v, Rational::one_half())).collect();
     let denom = shape.eval(&half_point);
     if denom.is_zero() {
         return None;

@@ -54,17 +54,8 @@ pub fn lemma_3_19_holds(q: &BipartiteQuery, p: usize) -> bool {
 /// Checks Proposition 3.20 on `A(1)`:
 /// `0 < z00 < z01 = z10 < z11 ≤ 1`.
 pub fn proposition_3_20_holds(a1: &Matrix<Rational>) -> bool {
-    let (z00, z01, z10, z11) = (
-        a1.get(0, 0),
-        a1.get(0, 1),
-        a1.get(1, 0),
-        a1.get(1, 1),
-    );
-    z00.is_positive()
-        && z01 == z10
-        && z00 < z01
-        && z01 < z11
-        && *z11 <= Rational::one()
+    let (z00, z01, z10, z11) = (a1.get(0, 0), a1.get(0, 1), a1.get(1, 0), a1.get(1, 1));
+    z00.is_positive() && z01 == z10 && z00 < z01 && z01 < z11 && *z11 <= Rational::one()
 }
 
 /// `det A(1)` — nonzero for final Type-I queries by Theorem 3.16.

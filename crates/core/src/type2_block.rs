@@ -272,8 +272,7 @@ mod tests {
         // recurrence y(p+2) = c1·y(p+1) + c2·y(p). Fit c1, c2 from the first
         // pair and check every other pair, exactly.
         let q = catalog::example_c15();
-        let tables: Vec<Vec<Vec<Rational>>> =
-            (1..=4).map(|p| y_table(&q, p, 1)).collect();
+        let tables: Vec<Vec<Vec<Rational>>> = (1..=4).map(|p| y_table(&q, p, 1)).collect();
         let seq = |ai: usize, bi: usize| -> Vec<Rational> {
             tables.iter().map(|t| t[ai][bi].clone()).collect()
         };

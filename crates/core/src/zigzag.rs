@@ -62,7 +62,12 @@ impl ZgVocab {
         if has_t {
             index.insert(ZgSym::T12, next);
         }
-        ZgVocab { n, has_r, has_t, index }
+        ZgVocab {
+            n,
+            has_r,
+            has_t,
+            index,
+        }
     }
 
     /// The binary index of a zig-zag symbol in the rewritten query.
@@ -97,8 +102,7 @@ pub fn zg_query(q: &BipartiteQuery) -> ZigzagQuery {
         "zg requires a typed bipartite query"
     );
     // Branch count (Appendix A).
-    let right_shapes: Vec<ClauseShape> =
-        q.right_clauses().iter().map(|c| c.shape()).collect();
+    let right_shapes: Vec<ClauseShape> = q.right_clauses().iter().map(|c| c.shape()).collect();
     let right_is_type_i = right_shapes
         .iter()
         .all(|s| matches!(s, ClauseShape::RightI(_)));
@@ -141,8 +145,7 @@ pub fn zg_query(q: &BipartiteQuery) -> ZigzagQuery {
                     &s1.iter().map(Vec::as_slice).collect::<Vec<_>>(),
                 ));
                 for i in 2..n {
-                    let union: Vec<u32> =
-                        branch_subs(i).into_iter().flatten().collect();
+                    let union: Vec<u32> = branch_subs(i).into_iter().flatten().collect();
                     clauses.push(Clause::middle(union));
                 }
                 let sn = branch_subs(n);
@@ -197,7 +200,10 @@ pub fn zg_query(q: &BipartiteQuery) -> ZigzagQuery {
             ClauseShape::Other => panic!("zg cannot rewrite clause {c}"),
         }
     }
-    ZigzagQuery { query: BipartiteQuery::new(clauses), vocab }
+    ZigzagQuery {
+        query: BipartiteQuery::new(clauses),
+        vocab,
+    }
 }
 
 /// Maps a database for `zg(Q)` to the database `zg(∆)` for `Q`
@@ -256,10 +262,7 @@ pub fn zg_database(zq: &ZigzagQuery, delta: &Tid) -> Tid {
     }
     if zq.vocab.has_t {
         for (&(u, v), &e) in &e_ids {
-            out.set_prob(
-                Tuple::T(e),
-                delta.prob(&Tuple::S(code(ZgSym::T12), u, v)),
-            );
+            out.set_prob(Tuple::T(e), delta.prob(&Tuple::S(code(ZgSym::T12), u, v)));
         }
     }
     // Binary tuples: branch 1 at u, branches 2..n−1 at f's, branch n at v̄.
@@ -283,11 +286,7 @@ pub fn zg_database(zq: &ZigzagQuery, delta: &Tid) -> Tid {
                 for i in 2..n {
                     out.set_prob(
                         Tuple::S(j, f_ids[&(i, u, v)], e),
-                        delta.prob(&Tuple::S(
-                            code(ZgSym::S { orig: j, branch: i }),
-                            u,
-                            v,
-                        )),
+                        delta.prob(&Tuple::S(code(ZgSym::S { orig: j, branch: i }), u, v)),
                     );
                 }
                 out.set_prob(

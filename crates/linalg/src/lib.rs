@@ -27,9 +27,8 @@ mod proptests {
     }
 
     fn arb_square(n: usize) -> impl Strategy<Value = Matrix<Rational>> {
-        proptest::collection::vec(arb_entry(), n * n).prop_map(move |v| {
-            Matrix::from_fn(n, n, |i, j| v[i * n + j].clone())
-        })
+        proptest::collection::vec(arb_entry(), n * n)
+            .prop_map(move |v| Matrix::from_fn(n, n, |i, j| v[i * n + j].clone()))
     }
 
     proptest! {

@@ -90,7 +90,9 @@ impl<F: Field> Matrix<F> {
     /// Matrix sum. Panics on shape mismatch.
     pub fn add(&self, rhs: &Self) -> Self {
         assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
-        Matrix::from_fn(self.rows, self.cols, |i, j| self.get(i, j).add(rhs.get(i, j)))
+        Matrix::from_fn(self.rows, self.cols, |i, j| {
+            self.get(i, j).add(rhs.get(i, j))
+        })
     }
 
     /// Matrix product. Panics on shape mismatch.
@@ -117,8 +119,8 @@ impl<F: Field> Matrix<F> {
         (0..self.rows)
             .map(|i| {
                 let mut acc = self.data[0].zero_like();
-                for k in 0..self.cols {
-                    acc = acc.add(&self.get(i, k).mul(&v[k]));
+                for (k, vk) in v.iter().enumerate() {
+                    acc = acc.add(&self.get(i, k).mul(vk));
                 }
                 acc
             })

@@ -100,17 +100,23 @@ pub struct Cnf {
 impl Cnf {
     /// The constant `true`.
     pub fn top() -> Self {
-        Cnf { clauses: Vec::new() }
+        Cnf {
+            clauses: Vec::new(),
+        }
     }
 
     /// The constant `false`.
     pub fn bottom() -> Self {
-        Cnf { clauses: vec![Clause::empty()] }
+        Cnf {
+            clauses: vec![Clause::empty()],
+        }
     }
 
     /// Builds a minimized CNF from clauses.
     pub fn new(clauses: impl IntoIterator<Item = Clause>) -> Self {
-        let mut cnf = Cnf { clauses: clauses.into_iter().collect() };
+        let mut cnf = Cnf {
+            clauses: clauses.into_iter().collect(),
+        };
         cnf.minimize();
         cnf
     }
@@ -182,14 +188,14 @@ impl Cnf {
             if !keep[i] {
                 continue;
             }
-            for j in 0..self.clauses.len() {
-                if i == j || !keep[j] {
+            for (j, keep_j) in keep.iter_mut().enumerate() {
+                if i == j || !*keep_j {
                     continue;
                 }
                 if self.clauses[i].subsumes(&self.clauses[j])
                     && (self.clauses[i].len() < self.clauses[j].len() || i < j)
                 {
-                    keep[j] = false;
+                    *keep_j = false;
                 }
             }
         }

@@ -92,9 +92,7 @@ pub fn var_distance(f: &Cnf, u: Var, v: Var) -> Option<usize> {
 pub fn ball(f: &Cnf, us: &BTreeSet<Var>, m: usize) -> BTreeSet<Var> {
     f.vars()
         .into_iter()
-        .filter(|&z| {
-            distance(f, us, &BTreeSet::from([z])).is_some_and(|d| d <= m)
-        })
+        .filter(|&z| distance(f, us, &BTreeSet::from([z])).is_some_and(|d| d <= m))
         .collect()
 }
 
@@ -181,13 +179,13 @@ mod tests {
         // Example B.10 from the paper. Variables:
         // U=0, Z0=1, Z1=2, Z2=3, Z3=4, X=5, Y=6, Z4=7, V=8.
         let f = Cnf::new([
-            cl(&[0, 1]),          // U ∨ Z0
-            cl(&[1, 2, 3, 4]),    // Z0 ∨ Z1 ∨ Z2 ∨ Z3   (C1)
-            cl(&[4, 5, 6]),       // Z3 ∨ X ∨ Y           (C2)
-            cl(&[5, 6, 7]),       // X ∨ Y ∨ Z4           (C3)
-            cl(&[5, 2]),          // X ∨ Z1
-            cl(&[6, 3]),          // Y ∨ Z2
-            cl(&[7, 8]),          // Z4 ∨ V
+            cl(&[0, 1]),       // U ∨ Z0
+            cl(&[1, 2, 3, 4]), // Z0 ∨ Z1 ∨ Z2 ∨ Z3   (C1)
+            cl(&[4, 5, 6]),    // Z3 ∨ X ∨ Y           (C2)
+            cl(&[5, 6, 7]),    // X ∨ Y ∨ Z4           (C3)
+            cl(&[5, 2]),       // X ∨ Z1
+            cl(&[6, 3]),       // Y ∨ Z2
+            cl(&[7, 8]),       // Z4 ∨ V
         ]);
         let u = set(&[0]);
         let v = set(&[8]);

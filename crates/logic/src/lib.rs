@@ -17,8 +17,7 @@ pub mod wmc;
 
 pub use cnf::{Clause, Cnf, Var};
 pub use wmc::{
-    count_models, wmc, wmc_brute_force, ModelCounter, UniformWeight, WeightFn,
-    WmcConfig,
+    count_models, wmc, wmc_brute_force, ModelCounter, UniformWeight, WeightFn, WmcConfig,
 };
 
 #[cfg(test)]
@@ -30,17 +29,15 @@ mod proptests {
 
     /// Random monotone CNF over at most 8 variables with at most 6 clauses.
     fn arb_cnf() -> impl Strategy<Value = Cnf> {
-        proptest::collection::vec(
-            proptest::collection::btree_set(0u32..8, 1..4),
-            0..6,
+        proptest::collection::vec(proptest::collection::btree_set(0u32..8, 1..4), 0..6).prop_map(
+            |clauses| {
+                Cnf::new(
+                    clauses
+                        .into_iter()
+                        .map(|c| Clause::new(c.into_iter().map(Var))),
+                )
+            },
         )
-        .prop_map(|clauses| {
-            Cnf::new(
-                clauses
-                    .into_iter()
-                    .map(|c| Clause::new(c.into_iter().map(Var))),
-            )
-        })
     }
 
     fn arb_weights() -> impl Strategy<Value = HashMap<Var, Rational>> {

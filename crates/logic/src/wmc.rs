@@ -58,7 +58,10 @@ pub struct WmcConfig {
 
 impl Default for WmcConfig {
     fn default() -> Self {
-        WmcConfig { use_components: true, use_memo: true }
+        WmcConfig {
+            use_components: true,
+            use_memo: true,
+        }
     }
 }
 
@@ -336,7 +339,10 @@ mod tests {
         let expect = wmc_brute_force(&f, &w);
         for use_components in [false, true] {
             for use_memo in [false, true] {
-                let cfg = WmcConfig { use_components, use_memo };
+                let cfg = WmcConfig {
+                    use_components,
+                    use_memo,
+                };
                 let mut mc = ModelCounter::with_config(&w, cfg);
                 assert_eq!(mc.probability(&f), expect, "{cfg:?}");
             }
@@ -355,11 +361,17 @@ mod tests {
         let w = half();
         let mut with = ModelCounter::with_config(
             &w,
-            WmcConfig { use_components: true, use_memo: false },
+            WmcConfig {
+                use_components: true,
+                use_memo: false,
+            },
         );
         let mut without = ModelCounter::with_config(
             &w,
-            WmcConfig { use_components: false, use_memo: false },
+            WmcConfig {
+                use_components: false,
+                use_memo: false,
+            },
         );
         let a = with.probability(&f);
         let b = without.probability(&f);

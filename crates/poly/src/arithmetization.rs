@@ -43,9 +43,7 @@ fn arith_rec(f: &Cnf, memo: &mut HashMap<Cnf, Poly>) -> Poly {
         let v = f
             .vars()
             .into_iter()
-            .max_by_key(|&v| {
-                f.clauses().iter().filter(|c| c.contains(v)).count()
-            })
+            .max_by_key(|&v| f.clauses().iter().filter(|c| c.contains(v)).count())
             .expect("non-constant formula");
         let x = Poly::var(PVar(v.0));
         let one_minus_x = &Poly::one() - &x;
@@ -59,10 +57,7 @@ fn arith_rec(f: &Cnf, memo: &mut HashMap<Cnf, Poly>) -> Poly {
 
 /// Evaluates the arithmetization at a weight assignment — by definition this
 /// equals `Pr(f)`, giving an independent cross-check of the WMC engine.
-pub fn probability_via_arithmetization(
-    f: &Cnf,
-    weights: &HashMap<Var, Rational>,
-) -> Rational {
+pub fn probability_via_arithmetization(f: &Cnf, weights: &HashMap<Var, Rational>) -> Rational {
     let poly = arithmetize(f);
     let values = weights
         .iter()
@@ -127,11 +122,7 @@ mod tests {
         ];
         for f in &formulas {
             let w = UniformWeight(r(1, 3));
-            let vals = f
-                .vars()
-                .into_iter()
-                .map(|v| (PVar(v.0), r(1, 3)))
-                .collect();
+            let vals = f.vars().into_iter().map(|v| (PVar(v.0), r(1, 3))).collect();
             assert_eq!(arithmetize(f).eval(&vals), wmc(f, &w), "{f:?}");
         }
     }
@@ -155,7 +146,11 @@ mod tests {
                     )
                 })
                 .collect();
-            let expected = if f.eval(&tv) { Rational::one() } else { Rational::zero() };
+            let expected = if f.eval(&tv) {
+                Rational::one()
+            } else {
+                Rational::zero()
+            };
             assert_eq!(y.eval(&vals), expected);
         }
     }

@@ -106,17 +106,14 @@ mod proptests {
         use std::collections::HashMap;
 
         fn arb_cnf() -> impl Strategy<Value = Cnf> {
-            proptest::collection::vec(
-                proptest::collection::btree_set(0u32..6, 1..4),
-                0..5,
-            )
-            .prop_map(|clauses| {
-                Cnf::new(
-                    clauses
-                        .into_iter()
-                        .map(|c| Clause::new(c.into_iter().map(Var))),
-                )
-            })
+            proptest::collection::vec(proptest::collection::btree_set(0u32..6, 1..4), 0..5)
+                .prop_map(|clauses| {
+                    Cnf::new(
+                        clauses
+                            .into_iter()
+                            .map(|c| Clause::new(c.into_iter().map(Var))),
+                    )
+                })
         }
 
         proptest! {

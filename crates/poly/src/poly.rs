@@ -29,7 +29,9 @@ impl Monomial {
 
     /// A single variable to the first power.
     pub fn var(v: PVar) -> Self {
-        Monomial { powers: vec![(v, 1)] }
+        Monomial {
+            powers: vec![(v, 1)],
+        }
     }
 
     /// Builds from (variable, exponent) pairs; zero exponents are dropped.
@@ -40,7 +42,9 @@ impl Monomial {
                 *map.entry(v).or_insert(0) += e;
             }
         }
-        Monomial { powers: map.into_iter().collect() }
+        Monomial {
+            powers: map.into_iter().collect(),
+        }
     }
 
     /// The (variable, exponent) pairs, sorted by variable.
@@ -58,9 +62,7 @@ impl Monomial {
 
     /// Product of two monomials.
     pub fn mul(&self, other: &Monomial) -> Monomial {
-        Monomial::new(
-            self.powers.iter().chain(other.powers.iter()).copied(),
-        )
+        Monomial::new(self.powers.iter().chain(other.powers.iter()).copied())
     }
 
     /// Total degree.
@@ -142,8 +144,7 @@ impl Poly {
 
     /// True iff a constant polynomial (including zero).
     pub fn is_constant(&self) -> bool {
-        self.terms.len() <= 1
-            && self.terms.keys().all(|m| m.powers().is_empty())
+        self.terms.len() <= 1 && self.terms.keys().all(|m| m.powers().is_empty())
     }
 
     /// The constant term.
@@ -169,11 +170,7 @@ impl Poly {
 
     /// The degree in a specific variable.
     pub fn degree_in(&self, v: PVar) -> u32 {
-        self.terms
-            .keys()
-            .map(|m| m.exponent(v))
-            .max()
-            .unwrap_or(0)
+        self.terms.keys().map(|m| m.exponent(v)).max().unwrap_or(0)
     }
 
     /// Total degree (0 for the zero polynomial).
@@ -217,11 +214,7 @@ impl Poly {
             return Poly::zero();
         }
         Poly {
-            terms: self
-                .terms
-                .iter()
-                .map(|(m, k)| (m.clone(), k * c))
-                .collect(),
+            terms: self.terms.iter().map(|(m, k)| (m.clone(), k * c)).collect(),
         }
     }
 
@@ -242,9 +235,7 @@ impl Poly {
             if e == 0 {
                 pairs.push((m.clone(), c.clone()));
             } else {
-                let rest = Monomial::new(
-                    m.powers().iter().copied().filter(|&(w, _)| w != v),
-                );
+                let rest = Monomial::new(m.powers().iter().copied().filter(|&(w, _)| w != v));
                 pairs.push((rest, c * &value.pow(e as i32)));
             }
         }
@@ -264,13 +255,15 @@ impl Poly {
     /// `x_from := x_to` used when gluing migrating variables, Lemma C.30).
     pub fn identify(&self, from: PVar, to: PVar) -> Poly {
         Poly::from_terms(self.terms.iter().map(|(m, c)| {
-            let m2 = Monomial::new(m.powers().iter().map(|&(v, e)| {
-                if v == from {
-                    (to, e)
-                } else {
-                    (v, e)
-                }
-            }));
+            let m2 = Monomial::new(m.powers().iter().map(
+                |&(v, e)| {
+                    if v == from {
+                        (to, e)
+                    } else {
+                        (v, e)
+                    }
+                },
+            ));
             (m2, c.clone())
         }))
     }
@@ -299,9 +292,7 @@ impl Poly {
         let mut h = Vec::new();
         let mut k = Vec::new();
         for (m, c) in &self.terms {
-            let rest = Monomial::new(
-                m.powers().iter().copied().filter(|&(w, _)| w != v),
-            );
+            let rest = Monomial::new(m.powers().iter().copied().filter(|&(w, _)| w != v));
             match m.exponent(v) {
                 0 => k.push((rest, c.clone())),
                 1 => h.push((rest, c.clone())),
@@ -389,8 +380,7 @@ mod tests {
         let sq = &s * &s;
         assert_eq!(sq.degree_in(PVar(0)), 2);
         assert_eq!(
-            sq.terms()
-                .get(&Monomial::new([(PVar(0), 1), (PVar(1), 1)])),
+            sq.terms().get(&Monomial::new([(PVar(0), 1), (PVar(1), 1)])),
             Some(&r(2, 1))
         );
         assert_eq!(&sq - &sq, Poly::zero());
@@ -415,13 +405,10 @@ mod tests {
     #[test]
     fn eval_full() {
         let p = &(&x(0) * &x(1)) + &x(2);
-        let vals: BTreeMap<PVar, Rational> = [
-            (PVar(0), r(1, 2)),
-            (PVar(1), r(1, 3)),
-            (PVar(2), r(1, 4)),
-        ]
-        .into_iter()
-        .collect();
+        let vals: BTreeMap<PVar, Rational> =
+            [(PVar(0), r(1, 2)), (PVar(1), r(1, 3)), (PVar(2), r(1, 4))]
+                .into_iter()
+                .collect();
         assert_eq!(p.eval(&vals), r(5, 12));
     }
 

@@ -130,7 +130,9 @@ impl Clause {
         );
         atoms.sort();
         atoms.dedup();
-        Clause { atoms: canonicalize_vars(atoms) }
+        Clause {
+            atoms: canonicalize_vars(atoms),
+        }
     }
 
     /// Convenience: the middle clause `∀x∀y S_J(x,y)`.
@@ -208,16 +210,8 @@ impl Clause {
     /// variable mapping sending every atom of `self` into `target`.
     pub fn homomorphism_to(&self, target: &Clause) -> Option<BTreeMap<CVar, CVar>> {
         let my_vars: Vec<CVar> = self.vars().into_iter().collect();
-        let target_xs: Vec<CVar> = target
-            .vars()
-            .into_iter()
-            .filter(CVar::is_x)
-            .collect();
-        let target_ys: Vec<CVar> = target
-            .vars()
-            .into_iter()
-            .filter(CVar::is_y)
-            .collect();
+        let target_xs: Vec<CVar> = target.vars().into_iter().filter(CVar::is_x).collect();
+        let target_ys: Vec<CVar> = target.vars().into_iter().filter(CVar::is_y).collect();
         let target_atoms: BTreeSet<Atom> = target.atoms.iter().copied().collect();
         let mut assignment: BTreeMap<CVar, CVar> = BTreeMap::new();
         fn search(
@@ -530,10 +524,7 @@ mod tests {
     #[test]
     fn symbols_and_vars() {
         let c = Clause::left_ii(&[&[0], &[1]]);
-        assert_eq!(
-            c.symbols(),
-            [Pred::S(0), Pred::S(1)].into_iter().collect()
-        );
+        assert_eq!(c.symbols(), [Pred::S(0), Pred::S(1)].into_iter().collect());
         assert_eq!(c.vars().len(), 3); // x0, y0, y1
     }
 

@@ -25,9 +25,9 @@ pub fn cnf_implies(a: &Cnf, b: &Cnf) -> bool {
     if a.is_false() {
         return true;
     }
-    b.clauses().iter().all(|cb| {
-        a.clauses().iter().any(|ca| ca.subsumes(cb))
-    })
+    b.clauses()
+        .iter()
+        .all(|cb| a.clauses().iter().any(|ca| ca.subsumes(cb)))
 }
 
 /// One element of the lattice: a closed set with its conjunction and Möbius
@@ -59,15 +59,13 @@ impl MobiusLattice {
         let mut closed: Vec<(BTreeSet<usize>, Cnf)> = Vec::new();
         let mut seen: BTreeSet<BTreeSet<usize>> = BTreeSet::new();
         for mask in 0u32..(1u32 << m) {
-            let alpha: BTreeSet<usize> =
-                (0..m).filter(|i| mask >> i & 1 == 1).collect();
+            let alpha: BTreeSet<usize> = (0..m).filter(|i| mask >> i & 1 == 1).collect();
             let f_alpha = Cnf::and_all(alpha.iter().map(|&i| formulas[i].clone()));
             let closure: BTreeSet<usize> = (0..m)
                 .filter(|&i| cnf_implies(&f_alpha, &formulas[i]))
                 .collect();
             if seen.insert(closure.clone()) {
-                let f_closure =
-                    Cnf::and_all(closure.iter().map(|&i| formulas[i].clone()));
+                let f_closure = Cnf::and_all(closure.iter().map(|&i| formulas[i].clone()));
                 debug_assert_eq!(f_closure, f_alpha, "closure changes formula");
                 closed.push((closure, f_alpha));
             }
@@ -92,7 +90,11 @@ impl MobiusLattice {
                 // only those that are subsets of `set` participate.
                 -sum
             };
-            elements.push(LatticeElement { set, formula, mobius });
+            elements.push(LatticeElement {
+                set,
+                formula,
+                mobius,
+            });
         }
         MobiusLattice { elements }
     }
@@ -187,11 +189,8 @@ mod tests {
             lat.element(&set(&[0, 1, 2])).unwrap().mobius,
             Integer::zero()
         );
-        let support_sets: Vec<BTreeSet<usize>> = lat
-            .support()
-            .into_iter()
-            .map(|e| e.set.clone())
-            .collect();
+        let support_sets: Vec<BTreeSet<usize>> =
+            lat.support().into_iter().map(|e| e.set.clone()).collect();
         assert_eq!(support_sets.len(), 6);
         assert!(!support_sets.contains(&set(&[0, 1, 2])));
     }

@@ -48,16 +48,21 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn new(input: &'a str) -> Self {
-        Parser { input: input.as_bytes(), pos: 0 }
+        Parser {
+            input: input.as_bytes(),
+            pos: 0,
+        }
     }
 
     fn error<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { position: self.pos, message: message.into() })
+        Err(ParseError {
+            position: self.pos,
+            message: message.into(),
+        })
     }
 
     fn skip_ws(&mut self) {
-        while self.pos < self.input.len() && self.input[self.pos].is_ascii_whitespace()
-        {
+        while self.pos < self.input.len() && self.input[self.pos].is_ascii_whitespace() {
             self.pos += 1;
         }
     }
@@ -235,9 +240,8 @@ mod tests {
         {
             // Strip the outer query display into the parser format.
             let text = q.to_string();
-            let parsed = parse_query(&text).unwrap_or_else(|e| {
-                panic!("{name}: failed to parse back {text:?}: {e}")
-            });
+            let parsed = parse_query(&text)
+                .unwrap_or_else(|e| panic!("{name}: failed to parse back {text:?}: {e}"));
             assert_eq!(parsed, q, "{name}");
         }
     }

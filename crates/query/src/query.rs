@@ -69,12 +69,16 @@ impl BipartiteQuery {
 
     /// The constant `true` query.
     pub fn top() -> Self {
-        BipartiteQuery { clauses: Vec::new() }
+        BipartiteQuery {
+            clauses: Vec::new(),
+        }
     }
 
     /// The constant `false` query.
     pub fn bottom() -> Self {
-        BipartiteQuery { clauses: vec![Clause::new([])] }
+        BipartiteQuery {
+            clauses: vec![Clause::new([])],
+        }
     }
 
     /// True iff the constant `true`.
@@ -158,7 +162,10 @@ impl BipartiteQuery {
                 ClauseShape::Other => return None,
             }
         }
-        Some(QueryType { left: left?, right: right? })
+        Some(QueryType {
+            left: left?,
+            right: right?,
+        })
     }
 
     /// The rewriting `Q[p := value]` of Lemma 2.7: replaces every occurrence
@@ -169,12 +176,7 @@ impl BipartiteQuery {
         }
         if value {
             // Atoms of p become true: clauses mentioning p become true.
-            BipartiteQuery::new(
-                self.clauses
-                    .iter()
-                    .filter(|c| !c.mentions(p))
-                    .cloned(),
-            )
+            BipartiteQuery::new(self.clauses.iter().filter(|c| !c.mentions(p)).cloned())
         } else {
             // Atoms of p disappear from every clause.
             BipartiteQuery::new(self.clauses.iter().map(|c| c.drop_pred(p)))
@@ -221,9 +223,7 @@ impl BipartiteQuery {
     /// The middle part `C(x,y)` as a CNF over binary symbols (Eq. (48)).
     pub fn middle_cnf(&self) -> Cnf {
         Cnf::new(self.middle_clauses().iter().map(|c| match c.shape() {
-            ClauseShape::Middle(j) => {
-                PropClause::new(j.into_iter().map(Var))
-            }
+            ClauseShape::Middle(j) => PropClause::new(j.into_iter().map(Var)),
             _ => unreachable!(),
         }))
     }
@@ -462,11 +462,17 @@ mod tests {
     fn query_types() {
         assert_eq!(
             h1().query_type(),
-            Some(QueryType { left: PartType::I, right: PartType::I })
+            Some(QueryType {
+                left: PartType::I,
+                right: PartType::I
+            })
         );
         assert_eq!(
             example_c9().query_type(),
-            Some(QueryType { left: PartType::II, right: PartType::II })
+            Some(QueryType {
+                left: PartType::II,
+                right: PartType::II
+            })
         );
         assert_eq!(h0().query_type(), None); // not bipartite shape
         assert_eq!(safe_no_right().query_type(), None); // no right part

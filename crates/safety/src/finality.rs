@@ -14,9 +14,9 @@ pub fn is_final(q: &BipartiteQuery) -> bool {
     if !is_unsafe(q) {
         return false;
     }
-    q.symbols().into_iter().all(|p| {
-        is_safe(&q.set_symbol(p, false)) && is_safe(&q.set_symbol(p, true))
-    })
+    q.symbols()
+        .into_iter()
+        .all(|p| is_safe(&q.set_symbol(p, false)) && is_safe(&q.set_symbol(p, true)))
 }
 
 /// Greedily simplifies an unsafe query towards a final one: repeatedly
@@ -24,7 +24,10 @@ pub fn is_final(q: &BipartiteQuery) -> bool {
 /// (each step is hardness-preserving by Lemma 2.7). Returns the reached
 /// query together with the rewriting trace.
 pub fn simplify_to_final(q: &BipartiteQuery) -> (BipartiteQuery, Vec<(Pred, bool)>) {
-    assert!(is_unsafe(q), "only unsafe queries can be simplified to final");
+    assert!(
+        is_unsafe(q),
+        "only unsafe queries can be simplified to final"
+    );
     let mut cur = q.clone();
     let mut trace = Vec::new();
     'outer: loop {
@@ -74,7 +77,10 @@ pub fn is_final_type_i(q: &BipartiteQuery) -> bool {
     is_final(q)
         && matches!(
             q.query_type(),
-            Some(QueryType { left: PartType::I, right: PartType::I })
+            Some(QueryType {
+                left: PartType::I,
+                right: PartType::I
+            })
         )
 }
 
@@ -84,7 +90,10 @@ pub fn is_final_type_ii(q: &BipartiteQuery) -> bool {
     is_final(q)
         && matches!(
             q.query_type(),
-            Some(QueryType { left: PartType::II, right: PartType::II })
+            Some(QueryType {
+                left: PartType::II,
+                right: PartType::II
+            })
         )
 }
 

@@ -30,8 +30,7 @@ fn intersect_subclauses(q: &BipartiteQuery, left: bool) -> BTreeSet<u32> {
     for c in q.clauses() {
         let subclauses: Vec<BTreeSet<u32>> = match (c.shape(), left) {
             (ClauseShape::LeftI(j), true) | (ClauseShape::RightI(j), false) => vec![j],
-            (ClauseShape::LeftII(subs), true)
-            | (ClauseShape::RightII(subs), false) => subs,
+            (ClauseShape::LeftII(subs), true) | (ClauseShape::RightII(subs), false) => subs,
             _ => continue,
         };
         for j in subclauses {
@@ -83,8 +82,8 @@ pub fn all_minimal_left_right_paths(q: &BipartiteQuery) -> Vec<Vec<usize>> {
         }
     }
     let rightish = |i: usize| clause_role(&clauses[i]).rightish;
-    for start in 0..n {
-        if clause_role(&clauses[start]).leftish {
+    for (start, clause) in clauses.iter().enumerate() {
+        if clause_role(clause).leftish {
             stack.push(start);
             dfs(start, k, n, &shares, &rightish, &mut stack, &mut paths);
             stack.pop();

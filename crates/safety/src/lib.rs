@@ -19,8 +19,7 @@ pub mod lifted;
 pub mod paths;
 
 pub use finality::{
-    classify, is_final, is_final_type_i, is_final_type_ii, simplify_to_final,
-    Classification,
+    classify, is_final, is_final_type_i, is_final_type_ii, simplify_to_final, Classification,
 };
 pub use forbidden::{
     all_minimal_left_right_paths, is_forbidden_type_ii, left_ubiquitous_symbols,
@@ -28,8 +27,7 @@ pub use forbidden::{
 };
 pub use lifted::{lifted_probability, UnsafeQueryError};
 pub use paths::{
-    clause_role, is_safe, is_unsafe, query_length, shortest_left_right_path,
-    ClauseRole,
+    clause_role, is_safe, is_unsafe, query_length, shortest_left_right_path, ClauseRole,
 };
 
 #[cfg(test)]
@@ -98,7 +96,11 @@ mod dichotomy_tests {
                     for &v in tid.right_domain() {
                         tid2.set_prob(
                             Tuple::S(s, u, v),
-                            if value { Rational::one() } else { Rational::zero() },
+                            if value {
+                                Rational::one()
+                            } else {
+                                Rational::zero()
+                            },
                         );
                     }
                 }

@@ -39,10 +39,7 @@ impl std::error::Error for UnsafeQueryError {}
 
 /// Evaluates a *safe* bipartite query in polynomial time in the database.
 /// Returns [`UnsafeQueryError`] if the query has a left-right path.
-pub fn lifted_probability(
-    q: &BipartiteQuery,
-    tid: &Tid,
-) -> Result<Rational, UnsafeQueryError> {
+pub fn lifted_probability(q: &BipartiteQuery, tid: &Tid) -> Result<Rational, UnsafeQueryError> {
     if q.is_false() {
         return Ok(Rational::zero());
     }
@@ -135,16 +132,8 @@ struct GroundedClause {
 
 /// `Pr(component[a/x])` by Shannon expansion on the unary tuple followed by
 /// inclusion–exclusion over subclause choices.
-fn per_element_probability(
-    clauses: &[Clause],
-    tid: &Tid,
-    side: Side,
-    a: u32,
-) -> Rational {
-    let grounded: Vec<GroundedClause> = clauses
-        .iter()
-        .map(|c| ground_one_sided(c, side))
-        .collect();
+fn per_element_probability(clauses: &[Clause], tid: &Tid, side: Side, a: u32) -> Rational {
+    let grounded: Vec<GroundedClause> = clauses.iter().map(|c| ground_one_sided(c, side)).collect();
     let unary_tuple = match side {
         Side::Left => Tuple::R(a),
         Side::Right => Tuple::T(a),
@@ -190,7 +179,10 @@ fn ground_one_sided(c: &Clause, side: Side) -> GroundedClause {
             _ => panic!("clause is not one-sided for the chosen side"),
         }
     }
-    GroundedClause { has_unary, subclauses: groups.into_values().collect() }
+    GroundedClause {
+        has_unary,
+        subclauses: groups.into_values().collect(),
+    }
 }
 
 /// `Pr(∧_i ∨_ℓ E_{J_iℓ})` where `E_J = ∧_{b ∈ inner} S_J(a,b)` (resp.
@@ -216,9 +208,7 @@ fn conjunction_of_disjunctions(
         let mut next = Vec::with_capacity(disjuncts.len() * g.subclauses.len());
         for d in &disjuncts {
             for j in &g.subclauses {
-                next.push(d.and(&Cnf::of_clause(PropClause::new(
-                    j.iter().map(|&i| Var(i)),
-                ))));
+                next.push(d.and(&Cnf::of_clause(PropClause::new(j.iter().map(|&i| Var(i))))));
             }
         }
         next.sort_by_key(|c| format!("{c:?}"));
@@ -249,12 +239,7 @@ fn conjunction_of_disjunctions(
 }
 
 /// `Pr(∀ b ∈ inner: cell_cnf holds at (a,b))` — a product of small WMCs.
-fn universal_event_probability(
-    cell_cnf: &Cnf,
-    tid: &Tid,
-    side: Side,
-    a: u32,
-) -> Rational {
+fn universal_event_probability(cell_cnf: &Cnf, tid: &Tid, side: Side, a: u32) -> Rational {
     let inner: Vec<u32> = match side {
         Side::Left => tid.right_domain().to_vec(),
         Side::Right => tid.left_domain().to_vec(),
@@ -345,10 +330,7 @@ mod tests {
         // ∀y (S0 ∨ T): safe, product over V.
         let q = BipartiteQuery::new([gfomc_query::Clause::right_i([0])]);
         let tid = uniform_tid(&q, 2, 3);
-        assert_eq!(
-            lifted_probability(&q, &tid).unwrap(),
-            probability(&q, &tid)
-        );
+        assert_eq!(lifted_probability(&q, &tid).unwrap(), probability(&q, &tid));
     }
 
     #[test]
@@ -356,10 +338,7 @@ mod tests {
         // ∀x∀y (S0 ∨ S1): safe; treated as a left-side product.
         let q = BipartiteQuery::new([gfomc_query::Clause::middle([0, 1])]);
         let tid = uniform_tid(&q, 3, 2);
-        assert_eq!(
-            lifted_probability(&q, &tid).unwrap(),
-            probability(&q, &tid)
-        );
+        assert_eq!(lifted_probability(&q, &tid).unwrap(), probability(&q, &tid));
     }
 
     #[test]
@@ -367,10 +346,7 @@ mod tests {
         // H2[S0 := 1] is safe; its lifted value must match exact WMC.
         let q = catalog::hk(2).set_symbol(Pred::S(0), true);
         let tid = uniform_tid(&catalog::hk(2), 2, 2);
-        assert_eq!(
-            lifted_probability(&q, &tid).unwrap(),
-            probability(&q, &tid)
-        );
+        assert_eq!(lifted_probability(&q, &tid).unwrap(), probability(&q, &tid));
     }
 
     #[test]
@@ -380,10 +356,7 @@ mod tests {
         tid.set_prob(Tuple::R(0), Rational::zero());
         tid.set_prob(Tuple::S(0, 0, 100), Rational::from_ints(1, 3));
         tid.set_prob(Tuple::S(1, 1, 101), Rational::one());
-        assert_eq!(
-            lifted_probability(&q, &tid).unwrap(),
-            probability(&q, &tid)
-        );
+        assert_eq!(lifted_probability(&q, &tid).unwrap(), probability(&q, &tid));
     }
 
     #[test]

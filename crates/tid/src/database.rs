@@ -60,7 +60,12 @@ impl Tid {
         left.dedup();
         right.sort_unstable();
         right.dedup();
-        Tid { left, right, probs: BTreeMap::new(), default_prob }
+        Tid {
+            left,
+            right,
+            probs: BTreeMap::new(),
+            default_prob,
+        }
     }
 
     /// A TID where all unlisted tuples are present with probability 1

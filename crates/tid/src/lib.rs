@@ -16,8 +16,7 @@ pub mod lineage;
 
 pub use database::{Tid, Tuple};
 pub use evaluate::{
-    generalized_model_count, probability, probability_brute_force,
-    uncertain_tuple_count,
+    generalized_model_count, probability, probability_brute_force, uncertain_tuple_count,
 };
 pub use lineage::{lineage, Lineage, VarTable};
 

@@ -79,26 +79,30 @@ pub struct Lineage {
 pub fn lineage(q: &BipartiteQuery, tid: &Tid) -> Lineage {
     let mut vars = VarTable::default();
     if q.is_false() {
-        return Lineage { cnf: Cnf::bottom(), vars };
+        return Lineage {
+            cnf: Cnf::bottom(),
+            vars,
+        };
     }
     let mut clauses: Vec<PropClause> = Vec::new();
     for clause in q.clauses() {
         ground_clause(clause, tid, &mut vars, &mut clauses);
         // Early exit: a false ground clause makes the lineage false.
         if clauses.iter().any(|c| c.is_empty()) {
-            return Lineage { cnf: Cnf::bottom(), vars };
+            return Lineage {
+                cnf: Cnf::bottom(),
+                vars,
+            };
         }
     }
-    Lineage { cnf: Cnf::new(clauses), vars }
+    Lineage {
+        cnf: Cnf::new(clauses),
+        vars,
+    }
 }
 
 /// Grounds one query clause over all assignments of its sorted variables.
-fn ground_clause(
-    clause: &Clause,
-    tid: &Tid,
-    vars: &mut VarTable,
-    out: &mut Vec<PropClause>,
-) {
+fn ground_clause(clause: &Clause, tid: &Tid, vars: &mut VarTable, out: &mut Vec<PropClause>) {
     let xs: Vec<CVar> = clause.vars().into_iter().filter(CVar::is_x).collect();
     let ys: Vec<CVar> = clause.vars().into_iter().filter(CVar::is_y).collect();
     let u = tid.left_domain();
@@ -236,11 +240,7 @@ mod tests {
         tid.set_prob(Tuple::S(0, 0, 10), Rational::zero());
         let lin = lineage(&q, &tid);
         // Ground clause (R(0) ∨ S0(0,10)) became unit R(0).
-        assert!(lin
-            .cnf
-            .clauses()
-            .iter()
-            .any(|c| c.len() == 1));
+        assert!(lin.cnf.clauses().iter().any(|c| c.len() == 1));
     }
 
     #[test]

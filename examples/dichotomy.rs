@@ -29,7 +29,10 @@ fn main() {
     // ------------------------------------------------------------------
     // 1. Static classification of the whole catalog.
     // ------------------------------------------------------------------
-    println!("{:<22} {:>6} {:>7} {:>6} {:>10}", "query", "safe", "length", "final", "type");
+    println!(
+        "{:<22} {:>6} {:>7} {:>6} {:>10}",
+        "query", "safe", "length", "final", "type"
+    );
     println!("{}", "-".repeat(56));
     let all: Vec<(&str, BipartiteQuery)> = catalog::unsafe_catalog()
         .into_iter()

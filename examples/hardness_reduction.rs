@@ -46,10 +46,7 @@ fn main() {
     println!("\nrecovered undirected signature counts #k':");
     println!("  (k00, k01+10, k11) -> count");
     for (sig, count) in &outcome.signature_counts {
-        println!(
-            "  ({}, {}, {}) -> {}",
-            sig.k00, sig.k01_10, sig.k11, count
-        );
+        println!("  ({}, {}, {}) -> {}", sig.k00, sig.k01_10, sig.k11, count);
     }
     println!("\n#Φ recovered by the reduction = {}", outcome.model_count);
     let direct = phi.count_models();
@@ -66,7 +63,10 @@ fn main() {
     let more = [
         ("path-4", P2Cnf::new(4, vec![(0, 1), (1, 2), (2, 3)])),
         ("star-4", P2Cnf::new(4, vec![(0, 1), (0, 2), (0, 3)])),
-        ("cycle-4", P2Cnf::new(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)])),
+        (
+            "cycle-4",
+            P2Cnf::new(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]),
+        ),
     ];
     for (name, phi) in more {
         let out = reduce_p2cnf(&q, &phi, OracleMode::Factorized);

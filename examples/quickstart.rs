@@ -53,7 +53,10 @@ fn main() {
     // (c) the generalized model count (number of satisfying worlds)
     let count = generalized_model_count(&q, &db);
 
-    println!("Pr(Q)  via WMC         = {p_fast}  (~{:.6})", p_fast.to_f64());
+    println!(
+        "Pr(Q)  via WMC         = {p_fast}  (~{:.6})",
+        p_fast.to_f64()
+    );
     println!("Pr(Q)  via brute force = {p_brute}");
     println!("#models over 2^10 worlds = {count}");
     assert_eq!(p_fast, p_brute);

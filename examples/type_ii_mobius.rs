@@ -6,8 +6,7 @@
 
 use gfomc::core::ccp::{ccp_counts, pp2cnf_from_ccp, CcpInstance};
 use gfomc::core::reduction_type2::{
-    mobius_formula_probability, qab_map_is_invertible, theorem_c19_holds,
-    type_ii_lattices,
+    mobius_formula_probability, qab_map_is_invertible, theorem_c19_holds, type_ii_lattices,
 };
 use gfomc::prelude::*;
 
@@ -16,9 +15,7 @@ fn main() {
     // 1. The Möbius lattice of Example C.7.
     // ------------------------------------------------------------------
     use gfomc::logic::{Clause as PClause, Cnf};
-    let conj = |vars: &[u32]| -> Cnf {
-        Cnf::new(vars.iter().map(|&v| PClause::new([Var(v)])))
-    };
+    let conj = |vars: &[u32]| -> Cnf { Cnf::new(vars.iter().map(|&v| PClause::new([Var(v)]))) };
     // Y1 = Z1Z2, Y2 = Z1Z3, Y3 = Z2Z3.
     let lat = MobiusLattice::build(&[conj(&[1, 2]), conj(&[1, 3]), conj(&[2, 3])]);
     println!("Example C.7 lattice (closed set -> µ):");

@@ -37,7 +37,10 @@ fn demo(name: &str, q: &BipartiteQuery, nu: u32, nv: u32, seed: u64) {
     println!("Pr_∆(zg(Q))    = {lhs}");
     println!("Pr_zg(∆)(Q)    = {rhs}");
     assert_eq!(lhs, rhs, "Lemma A.1 violated");
-    println!("Lemma A.1 holds ✓  (GFOMC instance preserved: {})\n", zdb.is_gfomc_instance());
+    println!(
+        "Lemma A.1 holds ✓  (GFOMC instance preserved: {})\n",
+        zdb.is_gfomc_instance()
+    );
 }
 
 fn main() {
@@ -49,7 +52,13 @@ fn main() {
     demo("Example A.3 (Type I-II)", &catalog::example_a3(), 1, 1, 7);
 
     // Type II–II stays II–II, feeding the Appendix C machinery.
-    demo("Example C.15 (Type II-II)", &catalog::example_c15(), 1, 2, 3);
+    demo(
+        "Example C.15 (Type II-II)",
+        &catalog::example_c15(),
+        1,
+        2,
+        3,
+    );
 
     // Composition: zg(H1) is itself a final Type-I query, so the Type-I
     // reduction applies to it directly — the two halves of the pipeline

@@ -55,13 +55,12 @@ pub use gfomc_tid as tid;
 /// The commonly-used names, for `use gfomc::prelude::*`.
 pub mod prelude {
     pub use gfomc_arith::{Integer, Natural, QuadExt, Rational};
+    pub use gfomc_core::zigzag::{zg_database, zg_query, ZigzagQuery};
     pub use gfomc_core::{
         big_system, block_database, gfomc_nonroot, parallel_block, path_block,
-        probability_via_factorization, reduce_p2cnf, signature_counts,
-        transfer_matrix, ConstAlloc, EigenData, OracleMode, P2Cnf, Pp2Cnf,
-        ReductionOutcome,
+        probability_via_factorization, reduce_p2cnf, signature_counts, transfer_matrix, ConstAlloc,
+        EigenData, OracleMode, P2Cnf, Pp2Cnf, ReductionOutcome,
     };
-    pub use gfomc_core::zigzag::{zg_database, zg_query, ZigzagQuery};
     pub use gfomc_linalg::Matrix;
     pub use gfomc_logic::{wmc, Cnf, Var};
     pub use gfomc_poly::{arithmetize, PVar, Poly};
@@ -69,13 +68,11 @@ pub mod prelude {
         catalog, BipartiteQuery, Clause, MobiusLattice, PartType, Pred, QueryType,
     };
     pub use gfomc_safety::{
-        classify, is_final, is_final_type_i, is_final_type_ii,
-        is_forbidden_type_ii, is_safe, is_unsafe, left_ubiquitous_symbols,
-        lifted_probability, query_length, right_ubiquitous_symbols,
-        simplify_to_final, Classification,
+        classify, is_final, is_final_type_i, is_final_type_ii, is_forbidden_type_ii, is_safe,
+        is_unsafe, left_ubiquitous_symbols, lifted_probability, query_length,
+        right_ubiquitous_symbols, simplify_to_final, Classification,
     };
     pub use gfomc_tid::{
-        generalized_model_count, lineage, probability, probability_brute_force,
-        Tid, Tuple,
+        generalized_model_count, lineage, probability, probability_brute_force, Tid, Tuple,
     };
 }

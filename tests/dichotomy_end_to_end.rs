@@ -8,12 +8,7 @@ use rand::{Rng, SeedableRng};
 
 /// A random GFOMC database (probabilities in {0, ½, 1}) for a query over
 /// `nu × nv` with the given zero/one bias.
-fn random_gfomc_db(
-    q: &BipartiteQuery,
-    nu: u32,
-    nv: u32,
-    rng: &mut StdRng,
-) -> Tid {
+fn random_gfomc_db(q: &BipartiteQuery, nu: u32, nv: u32, rng: &mut StdRng) -> Tid {
     let left: Vec<u32> = (0..nu).collect();
     let right: Vec<u32> = (500..500 + nv).collect();
     let mut tid = Tid::all_present(left.clone(), right.clone());

@@ -36,7 +36,11 @@ fn reduction_on_random_formulas_h1() {
             phi.count_models(),
             "trial {trial}: {phi:?}"
         );
-        assert_eq!(out.signature_counts, signature_counts(&phi), "trial {trial}");
+        assert_eq!(
+            out.signature_counts,
+            signature_counts(&phi),
+            "trial {trial}"
+        );
     }
 }
 

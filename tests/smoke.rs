@@ -1,0 +1,56 @@
+//! Smoke test: the documented quickstart (README / `src/lib.rs` doctest /
+//! `examples/quickstart.rs`) end-to-end, as a plain integration test so the
+//! flow stays covered even if the doctest is ever downgraded to `no_run`.
+
+use gfomc::prelude::*;
+
+/// The all-½ FOMC instance over `U = {0}`, `V = {100}` for a query's
+/// vocabulary.
+fn all_half_db(q: &BipartiteQuery) -> Tid {
+    let mut db = Tid::all_present([0], [100]);
+    db.set_prob(Tuple::R(0), Rational::one_half());
+    for s in q.binary_symbols() {
+        db.set_prob(Tuple::S(s, 0, 100), Rational::one_half());
+    }
+    db.set_prob(Tuple::T(100), Rational::one_half());
+    db
+}
+
+#[test]
+fn quickstart_h1_classification_and_probability() {
+    // H1 = ∀x∀y (R(x) ∨ S(x,y)) ∧ (S(x,y) ∨ T(y)) is the paper's running
+    // unsafe query: already final, so its hardness needs no simplification.
+    let q = catalog::h1();
+    let report = classify(&q);
+    assert!(!report.safe, "H1 must classify unsafe");
+    assert!(report.is_final, "H1 must classify final");
+    assert!(is_unsafe(&q) && !is_safe(&q));
+
+    // On the single-cell all-½ instance: Pr(H1) = 5/8. (Of the 8 worlds
+    // over {R(0), S(0,100), T(100)}, exactly 5 satisfy both clauses.)
+    let db = all_half_db(&q);
+    assert!(db.is_fomc_instance());
+    let p = probability(&q, &db);
+    assert_eq!(p, Rational::from_ints(5, 8));
+
+    // The exact engine agrees with the possible-world brute force.
+    assert_eq!(p, probability_brute_force(&q, &db));
+}
+
+#[test]
+fn quickstart_lifted_evaluator_side_of_the_dichotomy() {
+    // The easy side: every safe catalog query evaluates in PTIME via the
+    // lifted plan, and the lifted result matches the generic WMC engine.
+    for (name, q) in catalog::safe_catalog() {
+        let report = classify(&q);
+        assert!(report.safe, "{name} must classify safe");
+        let db = all_half_db(&q);
+        let lifted = lifted_probability(&q, &db)
+            .unwrap_or_else(|e| panic!("lifted evaluation refused safe query {name}: {e:?}"));
+        assert_eq!(lifted, probability(&q, &db), "lifted vs WMC on {name}");
+    }
+
+    // And it refuses the unsafe H1 rather than answering incorrectly.
+    let q = catalog::h1();
+    assert!(lifted_probability(&q, &all_half_db(&q)).is_err());
+}

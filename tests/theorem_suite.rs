@@ -3,8 +3,7 @@
 //! test form (E2–E6, E8, E9).
 
 use gfomc::core::small_matrix::{
-    block_small_matrix, corollary_3_18_constant, lemma_1_2_agrees,
-    theorem_3_16_at_half,
+    block_small_matrix, corollary_3_18_constant, lemma_1_2_agrees, theorem_3_16_at_half,
 };
 use gfomc::core::transfer::{lemma_3_19_holds, proposition_3_20_holds};
 use gfomc::prelude::*;
@@ -41,7 +40,10 @@ fn e5_theorem_3_14_conditions_exact() {
         assert!(e.theorem_3_14_conditions(), "{name}");
         // λ are irrational here (disc not a perfect square) — the exact
         // quadratic-field arithmetic is doing real work.
-        assert!(!e.lambda1.is_rational() || !e.lambda2.is_rational(), "{name}");
+        assert!(
+            !e.lambda1.is_rational() || !e.lambda2.is_rational(),
+            "{name}"
+        );
     }
 }
 
@@ -49,8 +51,7 @@ fn e5_theorem_3_14_conditions_exact() {
 fn e6_big_system_nonsingular() {
     for (name, q) in final_type_i_catalog() {
         for m in 1..=3 {
-            let z: Vec<Matrix<Rational>> =
-                (1..=m + 1).map(|p| transfer_matrix(&q, p)).collect();
+            let z: Vec<Matrix<Rational>> = (1..=m + 1).map(|p| transfer_matrix(&q, p)).collect();
             let sys = big_system(&z, m);
             assert!(sys.matrix.is_invertible(), "{name} m={m}");
         }

@@ -27,10 +27,7 @@ fn pipeline_classification_consistency() {
     assert!(!is_forbidden_type_ii(&c9));
     let shattered = shattering::shattered_query();
     assert!(is_unsafe(&shattered));
-    assert_eq!(
-        shattered.query_type().map(|t| t.left),
-        Some(PartType::I)
-    );
+    assert_eq!(shattered.query_type().map(|t| t.left), Some(PartType::I));
 }
 
 #[test]
@@ -117,7 +114,10 @@ fn type2_block_lineage_distinguishes_lattice_corners() {
     let p_s = gfomc::logic::wmc(&cnf_s, vars_s.weights());
     let p_b = gfomc::logic::wmc(&cnf_b, vars_b.weights());
     assert!(p_b <= p_s, "stronger G_α must not increase probability");
-    assert!(p_b < p_s, "corners should be strictly separated on this block");
+    assert!(
+        p_b < p_s,
+        "corners should be strictly separated on this block"
+    );
 }
 
 #[test]

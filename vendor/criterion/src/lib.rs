@@ -1,0 +1,279 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this vendored crate provides the subset of the criterion 0.5 API that the
+//! `gfomc-bench` targets use — [`Criterion`], [`BenchmarkGroup`],
+//! [`BenchmarkId`], [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: each benchmark is warmed up briefly,
+//! then timed over `sample_size` samples whose per-iteration medians are
+//! reported to stdout. There are no plots, baselines, or statistical
+//! regression tests — good enough to regenerate the experiment timing series
+//! and to keep `cargo bench` runnable offline.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver handed to every `criterion_group!` target.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Warm-up budget before sampling starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Command-line configuration is accepted but ignored by this stand-in.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self, name, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Printed by [`criterion_main!`] after all groups run.
+    pub fn final_summary(&self) {}
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run `f` as `group_name/id`.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_one(self.criterion, &full, f);
+        self
+    }
+
+    /// Run `f` as `group_name/id` with a borrowed input value.
+    pub fn bench_with_input<I, F, T: ?Sized>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher, &T),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_one(self.criterion, &full, |b| f(b, input));
+        self
+    }
+
+    /// End the group. (No summary state to flush in this stand-in.)
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Identify a benchmark by its parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl<S: Into<String>> From<S> for BenchmarkId {
+    fn from(s: S) -> Self {
+        BenchmarkId { id: s.into() }
+    }
+}
+
+/// Times the closure handed to [`Bencher::iter`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `f` `self.iters` times, recording total elapsed wall-clock time.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F>(config: &Criterion, name: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up: also estimates a per-iteration cost so each sample's
+    // iteration count roughly fits the measurement budget.
+    let warm_start = Instant::now();
+    let mut warm_iters: u64 = 0;
+    while warm_start.elapsed() < config.warm_up_time || warm_iters == 0 {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        warm_iters += 1;
+    }
+    let per_iter = warm_start.elapsed() / warm_iters.max(1) as u32;
+
+    let per_sample = config.measurement_time / config.sample_size.max(1) as u32;
+    let iters = if per_iter.is_zero() {
+        1
+    } else {
+        (per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+    };
+
+    let mut samples: Vec<Duration> = Vec::with_capacity(config.sample_size);
+    for _ in 0..config.sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples.push(b.elapsed / iters as u32);
+    }
+    samples.sort();
+    let median = samples[samples.len() / 2];
+    let (lo, hi) = (samples[0], samples[samples.len() - 1]);
+    println!(
+        "{name:<40} time: [{lo:>10.2?} {median:>10.2?} {hi:>10.2?}]  ({} samples × {} iters)",
+        samples.len(),
+        iters
+    );
+}
+
+/// Bundle benchmark functions into a named group, with optional shared
+/// configuration — both forms of the real macro are accepted.
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = ::core::default::Default::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// The `main` of a `harness = false` bench target: run every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass harness flags (`--bench`,
+            // filters); this stand-in runs everything regardless.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("grouped");
+        for n in [1u64, 2] {
+            group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+                b.iter(|| black_box(n * n))
+            });
+        }
+        group.bench_function("named", |b| b.iter(|| black_box(0)));
+        group.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        targets = sample_bench
+    }
+
+    criterion_group!(default_config_benches, sample_bench);
+
+    #[test]
+    fn groups_run_to_completion() {
+        benches();
+        default_config_benches();
+    }
+}

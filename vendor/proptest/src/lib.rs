@@ -1,0 +1,620 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this vendored crate reimplements the subset of the proptest 1.x API that
+//! the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with the `#![proptest_config(..)]` inner
+//!   attribute) and the [`prop_assert!`] / [`prop_assert_eq!`] /
+//!   [`prop_assert_ne!`] assertions;
+//! * the [`strategy::Strategy`] trait with `prop_map`, implemented for
+//!   integer ranges, tuples, [`strategy::Just`], and [`strategy::Union`]
+//!   (the target of [`prop_oneof!`]);
+//! * [`arbitrary::any`] for the primitive types;
+//! * [`collection::vec`] / [`collection::btree_set`] /
+//!   [`collection::btree_map`].
+//!
+//! Differences from real proptest, chosen deliberately for an offline,
+//! deterministic test suite: inputs are drawn from a fixed-seed SplitMix64
+//! generator (every run explores the same cases), and failing cases are
+//! reported but **not shrunk**.
+
+pub mod test_runner {
+    //! Deterministic case generation.
+
+    /// The per-`proptest!` configuration. Exported from the prelude as
+    /// `ProptestConfig`, matching real proptest.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases each property is checked against.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // Real proptest defaults to 256; this offline stand-in defaults
+            // lower because several properties here cross-check against
+            // exponential brute-force oracles.
+            Config { cases: 64 }
+        }
+    }
+
+    /// Deterministic SplitMix64 generator feeding every strategy.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// The fixed-seed generator used by the [`crate::proptest!`] macro.
+        pub fn deterministic() -> Self {
+            TestRng {
+                state: 0x9A9C_B3A1_5EED_C0DE,
+            }
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// A uniform sample from `[0, n)`.
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0, "cannot sample below 0");
+            self.next_u64() % n
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of type [`Strategy::Value`].
+    ///
+    /// Unlike real proptest there is no value tree / shrinking: a strategy
+    /// simply produces a fresh value from the deterministic RNG.
+    pub trait Strategy {
+        type Value;
+
+        /// Draw one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map {
+                source: self,
+                map: f,
+            }
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy, as produced by [`Strategy::boxed`].
+    pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+    /// Helper used by [`crate::prop_oneof!`] to erase each branch's type.
+    pub fn boxed_branch<S: Strategy + 'static>(s: S) -> BoxedStrategy<S::Value> {
+        Box::new(s)
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).new_value(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).new_value(rng)
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        map: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.map)(self.source.new_value(rng))
+        }
+    }
+
+    /// Always generates a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between several strategies for the same value type;
+    /// the target of [`crate::prop_oneof!`].
+    pub struct Union<V> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one branch");
+            Union { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn new_value(&self, rng: &mut TestRng) -> V {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].new_value(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let off = (rng.next_u64() as u128) % span;
+                    (lo as i128 + off as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.new_value(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+}
+
+pub mod arbitrary {
+    //! [`any`] — the default strategy for a type.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use core::marker::PhantomData;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug, Clone)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    /// The canonical strategy for `T` (full value range for primitives).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::{BTreeMap, BTreeSet};
+
+    /// A range of collection sizes; built from `usize` (exact) or
+    /// `Range<usize>` (half-open), mirroring proptest's `SizeRange`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl SizeRange {
+        fn pick(self, rng: &mut TestRng) -> usize {
+            assert!(self.lo < self.hi_exclusive, "empty size range");
+            self.lo + rng.below((self.hi_exclusive - self.lo) as u64) as usize
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_exclusive: *r.end() + 1,
+            }
+        }
+    }
+
+    /// `Vec`s of `size` values drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// `BTreeSet`s of `size` distinct values drawn from `element`.
+    ///
+    /// If `element`'s value space is too small to reach the requested
+    /// minimum size, generation panics after a bounded number of attempts
+    /// rather than looping forever.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.pick(rng);
+            let mut set = BTreeSet::new();
+            let mut attempts = 0usize;
+            while set.len() < target {
+                set.insert(self.element.new_value(rng));
+                attempts += 1;
+                if attempts > 100 * target.max(1) && set.len() >= self.size.lo {
+                    break;
+                }
+                assert!(
+                    attempts <= 10_000,
+                    "btree_set strategy cannot reach minimum size {}",
+                    self.size.lo
+                );
+            }
+            set
+        }
+    }
+
+    /// `BTreeMap`s of `size` distinct keys from `key` with values from
+    /// `value`.
+    pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.pick(rng);
+            let mut map = BTreeMap::new();
+            let mut attempts = 0usize;
+            while map.len() < target {
+                map.insert(self.key.new_value(rng), self.value.new_value(rng));
+                attempts += 1;
+                if attempts > 100 * target.max(1) && map.len() >= self.size.lo {
+                    break;
+                }
+                assert!(
+                    attempts <= 10_000,
+                    "btree_map strategy cannot reach minimum size {}",
+                    self.size.lo
+                );
+            }
+            map
+        }
+    }
+}
+
+/// Define property tests: each `fn name(arg in strategy, ..) { body }` item
+/// becomes a test that checks `body` against `cases` generated inputs.
+///
+/// Accepts an optional leading `#![proptest_config(expr)]` like real
+/// proptest. On failure the test aborts at the first failing case, printing
+/// the case number to stderr before propagating the panic; since the
+/// generator seed is fixed, rerunning reproduces the same inputs (there is
+/// no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = (<$crate::test_runner::Config as ::core::default::Default>::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (
+        config = ($cfg:expr);
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::Config = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::deterministic();
+                for __case in 0..__config.cases {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::new_value(&($strat), &mut __rng);
+                    )+
+                    let __run = || { $body };
+                    let __result = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(__run),
+                    );
+                    if let ::std::result::Result::Err(__panic) = __result {
+                        eprintln!(
+                            "proptest: case {} of {} failed (fixed seed: rerun regenerates the same inputs)",
+                            __case, __config.cases
+                        );
+                        ::std::panic::resume_unwind(__panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Skip the current generated case when its precondition fails. Only
+/// meaningful inside [`proptest!`], whose per-case closure this returns
+/// from; skipped cases still count toward the configured case total.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// `assert!` under a name the proptest API exposes inside [`proptest!`].
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// `assert_eq!` under a name the proptest API exposes inside [`proptest!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*)
+    };
+}
+
+/// `assert_ne!` under a name the proptest API exposes inside [`proptest!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_ne!($left, $right, $($fmt)*)
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::boxed_branch($strat)),+
+        ])
+    };
+}
+
+pub mod prelude {
+    //! The glob-import surface, mirroring `proptest::prelude`.
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(a in 0u32..8, b in -5i64..=5) {
+            prop_assert!(a < 8);
+            prop_assert!((-5..=5).contains(&b));
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(v in crate::collection::vec((0u8..3, 1i32..4), 0..5)) {
+            prop_assert!(v.len() < 5);
+            for (a, b) in v {
+                prop_assert!(a < 3 && (1..4).contains(&b));
+            }
+        }
+
+        #[test]
+        fn sets_hit_requested_sizes(s in crate::collection::btree_set(0u32..8, 1..4)) {
+            prop_assert!(!s.is_empty() && s.len() < 4);
+        }
+
+        #[test]
+        fn oneof_draws_each_branch(x in prop_oneof![0u32..1, 10u32..11]) {
+            prop_assert!(x == 0 || x == 10);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        #[test]
+        fn config_attribute_parses(x in any::<u64>()) {
+            let _ = x;
+        }
+    }
+
+    #[test]
+    fn union_covers_all_branches() {
+        use crate::strategy::Strategy;
+        let u = prop_oneof![0u32..1, 1u32..2, 2u32..3];
+        let mut rng = crate::test_runner::TestRng::deterministic();
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[u.new_value(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,170 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this vendored crate provides the (small, deterministic) subset of the
+//! `rand 0.8` API that the integration suites use: [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`], and the [`Rng`] extension methods
+//! `gen`, `gen_range`, and `gen_bool`.
+//!
+//! The generator is SplitMix64 — statistically fine for randomized test
+//! inputs, explicitly **not** cryptographic. Sequences are stable across
+//! platforms and releases of this workspace so that seeded tests stay
+//! reproducible.
+
+/// A source of random `u64` words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from their full value range by
+/// [`Rng::gen`]. Stand-in for sampling from rand's `Standard` distribution.
+pub trait Standard: Sized {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] accepts, mirroring `rand`'s `SampleRange`.
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128) % span;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The user-facing extension trait, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// A uniform sample from `T`'s full value range.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A uniform sample from `range` (half-open or inclusive).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        // 53 random bits → uniform in [0, 1).
+        let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        u < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic SplitMix64 generator, stand-in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            let x: u64 = a.gen();
+            assert_eq!(x, b.gen::<u64>());
+        }
+        for _ in 0..1000 {
+            let x = a.gen_range(0..4u32);
+            assert!(x < 4);
+            let y = a.gen_range(-3..=3i64);
+            assert!((-3..=3).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(!(0..50).any(|_| rng.gen_bool(0.0)));
+        assert!((0..50).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn ranges_cover_all_values() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.gen_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
