@@ -1,0 +1,88 @@
+//! The engine's headline claim: compile-once / evaluate-many beats N
+//! independent WMC runs on a block-TID workload.
+//!
+//! The workload is the paper's own shape (§3, Theorem 3.4): one block
+//! database, one lineage, *many* weight assignments. The `independent_wmc`
+//! series re-grounds the query and re-runs Shannon expansion for every
+//! assignment (what callers did before `gfomc-engine`); the
+//! `compile_once` series compiles the lineage once and prices every
+//! assignment with a bottom-up circuit pass.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gfomc_engine::workload::{random_block_tid, random_weightings};
+use gfomc_engine::{Engine, TupleWeights};
+use gfomc_logic::wmc;
+use gfomc_query::{catalog, BipartiteQuery};
+use gfomc_tid::{lineage, Tid};
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Number of weight assignments per workload — the acceptance bar is ≥ 10.
+const N_WEIGHTS: usize = 12;
+
+fn workload(q: &BipartiteQuery, nu: u32, nv: u32) -> (Tid, Vec<TupleWeights>) {
+    let mut rng = StdRng::seed_from_u64(0xB10C);
+    let tid = random_block_tid(&mut rng, q, nu, nv);
+    let support = Engine::new().compile(q, &tid).tuples();
+    let weightings = random_weightings(&mut rng, &support, N_WEIGHTS);
+    (tid, weightings)
+}
+
+/// The legacy path: one full lineage + Shannon expansion per assignment.
+fn independent_wmc(q: &BipartiteQuery, tid: &Tid, weightings: &[TupleWeights]) -> usize {
+    let mut out = 0;
+    for w in weightings {
+        let mut db = tid.clone();
+        for (&t, p) in w.iter() {
+            db.set_prob(t, p.clone());
+        }
+        let lin = lineage(q, &db);
+        let p = wmc(&lin.cnf, lin.vars.weights());
+        out += usize::from(!p.is_zero());
+    }
+    out
+}
+
+/// The compiled path: one compilation, then one circuit pass per assignment.
+fn compile_once(q: &BipartiteQuery, tid: &Tid, weightings: &[TupleWeights]) -> usize {
+    let compiled = Engine::new().compile(q, tid);
+    compiled
+        .evaluate_batch(weightings)
+        .iter()
+        .filter(|p| !p.is_zero())
+        .count()
+}
+
+fn bench_engine_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_batch_h1");
+    for (nu, nv) in [(2u32, 2u32), (3, 3)] {
+        let q = catalog::h1();
+        let (tid, weightings) = workload(&q, nu, nv);
+        group.bench_with_input(
+            BenchmarkId::new("compile_once", format!("{nu}x{nv}x{N_WEIGHTS}")),
+            &(),
+            |b, ()| b.iter(|| compile_once(&q, &tid, &weightings)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("independent_wmc", format!("{nu}x{nv}x{N_WEIGHTS}")),
+            &(),
+            |b, ()| b.iter(|| independent_wmc(&q, &tid, &weightings)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_engine_batch_h2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_batch_h2");
+    let q = catalog::hk(2);
+    let (tid, weightings) = workload(&q, 2, 2);
+    group.bench_function(BenchmarkId::new("compile_once", N_WEIGHTS), |b| {
+        b.iter(|| compile_once(&q, &tid, &weightings))
+    });
+    group.bench_function(BenchmarkId::new("independent_wmc", N_WEIGHTS), |b| {
+        b.iter(|| independent_wmc(&q, &tid, &weightings))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_batch, bench_engine_batch_h2);
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! CI perf-tracking entry point: runs a fixed, small benchmark suite and
+//! writes per-bench wall-times as JSON (default `BENCH_pr2.json`, or the
+//! path given as the first argument).
+//!
+//! This exists so the perf trajectory accumulates as an artifact per PR.
+//! Timings are medians of a few repetitions on whatever machine CI hands
+//! us, so they are *tracking* numbers, not statistics — the CI job must
+//! never fail on them, only on compile errors.
+
+use gfomc_arith::Rational;
+use gfomc_bench::uniform_db;
+use gfomc_core::{reduce_p2cnf, OracleMode, P2Cnf};
+use gfomc_engine::workload::{random_block_tid, random_weightings};
+use gfomc_engine::{Engine, TupleWeights};
+use gfomc_logic::{wmc, Clause, Cnf, UniformWeight, Var};
+use gfomc_query::{catalog, BipartiteQuery};
+use gfomc_safety::lifted_probability;
+use gfomc_tid::{lineage, Tid};
+use rand::{rngs::StdRng, SeedableRng};
+use std::time::Instant;
+
+/// Median wall-time of `reps` runs, in seconds.
+fn time_median(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn path_cnf(n: u32) -> Cnf {
+    Cnf::new((0..n).map(|i| Clause::new([Var(i), Var(i + 1)])))
+}
+
+fn engine_workload(q: &BipartiteQuery, nu: u32, nv: u32, k: usize) -> (Tid, Vec<TupleWeights>) {
+    let mut rng = StdRng::seed_from_u64(0xB10C);
+    let tid = random_block_tid(&mut rng, q, nu, nv);
+    let support = Engine::new().compile(q, &tid).tuples();
+    let weightings = random_weightings(&mut rng, &support, k);
+    (tid, weightings)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pr2.json".to_string());
+    let reps = 5;
+    let mut entries: Vec<(String, f64)> = Vec::new();
+    let mut record = |name: &str, secs: f64| {
+        println!("{name:<44} {secs:.6}s");
+        entries.push((name.to_string(), secs));
+    };
+
+    // Substrate: the legacy Shannon counter on a path CNF.
+    let half = UniformWeight(Rational::one_half());
+    let path = path_cnf(48);
+    record(
+        "wmc_path_48",
+        time_median(reps, || {
+            std::hint::black_box(wmc(&path, &half));
+        }),
+    );
+
+    // The headline comparison: compile-once/evaluate-many vs N independent
+    // WMC runs on a block-TID workload with 12 weight assignments.
+    let q = catalog::h1();
+    let (tid, weightings) = engine_workload(&q, 3, 3, 12);
+    let compile_once = time_median(reps, || {
+        let compiled = Engine::new().compile(&q, &tid);
+        std::hint::black_box(compiled.evaluate_batch(&weightings));
+    });
+    record("engine_compile_once_h1_3x3_12w", compile_once);
+    let independent = time_median(reps, || {
+        for w in &weightings {
+            let mut db = tid.clone();
+            for (&t, p) in w.iter() {
+                db.set_prob(t, p.clone());
+            }
+            let lin = lineage(&q, &db);
+            std::hint::black_box(wmc(&lin.cnf, lin.vars.weights()));
+        }
+    });
+    record("wmc_independent_h1_3x3_12w", independent);
+    let speedup = if compile_once > 0.0 {
+        independent / compile_once
+    } else {
+        0.0
+    };
+    println!(
+        "{:<44} {speedup:.2}x",
+        "engine_speedup (independent/compiled)"
+    );
+
+    // Lifted (PTIME) evaluation on a safe query over a large domain.
+    let safe = catalog::safe_three_components();
+    let big = uniform_db(&safe, 24, 24);
+    record(
+        "lifted_safe_24x24",
+        time_median(reps, || {
+            std::hint::black_box(lifted_probability(&safe, &big).unwrap());
+        }),
+    );
+
+    // One full Cook reduction through the factorized oracle.
+    let phi = P2Cnf::new(3, vec![(0, 1), (1, 2), (0, 2)]);
+    record(
+        "reduction_h1_triangle_factorized",
+        time_median(reps, || {
+            std::hint::black_box(reduce_p2cnf(&q, &phi, OracleMode::Factorized));
+        }),
+    );
+
+    let json: String = {
+        let fields: Vec<String> = entries
+            .iter()
+            .map(|(name, secs)| format!("    \"{name}\": {secs:.9}"))
+            .collect();
+        format!(
+            "{{\n  \"schema\": \"gfomc-bench-v1\",\n  \"unit\": \"seconds\",\n  \"engine_speedup\": {speedup:.4},\n  \"benches\": {{\n{}\n  }}\n}}\n",
+            fields.join(",\n")
+        )
+    };
+    std::fs::write(&out_path, json).expect("write bench JSON");
+    println!("wrote {out_path}");
+}

@@ -31,8 +31,9 @@ use std::collections::BTreeMap;
 /// How the reduction obtains `Pr_∆(Q)`.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum OracleMode {
-    /// Materialize the full block database and run the exact WMC engine —
-    /// the literal oracle of the reduction. Use for small instances.
+    /// Materialize the full block database and run the exact oracle (which
+    /// compiles the lineage and evaluates the circuit) — the literal oracle
+    /// of the reduction. Use for small instances.
     FullWmc,
     /// Evaluate via the factorization of Theorem 3.4 (Eq. (8)) using the
     /// precomputed transfer matrices. Verified equal to `FullWmc` by the

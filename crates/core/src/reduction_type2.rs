@@ -20,7 +20,7 @@
 //! choices of Theorem C.38.
 
 use gfomc_arith::Rational;
-use gfomc_logic::{wmc, Cnf, Var};
+use gfomc_logic::{Cnf, Compiler, NodeId, Valuation, Var, WeightsFromFn};
 use gfomc_query::{cnf_implies, BipartiteQuery, ClauseShape, MobiusLattice};
 use gfomc_tid::{probability, Tid, Tuple};
 use std::collections::HashMap;
@@ -132,21 +132,30 @@ pub fn mobius_formula_probability(
     let q_cell = cell_cnf_of_query(q);
     let left0 = lats.left.strict_support();
     let right0 = lats.right.strict_support();
-    // Per-(pair, α, β) block probability Pr(Y_αβ(u,v)).
-    let mut cache: HashMap<(u32, u32, usize, usize), Rational> = HashMap::new();
-    let mut y = |u: u32, v: u32, ai: usize, bi: usize| -> Rational {
-        if let Some(hit) = cache.get(&(u, v, ai, bi)) {
-            return hit.clone();
+    // Compile every cell formula `Q_αβ` once, into one shared pool — the
+    // cells are conjunctions over the same symbol variables, so their
+    // cofactors overlap heavily. One bottom-up pass per `(u, v)` then
+    // prices *all* of them under that cell's probabilities, instead of one
+    // Shannon expansion per (pair, α, β).
+    let mut compiler = Compiler::new();
+    let roots: Vec<Vec<NodeId>> = left0
+        .iter()
+        .map(|a| {
+            right0
+                .iter()
+                .map(|b| compiler.compile(&qab_cell_cnf(&q_cell, &a.formula, &b.formula)))
+                .collect()
+        })
+        .collect();
+    let mut valuations: HashMap<(u32, u32), Valuation> = HashMap::new();
+    for u in 0..nu {
+        for v in 0..nv {
+            let w = WeightsFromFn(|var: Var| prob(var.0, u, v));
+            valuations.insert((u, v), compiler.evaluate_all(&w));
         }
-        let f = qab_cell_cnf(&q_cell, &left0[ai].formula, &right0[bi].formula);
-        let weights: HashMap<Var, Rational> = f
-            .vars()
-            .into_iter()
-            .map(|var| (var, prob(var.0, u, v)))
-            .collect();
-        let p = wmc(&f, &weights);
-        cache.insert((u, v, ai, bi), p.clone());
-        p
+    }
+    let y = |u: u32, v: u32, ai: usize, bi: usize| -> Rational {
+        valuations[&(u, v)].value(roots[ai][bi]).clone()
     };
     let mut total = Rational::zero();
     let mut sigma = vec![0usize; nu as usize];

@@ -14,11 +14,14 @@
 use crate::block::{path_block, ConstAlloc};
 use gfomc_arith::Rational;
 use gfomc_linalg::Matrix;
-use gfomc_logic::ModelCounter;
+use gfomc_logic::{Circuit, Var, WeightsFromFn};
 use gfomc_query::BipartiteQuery;
 use gfomc_tid::{lineage, Tuple};
 
-/// Computes `A(p)` for a Type-I query by direct lineage WMC on `B_p(u,v)`.
+/// Computes `A(p)` for a Type-I query: the block lineage of `B_p(u,v)` is
+/// compiled **once**, then the four endpoint settings of Eq. (20) are four
+/// evaluations of the same circuit with `R(u)`, `R(v)` forced to 0/1 (the
+/// Shannon gates degenerate to the forced branch arithmetically).
 pub fn transfer_matrix(q: &BipartiteQuery, p: usize) -> Matrix<Rational> {
     let mut alloc = ConstAlloc::new(2, 0);
     let tid = path_block(q, 0, 1, p, &mut alloc);
@@ -32,14 +35,30 @@ pub fn transfer_matrix(q: &BipartiteQuery, p: usize) -> Matrix<Rational> {
         .lookup(&Tuple::R(1))
         .expect("R(v) must appear in a Type-I block lineage");
     let weights = lin.vars.weights();
-    let mut counter = ModelCounter::new(weights);
-    let z = |counter: &mut ModelCounter<_>, a: bool, b: bool| {
-        counter.probability(&lin.cnf.restrict(var_u, a).restrict(var_v, b))
+    let circuit = Circuit::compile(&lin.cnf);
+    let z = |a: bool, b: bool| {
+        let endpoint = |on: bool| {
+            if on {
+                Rational::one()
+            } else {
+                Rational::zero()
+            }
+        };
+        let w = WeightsFromFn(|v: Var| {
+            if v == var_u {
+                endpoint(a)
+            } else if v == var_v {
+                endpoint(b)
+            } else {
+                weights[&v].clone()
+            }
+        });
+        circuit.evaluate(&w)
     };
-    let z00 = z(&mut counter, false, false);
-    let z01 = z(&mut counter, false, true);
-    let z10 = z(&mut counter, true, false);
-    let z11 = z(&mut counter, true, true);
+    let z00 = z(false, false);
+    let z01 = z(false, true);
+    let z10 = z(true, false);
+    let z11 = z(true, true);
     Matrix::from_rows(vec![vec![z00, z01], vec![z10, z11]])
 }
 

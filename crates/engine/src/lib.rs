@@ -1,0 +1,343 @@
+//! # gfomc-engine
+//!
+//! Knowledge-compiled query evaluation: compile the lineage of a query over
+//! a TID **once** into a d-DNNF-style arithmetic circuit, then evaluate it
+//! under **many** weight assignments, each in time linear in the circuit.
+//!
+//! The naive oracle ([`gfomc_tid::probability`]) re-runs Shannon expansion
+//! from scratch for every query/weight pair. But the paper's block
+//! constructions (§3, Theorem 3.4) — and any workload sweeping tuple
+//! probabilities over a fixed database — evaluate the *same* lineage under
+//! *many* weight assignments. That is exactly the workload knowledge
+//! compilation amortizes:
+//!
+//! ```
+//! use gfomc_engine::{Engine, TupleWeights};
+//! use gfomc_arith::Rational;
+//! use gfomc_query::catalog;
+//! use gfomc_tid::{Tid, Tuple};
+//!
+//! let q = catalog::h1();
+//! let mut tid = Tid::all_present([0], [10]);
+//! tid.set_prob(Tuple::R(0), Rational::one_half());
+//! tid.set_prob(Tuple::S(0, 0, 10), Rational::one_half());
+//! tid.set_prob(Tuple::T(10), Rational::one_half());
+//!
+//! let mut engine = Engine::new();
+//! let compiled = engine.compile(&q, &tid);          // lineage + circuit, once
+//! let base = compiled.evaluate_db();                 // Pr at the stored probabilities
+//! let swept = compiled.evaluate(                     // Pr with R(0) forced present
+//!     &TupleWeights::new().with(Tuple::R(0), Rational::one()),
+//! );
+//! assert!(base < swept);
+//! ```
+//!
+//! The compiled form is exact: evaluation returns the same [`Rational`] as
+//! [`wmc`](gfomc_logic::wmc()) on the lineage (the property suites assert equality,
+//! not approximation). The [`workload`] module generates random block TIDs
+//! and random bipartite queries at controlled safety for tests and benches.
+
+pub mod workload;
+
+use gfomc_arith::Rational;
+use gfomc_logic::{Circuit, WeightsFromFn};
+use gfomc_query::BipartiteQuery;
+use gfomc_tid::{lineage, Tid, Tuple, VarTable};
+use std::collections::HashMap;
+
+/// Compiles query/TID pairs and tracks aggregate compilation statistics.
+///
+/// Each [`Engine::compile`] call produces a self-contained [`Compiled`]
+/// artifact; the engine itself only accumulates instrumentation (how many
+/// lineages were compiled, how large the circuits are), which the bench
+/// harness reports alongside wall-times.
+#[derive(Debug, Default)]
+pub struct Engine {
+    compiled: usize,
+    nodes: usize,
+    decisions: usize,
+}
+
+impl Engine {
+    /// A fresh engine with zeroed statistics.
+    pub fn new() -> Self {
+        Engine::default()
+    }
+
+    /// Grounds `q` over `tid` and compiles the lineage into a circuit.
+    ///
+    /// This is the expensive step — it performs the full component /
+    /// Shannon decomposition exactly once. Every subsequent
+    /// [`Compiled::evaluate`] is a single bottom-up pass.
+    pub fn compile(&mut self, q: &BipartiteQuery, tid: &Tid) -> Compiled {
+        let lin = lineage(q, tid);
+        let circuit = Circuit::compile(&lin.cnf);
+        self.compiled += 1;
+        self.nodes += circuit.node_count();
+        self.decisions += circuit.decision_count();
+        Compiled {
+            circuit,
+            vars: lin.vars,
+        }
+    }
+
+    /// Number of lineages compiled by this engine.
+    pub fn compiled_count(&self) -> usize {
+        self.compiled
+    }
+
+    /// Total circuit gates produced across all compilations.
+    pub fn total_nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Total Shannon-split gates produced across all compilations.
+    pub fn total_decisions(&self) -> usize {
+        self.decisions
+    }
+}
+
+/// One-shot convenience: compile `q` over `tid` with a throwaway [`Engine`].
+pub fn compile(q: &BipartiteQuery, tid: &Tid) -> Compiled {
+    Engine::new().compile(q, tid)
+}
+
+/// `Pr_∆(Q)` through the compiled path — drop-in for
+/// [`gfomc_tid::probability`] when only one evaluation is needed.
+pub fn probability(q: &BipartiteQuery, tid: &Tid) -> Rational {
+    compile(q, tid).evaluate_db()
+}
+
+/// A compiled query lineage: the arithmetic circuit plus the tuple ↔
+/// variable table of the grounding.
+///
+/// Deterministic tuples (probability 0 or 1 in the source TID) were folded
+/// away during grounding, so the circuit's variables are exactly the
+/// *uncertain* tuples of the database; those are the tuples whose weight a
+/// [`TupleWeights`] assignment can override. Overrides may be deterministic
+/// (0 or 1): the Shannon gates degenerate to the forced branch
+/// arithmetically, so no recompilation is needed.
+#[derive(Clone, Debug)]
+pub struct Compiled {
+    circuit: Circuit,
+    vars: VarTable,
+}
+
+impl Compiled {
+    /// Evaluates the circuit under the database's own tuple probabilities.
+    pub fn evaluate_db(&self) -> Rational {
+        self.circuit.evaluate(self.vars.weights())
+    }
+
+    /// Evaluates the circuit under `weights`: each uncertain tuple takes
+    /// its override if present, its database probability otherwise.
+    pub fn evaluate(&self, weights: &TupleWeights) -> Rational {
+        let w = WeightsFromFn(|v| {
+            weights
+                .get(&self.vars.tuple_of(v))
+                .cloned()
+                .unwrap_or_else(|| self.vars.weights()[&v].clone())
+        });
+        self.circuit.evaluate(&w)
+    }
+
+    /// The batched form: one compiled circuit priced under every assignment
+    /// in `weights`. Output order matches input order.
+    pub fn evaluate_batch(&self, weights: &[TupleWeights]) -> Vec<Rational> {
+        weights.iter().map(|w| self.evaluate(w)).collect()
+    }
+
+    /// The uncertain tuples of the compiled lineage — the tuples whose
+    /// weight an assignment can change.
+    pub fn tuples(&self) -> Vec<Tuple> {
+        (0..self.vars.len())
+            .map(|i| self.vars.tuple_of(gfomc_logic::Var(i as u32)))
+            .collect()
+    }
+
+    /// The underlying circuit.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// The tuple ↔ variable table of the grounding.
+    pub fn vars(&self) -> &VarTable {
+        &self.vars
+    }
+
+    /// Number of circuit gates.
+    pub fn node_count(&self) -> usize {
+        self.circuit.node_count()
+    }
+}
+
+/// A weight assignment for a compiled lineage: per-tuple probability
+/// overrides on top of the database probabilities.
+///
+/// Tuples without an override keep the probability they had when the
+/// lineage was compiled. Overriding a tuple that was deterministic at
+/// compile time has no effect — it was folded out of the circuit during
+/// grounding (see [`Compiled::tuples`] for the live support).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TupleWeights {
+    overrides: HashMap<Tuple, Rational>,
+}
+
+impl TupleWeights {
+    /// An empty assignment (every tuple at its database probability).
+    pub fn new() -> Self {
+        TupleWeights::default()
+    }
+
+    /// Builder-style override of one tuple's probability.
+    pub fn with(mut self, t: Tuple, p: Rational) -> Self {
+        self.set(t, p);
+        self
+    }
+
+    /// Overrides one tuple's probability in place.
+    pub fn set(&mut self, t: Tuple, p: Rational) {
+        assert!(p.is_probability(), "probability out of [0,1] for {t}");
+        self.overrides.insert(t, p);
+    }
+
+    /// The override for a tuple, if any.
+    pub fn get(&self, t: &Tuple) -> Option<&Rational> {
+        self.overrides.get(t)
+    }
+
+    /// Number of overridden tuples.
+    pub fn len(&self) -> usize {
+        self.overrides.len()
+    }
+
+    /// True iff no tuple is overridden.
+    pub fn is_empty(&self) -> bool {
+        self.overrides.is_empty()
+    }
+
+    /// The overridden tuples with their probabilities.
+    pub fn iter(&self) -> impl Iterator<Item = (&Tuple, &Rational)> {
+        self.overrides.iter()
+    }
+}
+
+impl FromIterator<(Tuple, Rational)> for TupleWeights {
+    fn from_iter<I: IntoIterator<Item = (Tuple, Rational)>>(iter: I) -> Self {
+        let mut w = TupleWeights::new();
+        for (t, p) in iter {
+            w.set(t, p);
+        }
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfomc_query::catalog;
+    use gfomc_tid::probability as naive_probability;
+
+    fn half() -> Rational {
+        Rational::one_half()
+    }
+
+    fn uniform_tid(q: &BipartiteQuery, nu: u32, nv: u32) -> Tid {
+        let left: Vec<u32> = (0..nu).collect();
+        let right: Vec<u32> = (100..100 + nv).collect();
+        let mut tid = Tid::all_present(left.clone(), right.clone());
+        for &u in &left {
+            tid.set_prob(Tuple::R(u), half());
+            for &v in &right {
+                for s in q.binary_symbols() {
+                    tid.set_prob(Tuple::S(s, u, v), half());
+                }
+            }
+        }
+        for &v in &right {
+            tid.set_prob(Tuple::T(v), half());
+        }
+        tid
+    }
+
+    #[test]
+    fn compiled_matches_naive_oracle_on_catalog() {
+        let mut engine = Engine::new();
+        for (name, q) in catalog::unsafe_catalog()
+            .iter()
+            .chain(&catalog::safe_catalog())
+        {
+            let tid = uniform_tid(q, 2, 2);
+            let compiled = engine.compile(q, &tid);
+            assert_eq!(compiled.evaluate_db(), naive_probability(q, &tid), "{name}");
+        }
+        assert_eq!(
+            engine.compiled_count(),
+            catalog::unsafe_catalog().len() + catalog::safe_catalog().len()
+        );
+        assert!(engine.total_nodes() > 0);
+    }
+
+    #[test]
+    fn overrides_match_recompiled_database() {
+        // Overriding S0(0,100) to ¼ must equal compiling a database that
+        // had ¼ there all along.
+        let q = catalog::h1();
+        let tid = uniform_tid(&q, 2, 2);
+        let compiled = compile(&q, &tid);
+        let quarter = Rational::from_ints(1, 4);
+        let w = TupleWeights::new().with(Tuple::S(0, 0, 100), quarter.clone());
+        let mut tid2 = tid.clone();
+        tid2.set_prob(Tuple::S(0, 0, 100), quarter);
+        assert_eq!(compiled.evaluate(&w), naive_probability(&q, &tid2));
+    }
+
+    #[test]
+    fn deterministic_overrides_need_no_recompilation() {
+        // Forcing the endpoint tuples to 0/1 (the transfer-matrix workload,
+        // Eq. (20)) through the compiled circuit matches restricting the
+        // lineage before counting.
+        let q = catalog::h1();
+        let tid = uniform_tid(&q, 2, 2);
+        let compiled = compile(&q, &tid);
+        for r0 in [Rational::zero(), Rational::one()] {
+            let w = TupleWeights::new().with(Tuple::R(0), r0.clone());
+            let mut tid2 = tid.clone();
+            tid2.set_prob(Tuple::R(0), r0);
+            assert_eq!(compiled.evaluate(&w), naive_probability(&q, &tid2));
+        }
+    }
+
+    #[test]
+    fn batch_matches_single_evaluations() {
+        let q = catalog::hk(2);
+        let tid = uniform_tid(&q, 2, 2);
+        let compiled = compile(&q, &tid);
+        let weights: Vec<TupleWeights> = (0..=4)
+            .map(|k| TupleWeights::new().with(Tuple::T(100), Rational::from_ints(k, 4)))
+            .collect();
+        let batch = compiled.evaluate_batch(&weights);
+        assert_eq!(batch.len(), weights.len());
+        for (w, got) in weights.iter().zip(&batch) {
+            assert_eq!(got, &compiled.evaluate(w));
+        }
+    }
+
+    #[test]
+    fn support_is_the_uncertain_tuples() {
+        let q = catalog::h1();
+        let mut tid = uniform_tid(&q, 1, 1);
+        tid.set_prob(Tuple::R(0), Rational::one());
+        let compiled = compile(&q, &tid);
+        // R(0) was deterministic at compile time: not in the support.
+        assert!(!compiled.tuples().contains(&Tuple::R(0)));
+        assert!(compiled.tuples().contains(&Tuple::T(100)));
+    }
+
+    #[test]
+    fn probability_shortcut_agrees() {
+        let q = catalog::example_c9();
+        let tid = uniform_tid(&q, 2, 2);
+        assert_eq!(probability(&q, &tid), naive_probability(&q, &tid));
+    }
+}

@@ -343,6 +343,23 @@ impl Cnf {
     pub fn is_connected(&self) -> bool {
         self.components().len() <= 1
     }
+
+    /// The preferred Shannon-branching variable: the most frequent one
+    /// (ties broken toward the smallest index), or `None` for constants.
+    /// Both WMC back-ends branch on this variable so that their cofactor
+    /// trees — and hence their interned caches — coincide.
+    pub fn branching_var(&self) -> Option<Var> {
+        let mut counts: std::collections::HashMap<Var, usize> = Default::default();
+        for c in &self.clauses {
+            for &v in c.vars() {
+                *counts.entry(v).or_insert(0) += 1;
+            }
+        }
+        counts
+            .into_iter()
+            .max_by_key(|&(Var(i), n)| (n, std::cmp::Reverse(i)))
+            .map(|(v, _)| v)
+    }
 }
 
 impl fmt::Debug for Cnf {

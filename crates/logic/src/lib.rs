@@ -8,16 +8,24 @@
 //! * [`mod@wmc`] — exact weighted model counting (the `Pr(Q)` oracle of the
 //!   paper's Cook reductions), by Shannon expansion with component
 //!   decomposition and memoization, plus brute-force ground truth;
+//! * [`circuit`] — knowledge compilation of monotone CNFs into d-DNNF-style
+//!   arithmetic circuits, for compile-once / evaluate-many workloads;
+//! * [`intern`] — canonical-CNF interning shared by both WMC back-ends;
 //! * [`decompose`] — the disconnection / distance / migrating-variable
 //!   analysis of Appendix B.
 
+pub mod circuit;
 pub mod cnf;
 pub mod decompose;
+pub mod intern;
 pub mod wmc;
 
+pub use circuit::{Circuit, Compiler, Node, NodeId, Valuation};
 pub use cnf::{Clause, Cnf, Var};
+pub use intern::{CnfId, CnfInterner};
 pub use wmc::{
-    count_models, wmc, wmc_brute_force, ModelCounter, UniformWeight, WeightFn, WmcConfig,
+    count_models, wmc, wmc_brute_force, ModelCounter, UniformWeight, WeightFn, WeightsFromFn,
+    WmcConfig,
 };
 
 #[cfg(test)]
@@ -55,6 +63,27 @@ mod proptests {
         #[test]
         fn wmc_matches_brute_force(f in arb_cnf(), w in arb_weights()) {
             prop_assert_eq!(wmc(&f, &w), wmc_brute_force(&f, &w));
+        }
+
+        #[test]
+        fn circuit_matches_wmc_and_brute_force(f in arb_cnf(), w in arb_weights()) {
+            // The compiled circuit, the Shannon counter, and exhaustive
+            // enumeration must agree exactly (Rational equality).
+            let c = Circuit::compile(&f);
+            let via_circuit = c.evaluate(&w);
+            prop_assert_eq!(&via_circuit, &wmc(&f, &w));
+            prop_assert_eq!(via_circuit, wmc_brute_force(&f, &w));
+        }
+
+        #[test]
+        fn circuit_compile_once_many_weights(f in arb_cnf()) {
+            // One compilation serves every weight function: spot-check the
+            // whole uniform grid k/4, including the deterministic endpoints.
+            let c = Circuit::compile(&f);
+            for k in 0..=4i64 {
+                let w = UniformWeight(Rational::from_ints(k, 4));
+                prop_assert_eq!(c.evaluate(&w), wmc(&f, &w));
+            }
         }
 
         #[test]

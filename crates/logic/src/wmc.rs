@@ -18,6 +18,7 @@
 //! probability 0 absent".
 
 use crate::cnf::{Cnf, Var};
+use crate::intern::{CnfId, CnfInterner};
 use gfomc_arith::Rational;
 use std::collections::{BTreeSet, HashMap};
 
@@ -45,6 +46,17 @@ impl WeightFn for UniformWeight {
     }
 }
 
+/// Adapts a closure `Var → Rational` into a [`WeightFn`] — handy for
+/// weight functions derived on the fly (tuple probabilities, endpoint
+/// overrides) without materializing a map.
+pub struct WeightsFromFn<F>(pub F);
+
+impl<F: Fn(Var) -> Rational> WeightFn for WeightsFromFn<F> {
+    fn weight(&self, v: Var) -> Rational {
+        (self.0)(v)
+    }
+}
+
 /// Ablation switches for the WMC engine. The defaults enable both
 /// optimizations; the `bench_wmc` ablation series measures their impact.
 #[derive(Clone, Copy, Debug)]
@@ -67,9 +79,17 @@ impl Default for WmcConfig {
 
 /// Weighted model counter with a memo cache that persists across queries
 /// (sound only while the weight function is unchanged).
+///
+/// Cofactors are interned once into a shared [`CnfInterner`] and the memo
+/// is keyed by the resulting dense [`CnfId`] — one hash of the clause set
+/// per distinct cofactor, instead of re-hashing (and cloning) the full
+/// formula on every cache probe. The interner can be handed to the circuit
+/// compiler ([`crate::circuit::Compiler::with_interner`]) and back, so the
+/// legacy and compiled paths share one canonicalization table.
 pub struct ModelCounter<'w, W: WeightFn> {
     weights: &'w W,
-    cache: HashMap<Cnf, Rational>,
+    interner: CnfInterner,
+    cache: HashMap<CnfId, Rational>,
     config: WmcConfig,
     /// Number of Shannon branchings performed (for instrumentation).
     pub branch_count: u64,
@@ -83,40 +103,52 @@ impl<'w, W: WeightFn> ModelCounter<'w, W> {
 
     /// Creates a counter with explicit ablation switches.
     pub fn with_config(weights: &'w W, config: WmcConfig) -> Self {
+        Self::with_interner(weights, config, CnfInterner::new())
+    }
+
+    /// Creates a counter reusing an existing intern table (e.g. from a
+    /// circuit [`crate::circuit::Compiler`]). The probability memo starts
+    /// empty — only canonicalization work is shared, so differing weight
+    /// functions stay sound.
+    pub fn with_interner(weights: &'w W, config: WmcConfig, interner: CnfInterner) -> Self {
         ModelCounter {
             weights,
+            interner,
             cache: HashMap::new(),
             config,
             branch_count: 0,
         }
     }
 
+    /// Consumes the counter, releasing its intern table for reuse.
+    pub fn into_interner(self) -> CnfInterner {
+        self.interner
+    }
+
     /// Computes `Pr(f)` under the counter's weights.
     pub fn probability(&mut self, f: &Cnf) -> Rational {
         // Eliminate deterministic variables first so that the cache key is a
-        // purely probabilistic formula.
-        let mut g = f.clone();
-        loop {
-            let det: Vec<(Var, bool)> = g
-                .vars()
-                .into_iter()
-                .filter_map(|v| {
-                    let w = self.weights.weight(v);
-                    if w.is_zero() {
-                        Some((v, false))
-                    } else if w.is_one() {
-                        Some((v, true))
-                    } else {
-                        None
-                    }
-                })
-                .collect();
-            if det.is_empty() {
-                break;
-            }
-            g = g.restrict_all(&det);
+        // purely probabilistic formula. Restriction never introduces new
+        // variables, so one sweep over the support suffices.
+        let det: Vec<(Var, bool)> = f
+            .vars()
+            .into_iter()
+            .filter_map(|v| {
+                let w = self.weights.weight(v);
+                if w.is_zero() {
+                    Some((v, false))
+                } else if w.is_one() {
+                    Some((v, true))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        if det.is_empty() {
+            self.prob_rec(f)
+        } else {
+            self.prob_rec(&f.restrict_all(&det))
         }
-        self.prob_rec(&g)
     }
 
     fn prob_rec(&mut self, f: &Cnf) -> Rational {
@@ -126,11 +158,15 @@ impl<'w, W: WeightFn> ModelCounter<'w, W> {
         if f.is_false() {
             return Rational::zero();
         }
-        if self.config.use_memo {
-            if let Some(hit) = self.cache.get(f) {
+        let key = if self.config.use_memo {
+            let id = self.interner.intern(f);
+            if let Some(hit) = self.cache.get(&id) {
                 return hit.clone();
             }
-        }
+            Some(id)
+        } else {
+            None
+        };
         let comps = if self.config.use_components {
             f.components()
         } else {
@@ -147,7 +183,9 @@ impl<'w, W: WeightFn> ModelCounter<'w, W> {
             acc
         } else {
             // Branch on the most frequent variable to maximize simplification.
-            let v = most_frequent_var(f);
+            let v = f
+                .branching_var()
+                .expect("non-constant formula has variables");
             self.branch_count += 1;
             let p = self.weights.weight(v);
             assert!(p.is_probability(), "weight out of [0,1] for {v:?}");
@@ -155,25 +193,11 @@ impl<'w, W: WeightFn> ModelCounter<'w, W> {
             let lo = self.prob_rec(&f.restrict(v, false));
             &(&p * &hi) + &(&p.complement() * &lo)
         };
-        if self.config.use_memo {
-            self.cache.insert(f.clone(), result.clone());
+        if let Some(id) = key {
+            self.cache.insert(id, result.clone());
         }
         result
     }
-}
-
-fn most_frequent_var(f: &Cnf) -> Var {
-    let mut counts: HashMap<Var, usize> = HashMap::new();
-    for c in f.clauses() {
-        for &v in c.vars() {
-            *counts.entry(v).or_insert(0) += 1;
-        }
-    }
-    counts
-        .into_iter()
-        .max_by_key(|&(Var(i), n)| (n, std::cmp::Reverse(i)))
-        .expect("non-constant formula has variables")
-        .0
 }
 
 /// One-shot `Pr(f)` under `weights`.

@@ -19,7 +19,7 @@
 
 use crate::paths::clause_role;
 use gfomc_arith::Rational;
-use gfomc_logic::{wmc, Clause as PropClause, Cnf, Var};
+use gfomc_logic::{Clause as PropClause, Cnf, Compiler, NodeId, Var, WeightsFromFn};
 use gfomc_query::{Atom, BipartiteQuery, CVar, Clause, Pred};
 use gfomc_tid::{Tid, Tuple};
 use std::collections::{BTreeSet, HashMap};
@@ -220,49 +220,56 @@ fn conjunction_of_disjunctions(
         n <= 16,
         "query has too many subclause combinations for inclusion-exclusion"
     );
-    // Inclusion–exclusion over nonempty subsets of disjuncts.
-    let mut total = Rational::zero();
-    for mask in 1u32..(1u32 << n) {
-        let cell_cnf = Cnf::and_all(
-            (0..n)
-                .filter(|i| mask >> i & 1 == 1)
-                .map(|i| disjuncts[i].clone()),
-        );
-        let p = universal_event_probability(&cell_cnf, tid, side, a);
-        if mask.count_ones() % 2 == 1 {
-            total = &total + &p;
-        } else {
-            total = &total - &p;
-        }
-    }
-    total
-}
-
-/// `Pr(∀ b ∈ inner: cell_cnf holds at (a,b))` — a product of small WMCs.
-fn universal_event_probability(cell_cnf: &Cnf, tid: &Tid, side: Side, a: u32) -> Rational {
+    // Compile every inclusion–exclusion cell `∧_{i ∈ mask} D_i` once, into
+    // one shared pool: the cells are conjunctions of subsets of the same
+    // disjunct CNFs over the same symbol variables, so their cofactors
+    // overlap heavily and the pool stays small.
+    let mut compiler = Compiler::new();
+    let roots: Vec<NodeId> = (1u32..(1u32 << n))
+        .map(|mask| {
+            let cell_cnf = Cnf::and_all(
+                (0..n)
+                    .filter(|i| mask >> i & 1 == 1)
+                    .map(|i| disjuncts[i].clone()),
+            );
+            compiler.compile(&cell_cnf)
+        })
+        .collect();
+    // Evaluate-many: `Pr(∀ b ∈ inner: cell holds at (a,b))` factorizes over
+    // `b`, and one bottom-up pass per `b` prices *all* cells at once.
     let inner: Vec<u32> = match side {
         Side::Left => tid.right_domain().to_vec(),
         Side::Right => tid.left_domain().to_vec(),
     };
-    let mut acc = Rational::one();
+    let mut cell_probs = vec![Rational::one(); roots.len()];
     for &b in &inner {
-        let weights: HashMap<Var, Rational> = cell_cnf
-            .vars()
-            .into_iter()
-            .map(|v| {
-                let t = match side {
-                    Side::Left => Tuple::S(v.0, a, b),
-                    Side::Right => Tuple::S(v.0, b, a),
-                };
-                (v, tid.prob(&t))
-            })
-            .collect();
-        acc = &acc * &wmc(cell_cnf, &weights);
-        if acc.is_zero() {
+        let weights = WeightsFromFn(|v: Var| {
+            let t = match side {
+                Side::Left => Tuple::S(v.0, a, b),
+                Side::Right => Tuple::S(v.0, b, a),
+            };
+            tid.prob(&t)
+        });
+        let values = compiler.evaluate_all(&weights);
+        for (acc, &root) in cell_probs.iter_mut().zip(&roots) {
+            if !acc.is_zero() {
+                *acc = &*acc * values.value(root);
+            }
+        }
+        if cell_probs.iter().all(Rational::is_zero) {
             break;
         }
     }
-    acc
+    // Signed inclusion–exclusion sum over the nonempty subsets of disjuncts.
+    let mut total = Rational::zero();
+    for (mask, p) in (1u32..(1u32 << n)).zip(&cell_probs) {
+        if mask.count_ones() % 2 == 1 {
+            total = &total + p;
+        } else {
+            total = &total - p;
+        }
+    }
+    total
 }
 
 #[cfg(test)]

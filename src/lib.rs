@@ -20,6 +20,7 @@
 //! | [`query`] | `gfomc-query` | Bipartite ∀CNF queries, Möbius lattices |
 //! | [`tid`] | `gfomc-tid` | Probabilistic databases, lineage, `Pr(Q)` |
 //! | [`safety`] | `gfomc-safety` | Dichotomy classifier, lifted evaluation |
+//! | [`engine`] | `gfomc-engine` | Knowledge compilation, batched evaluation |
 //! | [`core`] | `gfomc-core` | Blocks, reductions, hardness machinery |
 //!
 //! ## Quickstart
@@ -45,6 +46,7 @@
 
 pub use gfomc_arith as arith;
 pub use gfomc_core as core;
+pub use gfomc_engine as engine;
 pub use gfomc_linalg as linalg;
 pub use gfomc_logic as logic;
 pub use gfomc_poly as poly;
@@ -61,6 +63,7 @@ pub mod prelude {
         probability_via_factorization, reduce_p2cnf, signature_counts, transfer_matrix, ConstAlloc,
         EigenData, OracleMode, P2Cnf, Pp2Cnf, ReductionOutcome,
     };
+    pub use gfomc_engine::{Compiled, Engine, TupleWeights};
     pub use gfomc_linalg::Matrix;
     pub use gfomc_logic::{wmc, Cnf, Var};
     pub use gfomc_poly::{arithmetize, PVar, Poly};
