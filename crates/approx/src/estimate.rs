@@ -1,0 +1,180 @@
+//! Estimates and confidence intervals returned by the samplers.
+//!
+//! The point estimate is an **exact** [`Rational`]: the Karp–Luby indicator
+//! is 0/1-valued, so `Ŝ·hits/samples` is computed in exact arithmetic and
+//! two runs with the same seed produce *bit-identical* estimates. Only the
+//! confidence-interval half-width involves floating point (a square root),
+//! and it is rounded **outward** on the dyadic grid `k/2^53`, so the
+//! reported interval is always at least as wide as the analytic one —
+//! float rounding can never silently shrink coverage.
+
+use gfomc_arith::Rational;
+
+/// A two-sided confidence interval `[lo, hi]` for a probability, valid at
+/// confidence level `1 − δ`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Lower endpoint, clamped to `[0, 1]`.
+    pub lo: Rational,
+    /// Upper endpoint, clamped to `[0, 1]`.
+    pub hi: Rational,
+    /// The failure probability `δ` the interval was built for.
+    pub delta: f64,
+}
+
+impl ConfidenceInterval {
+    /// Builds an interval, clamping both endpoints into `[0, 1]` and
+    /// asserting `lo ≤ hi` after clamping.
+    pub fn new(lo: Rational, hi: Rational, delta: f64) -> Self {
+        let lo = clamp_unit(lo);
+        let hi = clamp_unit(hi);
+        assert!(lo <= hi, "confidence interval with lo > hi");
+        ConfidenceInterval { lo, hi, delta }
+    }
+
+    /// The degenerate interval `[p, p]` (an exact answer).
+    pub fn point(p: Rational, delta: f64) -> Self {
+        ConfidenceInterval {
+            lo: p.clone(),
+            hi: p,
+            delta,
+        }
+    }
+
+    /// True iff `p` lies inside the interval (inclusive).
+    pub fn contains(&self, p: &Rational) -> bool {
+        &self.lo <= p && p <= &self.hi
+    }
+
+    /// The interval width `hi − lo`.
+    pub fn width(&self) -> Rational {
+        &self.hi - &self.lo
+    }
+
+    /// The interval reflected through 1: the CI of `1 − p` given the CI of
+    /// `p` (used to turn a `Pr(¬F)` interval into a `Pr(F)` interval).
+    pub fn complement(&self) -> ConfidenceInterval {
+        ConfidenceInterval {
+            lo: self.hi.complement(),
+            hi: self.lo.complement(),
+            delta: self.delta,
+        }
+    }
+}
+
+/// The outcome of a sampling run: a point estimate with its confidence
+/// interval and the sampling effort that produced it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Estimate {
+    /// The point estimate (exact rational arithmetic, clamped into
+    /// `[0, 1]`; seeded-deterministic).
+    pub estimate: Rational,
+    /// Two-sided Hoeffding interval at confidence `1 − delta`.
+    pub ci: ConfidenceInterval,
+    /// Number of Monte-Carlo samples drawn (0 for exact short-circuits).
+    pub samples: u64,
+    /// Number of samples whose canonical-term indicator fired.
+    pub hits: u64,
+    /// True iff the value is exact (degenerate formula — no sampling done).
+    pub exact: bool,
+}
+
+impl Estimate {
+    /// An exact value wearing the `Estimate` interface: zero-width interval,
+    /// zero samples.
+    pub fn exact(value: Rational, delta: f64) -> Self {
+        Estimate {
+            ci: ConfidenceInterval::point(value.clone(), delta),
+            estimate: value,
+            samples: 0,
+            hits: 0,
+            exact: true,
+        }
+    }
+
+    /// The estimate of `1 − p` given the estimate of `p`.
+    pub fn complement(&self) -> Estimate {
+        Estimate {
+            estimate: self.estimate.complement(),
+            ci: self.ci.complement(),
+            samples: self.samples,
+            hits: self.hits,
+            exact: self.exact,
+        }
+    }
+}
+
+/// Clamps a rational into `[0, 1]`.
+pub(crate) fn clamp_unit(p: Rational) -> Rational {
+    if p.is_negative() {
+        Rational::zero()
+    } else if p > Rational::one() {
+        Rational::one()
+    } else {
+        p
+    }
+}
+
+/// The smallest dyadic `k/2^53 ≥ x` for `x ∈ [0, ∞)` — the outward-rounded
+/// rational image of a float half-width.
+pub(crate) fn rational_upper_bound(x: f64) -> Rational {
+    assert!(
+        x.is_finite() && x >= 0.0,
+        "half-width must be finite and ≥ 0"
+    );
+    if x >= 1.0 {
+        // CI will be clamped to [0, 1] anyway; 1 is a safe upper bound.
+        return Rational::one();
+    }
+    let scale = (1u64 << 53) as f64;
+    Rational::from_ints((x * scale).ceil() as i64, 1i64 << 53)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::from_ints(n, d)
+    }
+
+    #[test]
+    fn interval_clamps_and_contains() {
+        let ci = ConfidenceInterval::new(r(-1, 4), r(5, 4), 0.05);
+        assert_eq!(ci.lo, Rational::zero());
+        assert_eq!(ci.hi, Rational::one());
+        assert!(ci.contains(&r(1, 2)));
+        assert_eq!(ci.width(), Rational::one());
+    }
+
+    #[test]
+    fn interval_complement_reflects() {
+        let ci = ConfidenceInterval::new(r(1, 4), r(1, 2), 0.1);
+        let c = ci.complement();
+        assert_eq!(c.lo, r(1, 2));
+        assert_eq!(c.hi, r(3, 4));
+        assert!(c.contains(&r(2, 3)));
+    }
+
+    #[test]
+    fn exact_estimate_is_zero_width() {
+        let e = Estimate::exact(r(3, 8), 0.05);
+        assert!(e.exact);
+        assert_eq!(e.samples, 0);
+        assert_eq!(e.ci.width(), Rational::zero());
+        assert!(e.ci.contains(&r(3, 8)));
+        let c = e.complement();
+        assert_eq!(c.estimate, r(5, 8));
+        assert!(c.exact);
+    }
+
+    #[test]
+    fn upper_bound_never_rounds_down() {
+        for x in [0.0, 1e-18, 0.3, 0.9999999, 1.0, 7.5] {
+            let ub = rational_upper_bound(x);
+            assert!(ub.to_f64() >= x || ub == Rational::one(), "{x}");
+            assert!(ub.is_probability() || ub == Rational::one());
+        }
+        assert_eq!(rational_upper_bound(0.0), Rational::zero());
+    }
+}

@@ -1,0 +1,459 @@
+//! The Karp–Luby FPRAS for monotone DNF probability, and its CNF wrapper.
+//!
+//! Given a monotone DNF `D = T_1 ∨ … ∨ T_m` over independent variables,
+//! the Karp–Luby estimator samples from the *union space*: pick a term
+//! `T_j` with probability `Pr(T_j)/S` (importance sampling against the
+//! union bound `S = Σ_i Pr(T_i)`), then a world conditioned on `T_j`
+//! holding, and score 1 iff `T_j` is the **canonical** (first-in-order)
+//! satisfied term of that world. The indicator's mean is
+//! `μ = Pr(D)/S ∈ [1/m, 1]`, so `Ŝ·hits/N` is an unbiased estimate of
+//! `Pr(D)` whose relative error is controlled with only
+//! `N = ⌈3·m·ln(2/δ)/ε²⌉` samples — a fully polynomial randomized
+//! approximation scheme (Karp–Luby–Madras 1989).
+//!
+//! Everything except the confidence-interval square root runs in exact
+//! rational arithmetic: term selection and every Bernoulli draw compare a
+//! 53-bit dyadic draw against exact rational quantities (cumulative term
+//! weights, variable probabilities) folded at construction time into
+//! integer thresholds — one u64 comparison per draw, deciding identically
+//! to the rational comparison, with no per-sample allocation. Under the
+//! workspace's deterministic [`rand`] stand-in, a fixed seed therefore
+//! yields a bit-identical [`Estimate`] on every platform.
+//!
+//! [`CnfSampler`] adapts the estimator to the workspace's native
+//! representation: the probability of a monotone CNF `F` (a query lineage)
+//! is `1 − Pr(D)` for the complement-DNF `D` of `F` under flipped weights
+//! (see [`gfomc_logic::dnf`]).
+
+use crate::estimate::{rational_upper_bound, ConfidenceInterval, Estimate};
+use gfomc_arith::Rational;
+use gfomc_logic::{Cnf, Dnf, Var, WeightFn, WeightsFromFn};
+use rand::Rng;
+
+/// A prepared Karp–Luby sampler for `Pr(D)` of a monotone DNF under
+/// independent variable probabilities.
+///
+/// Construction precomputes the term weights and their cumulative sums;
+/// each [`KarpLuby::estimate`] call is then `O(samples · (vars + scan))`
+/// with no allocation beyond one world vector.
+#[derive(Clone, Debug)]
+pub struct KarpLuby {
+    /// Position → Bernoulli threshold on the 53-bit dyadic grid:
+    /// `u < p ⇔ r < ceil(p·2^53)` for `u = r/2^53`, so each conditional
+    /// draw is a single u64 comparison yet decides exactly like the
+    /// rational comparison would.
+    thresholds: Vec<u64>,
+    /// Term → sorted positions of its variables (zero-probability terms are
+    /// dropped: they hold in no world and cannot affect the canonical scan).
+    terms: Vec<Vec<usize>>,
+    /// Cumulative term weights on the dyadic grid:
+    /// `cum_thresholds[j] = ceil((Σ_{i ≤ j} Pr(T_i))·2^53 / S)`. Term
+    /// selection is then a u64 binary search deciding identically to the
+    /// exact-rational comparison `u·S < Σ_{i ≤ j} Pr(T_i)`.
+    cum_thresholds: Vec<u64>,
+    /// The union bound `S = Σ_i Pr(T_i)`.
+    total: Rational,
+    /// Exact short-circuit for degenerate formulas (`⊤`, `⊥`, all terms
+    /// impossible): no sampling needed.
+    exact: Option<Rational>,
+}
+
+impl KarpLuby {
+    /// Prepares a sampler for `Pr(d)` under `w`. Weights must be
+    /// probabilities; variables not occurring in `d` are never queried.
+    pub fn new<W: WeightFn>(d: &Dnf, w: &W) -> Self {
+        if d.is_true() {
+            return KarpLuby::trivial(Rational::one());
+        }
+        if d.is_false() {
+            return KarpLuby::trivial(Rational::zero());
+        }
+        let vars: Vec<Var> = d.vars().into_iter().collect();
+        let mut thresholds = Vec::with_capacity(vars.len());
+        for &v in &vars {
+            let p = w.weight(v);
+            assert!(p.is_probability(), "weight out of [0,1] for {v:?}");
+            thresholds.push(dyadic_threshold(&p));
+        }
+        let position = |v: Var| vars.binary_search(&v).expect("term var in support");
+        let mut terms: Vec<Vec<usize>> = Vec::with_capacity(d.len());
+        let mut cum: Vec<Rational> = Vec::with_capacity(d.len());
+        let mut total = Rational::zero();
+        for i in 0..d.len() {
+            let p = d.term_probability(i, w);
+            if p.is_zero() {
+                // The term mentions a probability-0 variable: it holds in no
+                // world, so it can neither be drawn nor beat a drawn term in
+                // the canonical scan. Drop it.
+                continue;
+            }
+            terms.push(d.terms()[i].vars().iter().map(|&v| position(v)).collect());
+            total = &total + &p;
+            cum.push(total.clone());
+        }
+        if terms.is_empty() {
+            // Every term was impossible: Pr(D) = 0 exactly.
+            return KarpLuby::trivial(Rational::zero());
+        }
+        let cum_thresholds = cum
+            .iter()
+            .map(|c| dyadic_threshold(&(c / &total)))
+            .collect();
+        KarpLuby {
+            thresholds,
+            terms,
+            cum_thresholds,
+            total,
+            exact: None,
+        }
+    }
+
+    fn trivial(value: Rational) -> Self {
+        KarpLuby {
+            thresholds: Vec::new(),
+            terms: Vec::new(),
+            cum_thresholds: Vec::new(),
+            total: Rational::zero(),
+            exact: Some(value),
+        }
+    }
+
+    /// Number of live (nonzero-probability) terms.
+    pub fn term_count(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// The union bound `S` the estimator normalizes against.
+    pub fn union_bound(&self) -> &Rational {
+        &self.total
+    }
+
+    /// True iff the formula was degenerate and [`KarpLuby::estimate`] will
+    /// return an exact value without sampling.
+    pub fn is_exact(&self) -> bool {
+        self.exact.is_some()
+    }
+
+    /// The Karp–Luby–Madras sample budget sufficient for relative error
+    /// `ε` with probability `1 − δ`: `⌈3·m·ln(2/δ)/ε²⌉`. (The indicator
+    /// mean is at least `1/m`, so a multiplicative Chernoff bound at
+    /// `N ≥ 3·ln(2/δ)/(ε²μ)` suffices; we substitute the worst case.)
+    pub fn fpras_samples(&self, epsilon: f64, delta: f64) -> u64 {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "need 0 < ε < 1");
+        assert!(delta > 0.0 && delta < 1.0, "need 0 < δ < 1");
+        let m = self.terms.len().max(1) as f64;
+        (3.0 * m * (2.0 / delta).ln() / (epsilon * epsilon)).ceil() as u64
+    }
+
+    /// Draws `samples` Karp–Luby samples and returns the estimate of
+    /// `Pr(D)` with a two-sided Hoeffding interval at confidence `1 − δ`.
+    ///
+    /// The interval is conservative (distribution-free): the indicator mean
+    /// `μ` satisfies `|hits/N − μ| ≤ √(ln(2/δ)/2N)` with probability at
+    /// least `1 − δ`, and the bound is scaled by `S` and rounded outward.
+    pub fn estimate<R: Rng>(&self, rng: &mut R, samples: u64, delta: f64) -> Estimate {
+        assert!(delta > 0.0 && delta < 1.0, "need 0 < δ < 1");
+        if let Some(value) = &self.exact {
+            return Estimate::exact(value.clone(), delta);
+        }
+        assert!(samples > 0, "need at least one sample");
+        assert!(samples <= i64::MAX as u64, "sample budget out of range");
+        let mut hits: u64 = 0;
+        let mut world = vec![false; self.thresholds.len()];
+        for _ in 0..samples {
+            let j = self.draw_term(rng);
+            self.draw_world(rng, j, &mut world);
+            if self.is_canonical(j, &world) {
+                hits += 1;
+            }
+        }
+        // Ŝ·hits/N in exact arithmetic: the seeded-deterministic estimate.
+        // The raw unbiased estimator can overshoot 1 when the union bound
+        // is loose and samples are few; since the target is a probability,
+        // clamp the *reported* point into [0, 1] (mean clipping — it can
+        // only reduce absolute error). The interval is still centered on
+        // the raw value, which is what the Hoeffding bound speaks about.
+        let frac = Rational::from_ints(hits as i64, samples as i64);
+        let raw = &self.total * &frac;
+        // Hoeffding half-width on μ, scaled by S, rounded outward.
+        let h = ((2.0 / delta).ln() / (2.0 * samples as f64)).sqrt();
+        let half = &self.total * &rational_upper_bound(h);
+        let ci = ConfidenceInterval::new(&raw - &half, &raw + &half, delta);
+        Estimate {
+            estimate: crate::estimate::clamp_unit(raw),
+            ci,
+            samples,
+            hits,
+            exact: false,
+        }
+    }
+
+    /// The (ε, δ)-FPRAS entry point: draws [`KarpLuby::fpras_samples`]
+    /// samples in one go.
+    pub fn estimate_fpras<R: Rng>(&self, rng: &mut R, epsilon: f64, delta: f64) -> Estimate {
+        self.estimate(rng, self.fpras_samples(epsilon, delta), delta)
+    }
+
+    /// Importance-samples a term index proportionally to its weight: a
+    /// 53-bit dyadic draw `r`, then the first `j` with
+    /// `r < cum_thresholds[j]` — exactly the rational comparison
+    /// `r/2^53·S < cum[j]`, one u64 binary search per sample.
+    fn draw_term<R: Rng>(&self, rng: &mut R) -> usize {
+        let r = rng.next_u64() >> 11;
+        let j = self.cum_thresholds.partition_point(|&t| t <= r);
+        debug_assert!(j < self.terms.len());
+        j.min(self.terms.len() - 1)
+    }
+
+    /// Fills `world` with a sample conditioned on term `j` holding: its
+    /// variables are forced true, every other variable is an independent
+    /// Bernoulli draw against its exact dyadic threshold.
+    fn draw_world<R: Rng>(&self, rng: &mut R, j: usize, world: &mut [bool]) {
+        let term = &self.terms[j];
+        let mut next_forced = 0usize;
+        for (pos, slot) in world.iter_mut().enumerate() {
+            if next_forced < term.len() && term[next_forced] == pos {
+                *slot = true;
+                next_forced += 1;
+            } else {
+                *slot = (rng.next_u64() >> 11) < self.thresholds[pos];
+            }
+        }
+    }
+
+    /// True iff no earlier term also holds in `world` (term `j` holds by
+    /// construction): the coverage partition of the union space.
+    fn is_canonical(&self, j: usize, world: &[bool]) -> bool {
+        !self.terms[..j]
+            .iter()
+            .any(|t| t.iter().all(|&pos| world[pos]))
+    }
+}
+
+/// `ceil(p·2^53)` as a u64, for a probability `p`: the exact comparison
+/// threshold on the dyadic grid. For a 53-bit draw `r`,
+/// `r/2^53 < p ⇔ r < ceil(p·2^53)` (whether or not `p·2^53` is an
+/// integer), so the u64 comparison decides *identically* to the rational
+/// one — just without allocating per draw. Used for both the Bernoulli
+/// draws (`p` a variable probability) and term selection (`p` a
+/// normalized cumulative weight `cum[j]/S`).
+fn dyadic_threshold(p: &Rational) -> u64 {
+    let scaled = p.numer().magnitude().shl_bits(53);
+    let (q, r) = scaled.div_rem(p.denom());
+    let q = q.to_u64().expect("p ≤ 1 keeps the threshold within 2^53");
+    if r.is_zero() {
+        q
+    } else {
+        q + 1
+    }
+}
+
+/// Karp–Luby sampling for the probability of a monotone **CNF** (a query
+/// lineage): `Pr(F) = 1 − Pr(D)` for the complement-DNF `D` of `F` under
+/// the flipped weights `w̄(v) = 1 − w(v)`.
+///
+/// Deterministic (probability-0/1) variables are eliminated by restriction
+/// before complementing, mirroring the exact counter — the sampler then
+/// only ever draws strictly-interior Bernoullis.
+///
+/// The (ε, δ) relative-error guarantee of the underlying FPRAS applies to
+/// `Pr(¬F)`; the additive Hoeffding interval on the returned [`Estimate`]
+/// applies to `Pr(F)` directly.
+#[derive(Clone, Debug)]
+pub struct CnfSampler {
+    kl: KarpLuby,
+}
+
+impl CnfSampler {
+    /// Prepares a sampler for `Pr(f)` under `w`.
+    pub fn new<W: WeightFn>(f: &Cnf, w: &W) -> Self {
+        let det: Vec<(Var, bool)> = f
+            .vars()
+            .into_iter()
+            .filter_map(|v| {
+                let p = w.weight(v);
+                if p.is_zero() {
+                    Some((v, false))
+                } else if p.is_one() {
+                    Some((v, true))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let reduced;
+        let f = if det.is_empty() {
+            f
+        } else {
+            reduced = f.restrict_all(&det);
+            &reduced
+        };
+        let d = Dnf::complement_of(f);
+        let flipped = WeightsFromFn(|v| w.weight(v).complement());
+        CnfSampler {
+            kl: KarpLuby::new(&d, &flipped),
+        }
+    }
+
+    /// Number of live complement-DNF terms (falsifiable lineage clauses).
+    pub fn term_count(&self) -> usize {
+        self.kl.term_count()
+    }
+
+    /// True iff the lineage was degenerate and estimates are exact.
+    pub fn is_exact(&self) -> bool {
+        self.kl.is_exact()
+    }
+
+    /// The Karp–Luby–Madras budget for relative error `ε` on `Pr(¬F)` at
+    /// confidence `1 − δ`.
+    pub fn fpras_samples(&self, epsilon: f64, delta: f64) -> u64 {
+        self.kl.fpras_samples(epsilon, delta)
+    }
+
+    /// Estimates `Pr(f)` from `samples` draws, with a two-sided Hoeffding
+    /// interval at confidence `1 − δ`.
+    pub fn estimate<R: Rng>(&self, rng: &mut R, samples: u64, delta: f64) -> Estimate {
+        self.kl.estimate(rng, samples, delta).complement()
+    }
+
+    /// The (ε, δ)-FPRAS entry point (relative error on `Pr(¬f)`).
+    pub fn estimate_fpras<R: Rng>(&self, rng: &mut R, epsilon: f64, delta: f64) -> Estimate {
+        self.kl.estimate_fpras(rng, epsilon, delta).complement()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfomc_logic::{wmc_brute_force, Clause, UniformWeight};
+    use rand::{rngs::StdRng, SeedableRng};
+    use std::collections::HashMap;
+
+    fn cl(vs: &[u32]) -> Clause {
+        Clause::new(vs.iter().map(|&i| Var(i)))
+    }
+
+    fn half() -> UniformWeight {
+        UniformWeight(Rational::one_half())
+    }
+
+    #[test]
+    fn degenerate_formulas_are_exact() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let kl = KarpLuby::new(&Dnf::top(), &half());
+        assert!(kl.is_exact());
+        let e = kl.estimate(&mut rng, 100, 0.05);
+        assert!(e.exact);
+        assert_eq!(e.estimate, Rational::one());
+        let kl = KarpLuby::new(&Dnf::bottom(), &half());
+        assert_eq!(kl.estimate(&mut rng, 100, 0.05).estimate, Rational::zero());
+
+        let s = CnfSampler::new(&Cnf::top(), &half());
+        assert_eq!(s.estimate(&mut rng, 100, 0.05).estimate, Rational::one());
+        let s = CnfSampler::new(&Cnf::bottom(), &half());
+        assert_eq!(s.estimate(&mut rng, 100, 0.05).estimate, Rational::zero());
+    }
+
+    #[test]
+    fn impossible_terms_are_dropped() {
+        // Term (x1∧x2) with Pr(x2)=0 is impossible; only (x3) remains.
+        let d = Dnf::new([cl(&[1, 2]), cl(&[3])]);
+        let mut w = HashMap::new();
+        w.insert(Var(1), Rational::one_half());
+        w.insert(Var(2), Rational::zero());
+        w.insert(Var(3), Rational::from_ints(1, 4));
+        let kl = KarpLuby::new(&d, &w);
+        assert_eq!(kl.term_count(), 1);
+        assert_eq!(kl.union_bound(), &Rational::from_ints(1, 4));
+        // With a single live term the canonical indicator always fires:
+        // the estimate is exactly the union bound, from any seed.
+        let mut rng = StdRng::seed_from_u64(7);
+        let e = kl.estimate(&mut rng, 64, 0.05);
+        assert_eq!(e.hits, 64);
+        assert_eq!(e.estimate, Rational::from_ints(1, 4));
+    }
+
+    #[test]
+    fn all_terms_impossible_is_exact_zero() {
+        let d = Dnf::new([cl(&[1])]);
+        let mut w = HashMap::new();
+        w.insert(Var(1), Rational::zero());
+        let kl = KarpLuby::new(&d, &w);
+        assert!(kl.is_exact());
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(kl.estimate(&mut rng, 10, 0.05).estimate, Rational::zero());
+    }
+
+    #[test]
+    fn single_term_estimate_is_exact_product() {
+        // Pr(x1∧x2) at ½: indicator is constantly 1, estimate = S = ¼.
+        let d = Dnf::new([cl(&[1, 2])]);
+        let kl = KarpLuby::new(&d, &half());
+        let mut rng = StdRng::seed_from_u64(11);
+        let e = kl.estimate(&mut rng, 32, 0.05);
+        assert_eq!(e.estimate, Rational::from_ints(1, 4));
+        assert!(e.ci.contains(&Rational::from_ints(1, 4)));
+    }
+
+    #[test]
+    fn same_seed_same_estimate() {
+        let f = Cnf::new([cl(&[1, 2]), cl(&[2, 3]), cl(&[1, 3])]);
+        let s = CnfSampler::new(&f, &half());
+        let run = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            s.estimate(&mut rng, 500, 0.05)
+        };
+        assert_eq!(run(99), run(99));
+        // …and a different seed (almost surely) moves the hit count.
+        assert_ne!(run(99).hits, run(100).hits);
+    }
+
+    #[test]
+    fn ci_covers_brute_force_on_fixed_formulas() {
+        let formulas = [
+            Cnf::new([cl(&[1, 2]), cl(&[2, 3])]),
+            Cnf::new([cl(&[1, 2, 3]), cl(&[2, 4]), cl(&[1, 4])]),
+            Cnf::new([cl(&[1]), cl(&[2, 3]), cl(&[4, 5, 6])]),
+            Cnf::new([cl(&[1, 2]), cl(&[3, 4]), cl(&[5, 6]), cl(&[1, 6])]),
+        ];
+        for (i, f) in formulas.iter().enumerate() {
+            let truth = wmc_brute_force(f, &half());
+            let s = CnfSampler::new(f, &half());
+            let mut rng = StdRng::seed_from_u64(0xC0FFEE + i as u64);
+            let e = s.estimate(&mut rng, 2_000, 0.05);
+            assert!(e.ci.contains(&truth), "{f:?}: {e:?} vs {truth}");
+            assert!(!e.exact);
+            assert_eq!(e.samples, 2_000);
+        }
+    }
+
+    #[test]
+    fn deterministic_variables_are_eliminated() {
+        // Pr(x1)=1 satisfies the first clause; Pr(x2)=0 drops from the
+        // second, leaving exactly Pr(x3).
+        let f = Cnf::new([cl(&[1, 2]), cl(&[2, 3])]);
+        let mut w = HashMap::new();
+        w.insert(Var(1), Rational::one());
+        w.insert(Var(2), Rational::zero());
+        w.insert(Var(3), Rational::from_ints(2, 7));
+        let s = CnfSampler::new(&f, &w);
+        assert_eq!(s.term_count(), 1);
+        let mut rng = StdRng::seed_from_u64(5);
+        let e = s.estimate(&mut rng, 64, 0.05);
+        assert_eq!(e.estimate, Rational::from_ints(2, 7));
+    }
+
+    #[test]
+    fn fpras_budget_grows_with_terms_and_precision() {
+        let d3 = Dnf::new([cl(&[1]), cl(&[2]), cl(&[3])]);
+        let d1 = Dnf::new([cl(&[1])]);
+        let kl3 = KarpLuby::new(&d3, &half());
+        let kl1 = KarpLuby::new(&d1, &half());
+        assert!(kl3.fpras_samples(0.1, 0.05) > kl1.fpras_samples(0.1, 0.05));
+        assert!(kl3.fpras_samples(0.05, 0.05) > kl3.fpras_samples(0.1, 0.05));
+        // The textbook number: 3·m·ln(2/δ)/ε², ceiled.
+        let expect = (3.0 * 3.0 * (2.0f64 / 0.05).ln() / 0.01).ceil() as u64;
+        assert_eq!(kl3.fpras_samples(0.1, 0.05), expect);
+    }
+}

@@ -1,0 +1,90 @@
+//! The approximate-inference regime on its first-class workload: the
+//! unsafe-query / large-block preset, where exact compilation is off the
+//! table and wall-time scales with the *sample budget* instead of the
+//! lineage.
+//!
+//! Three series:
+//!
+//! * `sampler_scaleN/S` — Karp–Luby estimation at `S` samples on a
+//!   `N×N` unsafe block (sampling cost is linear in `S`, near-flat in the
+//!   database: the regime the dichotomy says the exact stack cannot offer);
+//! * `router` — `Engine::evaluate_auto` end to end, including the safety
+//!   verdict, lineage grounding, and cost estimate that precede sampling;
+//! * `sampler_vs_exact` — head-to-head on a small instance where both
+//!   regimes are feasible, to keep the crossover honest.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gfomc_approx::lineage_sampler;
+use gfomc_engine::workload::unsafe_block_preset;
+use gfomc_engine::{Budget, Engine};
+use gfomc_query::BipartiteQuery;
+use gfomc_tid::Tid;
+use rand::{rngs::StdRng, SeedableRng};
+
+const DELTA: f64 = 0.05;
+
+fn preset(scale: u32) -> (BipartiteQuery, Tid) {
+    let mut rng = StdRng::seed_from_u64(0xA55E55);
+    unsafe_block_preset(&mut rng, 2, scale)
+}
+
+fn bench_sampler_scaling(c: &mut Criterion) {
+    for scale in [4u32, 6] {
+        let (q, tid) = preset(scale);
+        let sampler = lineage_sampler(&q, &tid);
+        let mut group = c.benchmark_group(&format!("approx_sampler_{scale}x{scale}"));
+        for samples in [500u64, 2_000] {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(samples),
+                &samples,
+                |b, &samples| {
+                    b.iter(|| {
+                        let mut rng = StdRng::seed_from_u64(7);
+                        criterion::black_box(sampler.estimate(&mut rng, samples, DELTA))
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+fn bench_router_end_to_end(c: &mut Criterion) {
+    let (q, tid) = preset(5);
+    let budget = Budget::default().with_samples(1_000);
+    c.bench_function("approx_router/unsafe_5x5_1000s", |b| {
+        b.iter(|| {
+            let mut engine = Engine::new();
+            criterion::black_box(engine.evaluate_auto(&q, &tid, &budget))
+        })
+    });
+}
+
+fn bench_sampler_vs_exact(c: &mut Criterion) {
+    // 2×2 block: small enough that the compiled circuit is cheap — the
+    // sampler should only win once lineages outgrow this regime.
+    let (q, tid) = preset(2);
+    let mut group = c.benchmark_group("approx_vs_exact_2x2");
+    let sampler = lineage_sampler(&q, &tid);
+    group.bench_function("sampler_1000s", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            criterion::black_box(sampler.estimate(&mut rng, 1_000, DELTA))
+        })
+    });
+    group.bench_function("compiled_exact", |b| {
+        b.iter(|| {
+            let compiled = Engine::new().compile(&q, &tid);
+            criterion::black_box(compiled.evaluate_db())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sampler_scaling,
+    bench_router_end_to_end,
+    bench_sampler_vs_exact
+);
+criterion_main!(benches);

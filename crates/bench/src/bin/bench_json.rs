@@ -1,17 +1,22 @@
 //! CI perf-tracking entry point: runs a fixed, small benchmark suite and
-//! writes per-bench wall-times as JSON (default `BENCH_pr2.json`, or the
-//! path given as the first argument).
+//! writes per-bench wall-times as JSON (default `BENCH.json`, or the path
+//! given as the first argument).
 //!
 //! This exists so the perf trajectory accumulates as an artifact per PR.
-//! Timings are medians of a few repetitions on whatever machine CI hands
-//! us, so they are *tracking* numbers, not statistics — the CI job must
-//! never fail on them, only on compile errors.
+//! Every record is stamped with the git SHA it was measured at, the bench
+//! name, the repetition count behind the median, and — for the sampling
+//! benches — the Monte-Carlo sample budget, so entries are comparable
+//! across PRs (schema `gfomc-bench-v2`). Timings are medians of a few
+//! repetitions on whatever machine CI hands us, so they are *tracking*
+//! numbers, not statistics — the CI job must never fail on them, only on
+//! compile errors.
 
+use gfomc_approx::lineage_sampler;
 use gfomc_arith::Rational;
 use gfomc_bench::uniform_db;
 use gfomc_core::{reduce_p2cnf, OracleMode, P2Cnf};
-use gfomc_engine::workload::{random_block_tid, random_weightings};
-use gfomc_engine::{Engine, TupleWeights};
+use gfomc_engine::workload::{random_block_tid, random_weightings, unsafe_block_preset};
+use gfomc_engine::{Budget, Engine, TupleWeights};
 use gfomc_logic::{wmc, Clause, Cnf, UniformWeight, Var};
 use gfomc_query::{catalog, BipartiteQuery};
 use gfomc_safety::lifted_probability;
@@ -44,15 +49,49 @@ fn engine_workload(q: &BipartiteQuery, nu: u32, nv: u32, k: usize) -> (Tid, Vec<
     (tid, weightings)
 }
 
+/// The commit being measured: `GITHUB_SHA` in CI, `git rev-parse HEAD`
+/// locally, `"unknown"` when neither is available.
+fn git_sha() -> String {
+    if let Ok(sha) = std::env::var("GITHUB_SHA") {
+        if !sha.is_empty() {
+            return sha;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// One stamped record of the tracking series.
+struct Entry {
+    name: String,
+    seconds: f64,
+    reps: usize,
+    /// Monte-Carlo budget, for the sampling benches only.
+    samples: Option<u64>,
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_pr2.json".to_string());
+        .unwrap_or_else(|| "BENCH.json".to_string());
     let reps = 5;
-    let mut entries: Vec<(String, f64)> = Vec::new();
-    let mut record = |name: &str, secs: f64| {
+    let sha = git_sha();
+    let mut entries: Vec<Entry> = Vec::new();
+    let mut record = |name: &str, secs: f64, samples: Option<u64>| {
         println!("{name:<44} {secs:.6}s");
-        entries.push((name.to_string(), secs));
+        entries.push(Entry {
+            name: name.to_string(),
+            seconds: secs,
+            reps,
+            samples,
+        });
     };
 
     // Substrate: the legacy Shannon counter on a path CNF.
@@ -63,6 +102,7 @@ fn main() {
         time_median(reps, || {
             std::hint::black_box(wmc(&path, &half));
         }),
+        None,
     );
 
     // The headline comparison: compile-once/evaluate-many vs N independent
@@ -73,7 +113,7 @@ fn main() {
         let compiled = Engine::new().compile(&q, &tid);
         std::hint::black_box(compiled.evaluate_batch(&weightings));
     });
-    record("engine_compile_once_h1_3x3_12w", compile_once);
+    record("engine_compile_once_h1_3x3_12w", compile_once, None);
     let independent = time_median(reps, || {
         for w in &weightings {
             let mut db = tid.clone();
@@ -84,7 +124,7 @@ fn main() {
             std::hint::black_box(wmc(&lin.cnf, lin.vars.weights()));
         }
     });
-    record("wmc_independent_h1_3x3_12w", independent);
+    record("wmc_independent_h1_3x3_12w", independent, None);
     let speedup = if compile_once > 0.0 {
         independent / compile_once
     } else {
@@ -103,6 +143,7 @@ fn main() {
         time_median(reps, || {
             std::hint::black_box(lifted_probability(&safe, &big).unwrap());
         }),
+        None,
     );
 
     // One full Cook reduction through the factorized oracle.
@@ -112,18 +153,52 @@ fn main() {
         time_median(reps, || {
             std::hint::black_box(reduce_p2cnf(&q, &phi, OracleMode::Factorized));
         }),
+        None,
+    );
+
+    // The approximate regime on the unsafe-query/large-block preset: the
+    // Karp–Luby sampler alone, and the full router around it.
+    let mut rng = StdRng::seed_from_u64(0xA55E55);
+    let (uq, utid) = unsafe_block_preset(&mut rng, 2, 5);
+    let sampler = lineage_sampler(&uq, &utid);
+    for samples in [500u64, 2_000] {
+        record(
+            &format!("approx_sampler_unsafe_5x5_{samples}s"),
+            time_median(reps, || {
+                let mut rng = StdRng::seed_from_u64(7);
+                std::hint::black_box(sampler.estimate(&mut rng, samples, 0.05));
+            }),
+            Some(samples),
+        );
+    }
+    let budget = Budget::default().with_samples(1_000);
+    record(
+        "approx_router_unsafe_5x5_1000s",
+        time_median(reps, || {
+            std::hint::black_box(Engine::new().evaluate_auto(&uq, &utid, &budget));
+        }),
+        Some(budget.samples),
     );
 
     let json: String = {
         let fields: Vec<String> = entries
             .iter()
-            .map(|(name, secs)| format!("    \"{name}\": {secs:.9}"))
+            .map(|e| {
+                let samples = e
+                    .samples
+                    .map(|s| format!(", \"samples\": {s}"))
+                    .unwrap_or_default();
+                format!(
+                    "    {{\"name\": \"{}\", \"seconds\": {:.9}, \"reps\": {}{samples}}}",
+                    e.name, e.seconds, e.reps
+                )
+            })
             .collect();
         format!(
-            "{{\n  \"schema\": \"gfomc-bench-v1\",\n  \"unit\": \"seconds\",\n  \"engine_speedup\": {speedup:.4},\n  \"benches\": {{\n{}\n  }}\n}}\n",
+            "{{\n  \"schema\": \"gfomc-bench-v2\",\n  \"unit\": \"seconds\",\n  \"git_sha\": \"{sha}\",\n  \"engine_speedup\": {speedup:.4},\n  \"benches\": [\n{}\n  ]\n}}\n",
             fields.join(",\n")
         )
     };
     std::fs::write(&out_path, json).expect("write bench JSON");
-    println!("wrote {out_path}");
+    println!("wrote {out_path} (sha {sha})");
 }

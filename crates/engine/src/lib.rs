@@ -36,13 +36,24 @@
 //! [`wmc`](gfomc_logic::wmc()) on the lineage (the property suites assert equality,
 //! not approximation). The [`workload`] module generates random block TIDs
 //! and random bipartite queries at controlled safety for tests and benches.
+//!
+//! When exactness is not affordable, [`Engine::evaluate_auto`] (the
+//! [`router`] module) turns the dichotomy into a runtime decision: safe
+//! queries go to the PTIME lifted evaluator, unsafe queries go to the
+//! compiled circuit while the estimated compilation cost fits a [`Budget`],
+//! and everything beyond falls back to the seeded Karp–Luby sampler of
+//! `gfomc-approx` — returning a result tagged [`AutoResult::Exact`] or
+//! [`AutoResult::Approx`] so the two regimes can never be confused.
 
+pub mod router;
 pub mod workload;
+
+pub use router::{AutoResult, Budget, Route, RouteCounts, Routed};
 
 use gfomc_arith::Rational;
 use gfomc_logic::{Circuit, WeightsFromFn};
 use gfomc_query::BipartiteQuery;
-use gfomc_tid::{lineage, Tid, Tuple, VarTable};
+use gfomc_tid::{lineage, Lineage, Tid, Tuple, VarTable};
 use std::collections::HashMap;
 
 /// Compiles query/TID pairs and tracks aggregate compilation statistics.
@@ -56,6 +67,7 @@ pub struct Engine {
     compiled: usize,
     nodes: usize,
     decisions: usize,
+    routes: RouteCounts,
 }
 
 impl Engine {
@@ -70,7 +82,13 @@ impl Engine {
     /// Shannon decomposition exactly once. Every subsequent
     /// [`Compiled::evaluate`] is a single bottom-up pass.
     pub fn compile(&mut self, q: &BipartiteQuery, tid: &Tid) -> Compiled {
-        let lin = lineage(q, tid);
+        self.compile_lineage(lineage(q, tid))
+    }
+
+    /// Compiles an already-grounded lineage — shared by [`Engine::compile`]
+    /// and the router ([`Engine::evaluate_auto`]), which grounds the
+    /// lineage itself to estimate its cost before committing to a circuit.
+    pub(crate) fn compile_lineage(&mut self, lin: Lineage) -> Compiled {
         let circuit = Circuit::compile(&lin.cnf);
         self.compiled += 1;
         self.nodes += circuit.node_count();

@@ -1,0 +1,305 @@
+//! The dichotomy-aware query router: one entry point, three regimes.
+//!
+//! [`Engine::evaluate_auto`] turns the paper's dichotomy into a *runtime
+//! routing decision*:
+//!
+//! 1. **Safe query** ⇒ the PTIME lifted evaluator
+//!    ([`gfomc_safety::lifted_probability`]) — exact, polynomial in the
+//!    database, no lineage ever materialized.
+//! 2. **Unsafe query, affordable lineage** ⇒ knowledge compilation
+//!    ([`Engine::compile`]) — still exact; the worst-case Shannon cost
+//!    bound ([`gfomc_safety::circuit_cost_estimate`]) must fit the budget.
+//! 3. **Unsafe query, lineage over budget** ⇒ the Karp–Luby sampler
+//!    ([`gfomc_approx::CnfSampler`]) — a seeded-deterministic estimate
+//!    with a conservative confidence interval, in time linear in the
+//!    sample budget rather than exponential in the lineage.
+//!
+//! The result is tagged ([`AutoResult::Exact`] vs [`AutoResult::Approx`])
+//! so callers can never mistake an estimate for an exact probability, and
+//! carries the [`Route`] taken plus the cost estimate that justified it.
+
+use crate::Engine;
+use gfomc_approx::{CnfSampler, ConfidenceInterval, Estimate};
+use gfomc_arith::Rational;
+use gfomc_query::BipartiteQuery;
+use gfomc_safety::{circuit_cost_estimate, is_safe, lifted_probability, CircuitCostEstimate};
+use gfomc_tid::{lineage, Tid};
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Resource limits and sampling parameters for [`Engine::evaluate_auto`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Budget {
+    /// Maximum estimated circuit gates the exact compiled path may cost
+    /// (compared against [`CircuitCostEstimate::estimated_nodes`]).
+    pub max_circuit_cost: u64,
+    /// Monte-Carlo sample count for the fallback sampler.
+    pub samples: u64,
+    /// Failure probability `δ` of the sampler's confidence interval.
+    pub delta: f64,
+    /// Seed for the sampler's deterministic RNG: same budget, same TID,
+    /// same query ⇒ bit-identical [`AutoResult::Approx`].
+    pub seed: u64,
+}
+
+impl Default for Budget {
+    /// Compile lineages up to ~4M estimated gates; beyond that, 20k samples
+    /// at 95% confidence from a fixed seed.
+    fn default() -> Self {
+        Budget {
+            max_circuit_cost: 1 << 22,
+            samples: 20_000,
+            delta: 0.05,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl Budget {
+    /// Builder-style override of the circuit-cost cap.
+    pub fn with_max_circuit_cost(mut self, cap: u64) -> Self {
+        self.max_circuit_cost = cap;
+        self
+    }
+
+    /// Builder-style override of the sample count.
+    pub fn with_samples(mut self, samples: u64) -> Self {
+        self.samples = samples;
+        self
+    }
+
+    /// Builder-style override of the CI failure probability.
+    pub fn with_delta(mut self, delta: f64) -> Self {
+        self.delta = delta;
+        self
+    }
+
+    /// Builder-style override of the sampler seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Which evaluation regime [`Engine::evaluate_auto`] dispatched to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Route {
+    /// Safe query: PTIME lifted evaluation, exact.
+    Lifted,
+    /// Unsafe query within budget: compiled circuit, exact.
+    Compiled,
+    /// Unsafe query over budget: Karp–Luby sampling, approximate.
+    Sampled,
+}
+
+/// The tagged outcome: an exact probability or a sampler estimate. The tag
+/// is the API contract — downstream code must match, so an approximation
+/// can never silently masquerade as an exact answer.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AutoResult {
+    /// An exact probability (lifted or compiled path).
+    Exact(Rational),
+    /// A sampler estimate with its confidence interval and sampling effort.
+    Approx {
+        /// Seeded-deterministic point estimate (exact arithmetic).
+        estimate: Rational,
+        /// Two-sided Hoeffding interval at confidence `1 − Budget::delta`.
+        ci: ConfidenceInterval,
+        /// Number of Monte-Carlo samples drawn.
+        samples: u64,
+    },
+}
+
+impl AutoResult {
+    /// The point value: the exact probability or the sampler estimate.
+    pub fn point(&self) -> &Rational {
+        match self {
+            AutoResult::Exact(p) => p,
+            AutoResult::Approx { estimate, .. } => estimate,
+        }
+    }
+
+    /// True iff the result is exact.
+    pub fn is_exact(&self) -> bool {
+        matches!(self, AutoResult::Exact(_))
+    }
+}
+
+impl From<Estimate> for AutoResult {
+    fn from(e: Estimate) -> Self {
+        if e.exact {
+            // The sampler short-circuited on a degenerate lineage: the
+            // value is exact, so tag it as such.
+            AutoResult::Exact(e.estimate)
+        } else {
+            AutoResult::Approx {
+                estimate: e.estimate,
+                ci: e.ci,
+                samples: e.samples,
+            }
+        }
+    }
+}
+
+/// The full routing record: result, route taken, and (for unsafe queries)
+/// the cost estimate that picked between circuit and sampler.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Routed {
+    /// The tagged probability.
+    pub result: AutoResult,
+    /// The regime that produced it.
+    pub route: Route,
+    /// The lineage cost estimate — `None` on the lifted path, which never
+    /// grounds a lineage.
+    pub cost: Option<CircuitCostEstimate>,
+}
+
+/// Running tally of routing decisions, per [`Engine`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RouteCounts {
+    /// Queries answered by the lifted evaluator.
+    pub lifted: usize,
+    /// Queries answered by circuit compilation.
+    pub compiled: usize,
+    /// Queries answered by the sampler.
+    pub sampled: usize,
+}
+
+impl Engine {
+    /// Evaluates `Pr_∆(q)` by the cheapest adequate regime under `budget`:
+    /// lifted-exact for safe queries, compiled-circuit for unsafe queries
+    /// whose estimated compilation cost fits the budget, and the Karp–Luby
+    /// sampler otherwise.
+    ///
+    /// Safe queries return results bit-identical to
+    /// [`lifted_probability`]; sampled results are bit-identical across
+    /// runs for a fixed `budget.seed`.
+    pub fn evaluate_auto(&mut self, q: &BipartiteQuery, tid: &Tid, budget: &Budget) -> Routed {
+        if is_safe(q) {
+            let p = lifted_probability(q, tid).expect("safe query must lift");
+            self.routes.lifted += 1;
+            return Routed {
+                result: AutoResult::Exact(p),
+                route: Route::Lifted,
+                cost: None,
+            };
+        }
+        let lin = lineage(q, tid);
+        let cost = circuit_cost_estimate(&lin.cnf);
+        if cost.within(budget.max_circuit_cost) {
+            let compiled = self.compile_lineage(lin);
+            self.routes.compiled += 1;
+            return Routed {
+                result: AutoResult::Exact(compiled.evaluate_db()),
+                route: Route::Compiled,
+                cost: Some(cost),
+            };
+        }
+        let sampler = CnfSampler::new(&lin.cnf, lin.vars.weights());
+        let mut rng = StdRng::seed_from_u64(budget.seed);
+        let est = sampler.estimate(&mut rng, budget.samples, budget.delta);
+        self.routes.sampled += 1;
+        Routed {
+            result: est.into(),
+            route: Route::Sampled,
+            cost: Some(cost),
+        }
+    }
+
+    /// Routing decisions made by this engine so far.
+    pub fn route_counts(&self) -> RouteCounts {
+        self.routes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{random_block_tid, random_query, SafetyTarget};
+    use gfomc_query::catalog;
+    use gfomc_tid::probability;
+
+    #[test]
+    fn safe_query_routes_to_lifted_bit_identical() {
+        let q = catalog::safe_three_components();
+        let mut rng = StdRng::seed_from_u64(1);
+        let tid = random_block_tid(&mut rng, &q, 3, 3);
+        let mut engine = Engine::new();
+        let routed = engine.evaluate_auto(&q, &tid, &Budget::default());
+        assert_eq!(routed.route, Route::Lifted);
+        assert!(routed.cost.is_none());
+        assert_eq!(
+            routed.result,
+            AutoResult::Exact(lifted_probability(&q, &tid).unwrap())
+        );
+        assert_eq!(engine.route_counts().lifted, 1);
+    }
+
+    #[test]
+    fn small_unsafe_query_compiles_exactly() {
+        let q = catalog::h1();
+        let mut rng = StdRng::seed_from_u64(2);
+        let tid = random_block_tid(&mut rng, &q, 2, 2);
+        let mut engine = Engine::new();
+        let routed = engine.evaluate_auto(&q, &tid, &Budget::default());
+        assert_eq!(routed.route, Route::Compiled);
+        assert_eq!(routed.result, AutoResult::Exact(probability(&q, &tid)));
+        assert!(routed
+            .cost
+            .unwrap()
+            .within(Budget::default().max_circuit_cost));
+        // The compiled route goes through the engine's instrumented path.
+        assert_eq!(engine.compiled_count(), 1);
+        assert_eq!(engine.route_counts().compiled, 1);
+    }
+
+    #[test]
+    fn over_budget_unsafe_query_samples_deterministically() {
+        let q = catalog::h1();
+        let mut rng = StdRng::seed_from_u64(3);
+        let tid = random_block_tid(&mut rng, &q, 2, 2);
+        let budget = Budget::default()
+            .with_max_circuit_cost(0)
+            .with_samples(2_000);
+        let mut engine = Engine::new();
+        let routed = engine.evaluate_auto(&q, &tid, &budget);
+        assert_eq!(routed.route, Route::Sampled);
+        assert_eq!(engine.route_counts().sampled, 1);
+        let AutoResult::Approx {
+            estimate,
+            ci,
+            samples,
+        } = &routed.result
+        else {
+            panic!("expected an approximate result, got {routed:?}");
+        };
+        assert_eq!(*samples, 2_000);
+        let exact = probability(&q, &tid);
+        assert!(ci.contains(&exact), "{estimate} ± {ci:?} vs {exact}");
+        // Same seed ⇒ bit-identical routing outcome.
+        let again = Engine::new().evaluate_auto(&q, &tid, &budget);
+        assert_eq!(routed, again);
+        // A different seed (almost surely) moves the estimate.
+        let moved = Engine::new().evaluate_auto(&q, &tid, &budget.clone().with_seed(1234));
+        assert_ne!(routed, moved);
+    }
+
+    #[test]
+    fn random_queries_route_by_safety_and_budget() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut engine = Engine::new();
+        let budget = Budget::default();
+        for _ in 0..10 {
+            let q = random_query(&mut rng, 2, 2, SafetyTarget::Any);
+            let tid = random_block_tid(&mut rng, &q, 2, 2);
+            let routed = engine.evaluate_auto(&q, &tid, &budget);
+            if is_safe(&q) {
+                assert_eq!(routed.route, Route::Lifted);
+            } else {
+                assert_ne!(routed.route, Route::Lifted);
+            }
+            assert!(routed.result.is_exact() || matches!(routed.route, Route::Sampled));
+        }
+        let counts = engine.route_counts();
+        assert_eq!(counts.lifted + counts.compiled + counts.sampled, 10);
+    }
+}

@@ -172,6 +172,26 @@ fn block_tid_with<R: Rng>(
     tid
 }
 
+/// The unsafe-query / large-block preset: a random **unsafe** query over
+/// `n_symbols` binary symbols together with a `scale × scale` random block
+/// TID whose tuples are all strictly uncertain.
+///
+/// This is the first-class benchmark scenario for the approximate-inference
+/// stack: the lineage has `Θ(n_symbols · scale²)` variables, so from
+/// `scale ≳ 3` its worst-case Shannon cost bound blows through any
+/// reasonable circuit budget and `Engine::evaluate_auto` routes to the
+/// Karp–Luby sampler. Seeded like everything else here — the same `rng`
+/// state reproduces the same (query, TID) pair exactly.
+pub fn unsafe_block_preset<R: Rng>(
+    rng: &mut R,
+    n_symbols: u32,
+    scale: u32,
+) -> (BipartiteQuery, Tid) {
+    let q = random_query(rng, n_symbols, 2, SafetyTarget::Unsafe);
+    let tid = random_block_tid(rng, &q, scale, scale);
+    (q, tid)
+}
+
 /// `count` full random weight assignments over `support`: every tuple gets
 /// an independent probability `k/8`, `k ∈ 1..=7`.
 ///
@@ -249,6 +269,18 @@ mod tests {
         let q = random_query(&mut rng, 2, 2, SafetyTarget::Any);
         let tid = random_gfomc_block_tid(&mut rng, &q, 2, 2);
         assert!(tid.is_gfomc_instance());
+    }
+
+    #[test]
+    fn unsafe_preset_is_unsafe_and_interior() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let (q, tid) = unsafe_block_preset(&mut rng, 2, 4);
+        assert!(is_unsafe(&q), "{q:?}");
+        assert_eq!(tid.left_domain().len(), 4);
+        assert_eq!(tid.right_domain().len(), 4);
+        for (_, p) in tid.explicit_tuples() {
+            assert!(!p.is_zero() && !p.is_one());
+        }
     }
 
     #[test]

@@ -1,0 +1,88 @@
+//! Property suite for the dichotomy-aware router and the approximate
+//! regime it dispatches to.
+//!
+//! The contract under test (the acceptance bar of the approx subsystem):
+//!
+//! * safe queries come back **bit-identical** to the lifted evaluator —
+//!   exact [`Rational`] equality, tagged [`AutoResult::Exact`];
+//! * unsafe queries within the circuit budget come back bit-identical to
+//!   the naive oracle [`gfomc_tid::probability`];
+//! * unsafe queries *over* the circuit budget come back as seeded-
+//!   deterministic [`AutoResult::Approx`] estimates whose confidence
+//!   interval contains the brute-force probability on **every** instance.
+
+use gfomc_engine::workload::{random_block_tid, random_query, unsafe_block_preset, SafetyTarget};
+use gfomc_engine::{AutoResult, Budget, Engine, Route};
+use gfomc_logic::wmc_brute_force;
+use gfomc_safety::lifted_probability;
+use gfomc_tid::{lineage, probability};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn safe_queries_are_bit_identical_to_lifted(seed in 0u64..10_000, nu in 1u32..4, nv in 1u32..4) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q = random_query(&mut rng, 2, 2, SafetyTarget::Safe);
+        let tid = random_block_tid(&mut rng, &q, nu, nv);
+        let routed = Engine::new().evaluate_auto(&q, &tid, &Budget::default());
+        prop_assert_eq!(routed.route, Route::Lifted);
+        prop_assert_eq!(
+            routed.result,
+            AutoResult::Exact(lifted_probability(&q, &tid).unwrap())
+        );
+    }
+
+    #[test]
+    fn in_budget_unsafe_queries_are_exact(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q = random_query(&mut rng, 2, 2, SafetyTarget::Unsafe);
+        let tid = random_block_tid(&mut rng, &q, 2, 2);
+        let routed = Engine::new().evaluate_auto(&q, &tid, &Budget::default());
+        prop_assert_eq!(routed.route, Route::Compiled);
+        prop_assert_eq!(routed.result, AutoResult::Exact(probability(&q, &tid)));
+    }
+
+    #[test]
+    fn over_budget_sampling_brackets_brute_force(seed in 0u64..10_000) {
+        // Force the sampler by zeroing the circuit budget, on instances
+        // small enough for exhaustive ground truth.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q = random_query(&mut rng, 2, 2, SafetyTarget::Unsafe);
+        let tid = random_block_tid(&mut rng, &q, 2, 2);
+        let lin = lineage(&q, &tid);
+        prop_assume!(lin.vars.len() <= 16);
+        let truth = wmc_brute_force(&lin.cnf, lin.vars.weights());
+
+        let budget = Budget::default()
+            .with_max_circuit_cost(0)
+            .with_samples(1_500)
+            .with_seed(seed ^ 0xD1CE);
+        let routed = Engine::new().evaluate_auto(&q, &tid, &budget);
+        prop_assert_eq!(routed.route, Route::Sampled);
+        let AutoResult::Approx { ci, samples, .. } = &routed.result else {
+            panic!("expected an approximate result, got {routed:?}");
+        };
+        prop_assert_eq!(*samples, 1_500);
+        prop_assert!(ci.contains(&truth), "CI {:?} misses {}", ci, truth);
+
+        // Seeded determinism: the same budget reproduces the same result.
+        prop_assert_eq!(routed, Engine::new().evaluate_auto(&q, &tid, &budget));
+    }
+
+    #[test]
+    fn large_preset_routes_to_sampler_under_default_budget(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (q, tid) = unsafe_block_preset(&mut rng, 2, 5);
+        let budget = Budget::default().with_samples(200);
+        let routed = Engine::new().evaluate_auto(&q, &tid, &budget);
+        prop_assert_eq!(routed.route, Route::Sampled);
+        let cost = routed.cost.expect("unsafe route records its cost estimate");
+        prop_assert!(!cost.within(budget.max_circuit_cost));
+        // The estimate is a genuine probability.
+        let p = routed.result.point();
+        prop_assert!(!p.is_negative() && p <= &gfomc_arith::Rational::one());
+    }
+}

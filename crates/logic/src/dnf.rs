@@ -1,0 +1,333 @@
+//! Monotone DNF formulas — the dual view of [`Cnf`] that approximate
+//! counting operates on.
+//!
+//! A monotone DNF is a disjunction of *terms*, each term a conjunction of
+//! positive literals. Its role in this workspace is the Karp–Luby bridge:
+//! the complement of a monotone CNF `F(x) = ∧_j ∨_{v∈c_j} v` is, by
+//! De Morgan, a monotone DNF **in the complemented variables**
+//!
+//! ```text
+//! ¬F(x) = ∨_j ∧_{v∈c_j} ¬x_v  =  D(x̄)   with one term per clause.
+//! ```
+//!
+//! [`Dnf::complement_of`] performs exactly this transliteration. Evaluating
+//! `D` under the flipped weights `w̄(v) = 1 − w(v)` therefore yields
+//! `Pr(¬F)` under `w` — which is what the Karp–Luby estimator in
+//! `gfomc-approx` samples, since DNF union probabilities (unlike CNF
+//! probabilities) admit an FPRAS.
+//!
+//! Terms reuse [`Clause`] as their representation: a `Clause`'s sorted
+//! variable set, read *conjunctively*. Canonical form is absorption-minimal
+//! (no term contains another), the DNF dual of the CNF subsumption
+//! invariant, so syntactic equality again coincides with logical
+//! equivalence for minimal monotone formulas.
+
+use crate::cnf::{Clause, Cnf, Var};
+use crate::wmc::WeightFn;
+use gfomc_arith::Rational;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A monotone DNF: a disjunction of conjunctive terms.
+///
+/// Invariants after minimization (enforced by all constructors): terms
+/// sorted, deduplicated, and absorption-minimal. The formula `false` is the
+/// empty term set; `true` is the singleton set of the empty term.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Dnf {
+    terms: Vec<Clause>,
+}
+
+impl Dnf {
+    /// The constant `false` (empty disjunction).
+    pub fn bottom() -> Self {
+        Dnf { terms: Vec::new() }
+    }
+
+    /// The constant `true` (one empty term).
+    pub fn top() -> Self {
+        Dnf {
+            terms: vec![Clause::empty()],
+        }
+    }
+
+    /// Builds a minimized DNF from terms (each a [`Clause`] read
+    /// conjunctively).
+    pub fn new(terms: impl IntoIterator<Item = Clause>) -> Self {
+        let mut dnf = Dnf {
+            terms: terms.into_iter().collect(),
+        };
+        dnf.minimize();
+        dnf
+    }
+
+    /// The complement-DNF of a monotone CNF: `¬F(x) = D(x̄)` with one term
+    /// per clause of `F`. The transliteration maps `Cnf::top` (no clauses)
+    /// to `Dnf::bottom` and `Cnf::bottom` (one empty clause) to `Dnf::top`,
+    /// as De Morgan demands.
+    ///
+    /// The returned DNF is read over the *complemented* variables: a term
+    /// holds in a world iff every one of its variables is **false** in the
+    /// original CNF's world. Correspondingly, probabilities transfer through
+    /// the flipped weights `w̄(v) = 1 − w(v)`:
+    /// `Pr_w(¬F) = Pr_w̄(D)` (see [`Dnf::probability_flipped`]).
+    pub fn complement_of(f: &Cnf) -> Self {
+        // A canonical CNF transliterates to a canonical DNF directly: the
+        // clause list is sorted, deduplicated, and subsumption-minimal, and
+        // absorption-minimality is the same subset condition. Skipping
+        // `Dnf::new` avoids the O(terms²) absorption sweep on exactly the
+        // large lineages the sampler exists for.
+        Dnf {
+            terms: f.clauses().to_vec(),
+        }
+    }
+
+    /// True iff the formula is the constant `false`.
+    pub fn is_false(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// True iff the formula is the constant `true`
+    /// (for monotone DNF: contains the empty term).
+    pub fn is_true(&self) -> bool {
+        self.terms.first().is_some_and(|t| t.is_empty())
+    }
+
+    /// The terms, in canonical order.
+    pub fn terms(&self) -> &[Clause] {
+        &self.terms
+    }
+
+    /// Number of terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True iff there are no terms (same as [`Dnf::is_false`]).
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The set of variables occurring in the formula.
+    pub fn vars(&self) -> BTreeSet<Var> {
+        self.terms
+            .iter()
+            .flat_map(|t| t.vars().iter().copied())
+            .collect()
+    }
+
+    /// Evaluates under a total assignment (variables absent from
+    /// `true_vars` are false): true iff some term has all variables true.
+    pub fn eval(&self, true_vars: &BTreeSet<Var>) -> bool {
+        self.terms
+            .iter()
+            .any(|t| t.vars().iter().all(|v| true_vars.contains(v)))
+    }
+
+    /// The probability of one term under `w`: `∏_{v∈term} w(v)` (terms are
+    /// conjunctions of independent positive literals).
+    pub fn term_probability<W: WeightFn>(&self, i: usize, w: &W) -> Rational {
+        let mut p = Rational::one();
+        for &v in self.terms[i].vars() {
+            p = &p * &w.weight(v);
+            if p.is_zero() {
+                break;
+            }
+        }
+        p
+    }
+
+    /// The union bound `Σ_i Pr(term_i)` under `w` — an upper bound on
+    /// `Pr(D)`, and the Karp–Luby normalizing constant. May exceed 1.
+    pub fn union_bound<W: WeightFn>(&self, w: &W) -> Rational {
+        let mut s = Rational::zero();
+        for i in 0..self.terms.len() {
+            s = &s + &self.term_probability(i, w);
+        }
+        s
+    }
+
+    /// `Pr_w(¬F)` for the CNF `F` this DNF complements: evaluates the DNF
+    /// under the flipped weights `w̄(v) = 1 − w(v)` by inclusion–exclusion
+    /// over terms. Exponential in the number of terms — ground truth for
+    /// tests, not a production path.
+    pub fn probability_flipped<W: WeightFn>(&self, w: &W) -> Rational {
+        let m = self.terms.len();
+        assert!(m <= 20, "inclusion-exclusion limited to 20 terms");
+        let mut total = Rational::zero();
+        for mask in 1u64..(1u64 << m) {
+            // Pr(∩_{i∈mask} term_i) = ∏_{v ∈ ∪ terms} (1 − w(v)).
+            let union: BTreeSet<Var> = (0..m)
+                .filter(|i| mask >> i & 1 == 1)
+                .flat_map(|i| self.terms[i].vars().iter().copied())
+                .collect();
+            let mut p = Rational::one();
+            for v in union {
+                p = &p * &w.weight(v).complement();
+            }
+            if mask.count_ones() % 2 == 1 {
+                total = &total + &p;
+            } else {
+                total = &total - &p;
+            }
+        }
+        total
+    }
+
+    /// Restores canonical form: sort, dedupe, drop absorbed terms, collapse
+    /// to `true` if an empty term is present.
+    fn minimize(&mut self) {
+        if self.terms.iter().any(|t| t.is_empty()) {
+            self.terms = vec![Clause::empty()];
+            return;
+        }
+        self.terms.sort();
+        self.terms.dedup();
+        // Absorption: a term containing another term is redundant
+        // (t ⊆ t' means t' ⇒ t in a conjunction-of-literals reading).
+        let mut keep = vec![true; self.terms.len()];
+        for i in 0..self.terms.len() {
+            if !keep[i] {
+                continue;
+            }
+            for (j, keep_j) in keep.iter_mut().enumerate() {
+                if i == j || !*keep_j {
+                    continue;
+                }
+                if self.terms[i].subsumes(&self.terms[j])
+                    && (self.terms[i].len() < self.terms[j].len() || i < j)
+                {
+                    *keep_j = false;
+                }
+            }
+        }
+        let mut idx = 0;
+        self.terms.retain(|_| {
+            let k = keep[idx];
+            idx += 1;
+            k
+        });
+    }
+}
+
+impl fmt::Debug for Dnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_false() {
+            return write!(f, "⊥");
+        }
+        if self.is_true() {
+            return write!(f, "⊤");
+        }
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, "∨")?;
+            }
+            write!(f, "(")?;
+            for (k, v) in t.vars().iter().enumerate() {
+                if k > 0 {
+                    write!(f, "∧")?;
+                }
+                write!(f, "x{}", v.0)?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wmc::{wmc_brute_force, UniformWeight};
+    use std::collections::HashMap;
+
+    fn cl(vs: &[u32]) -> Clause {
+        Clause::new(vs.iter().map(|&i| Var(i)))
+    }
+
+    #[test]
+    fn constants_transliterate() {
+        assert!(Dnf::complement_of(&Cnf::top()).is_false());
+        assert!(Dnf::complement_of(&Cnf::bottom()).is_true());
+        assert!(Dnf::bottom().is_empty());
+        assert!(!Dnf::top().is_empty());
+    }
+
+    #[test]
+    fn absorption_minimizes() {
+        // (x1) ∨ (x1∧x2) ∨ (x2∧x3): the superset term is absorbed.
+        let d = Dnf::new([cl(&[1]), cl(&[1, 2]), cl(&[2, 3])]);
+        assert_eq!(d.terms(), &[cl(&[1]), cl(&[2, 3])]);
+    }
+
+    #[test]
+    fn complement_of_is_already_canonical() {
+        // The direct transliteration must agree with the minimizing
+        // constructor — the invariant that lets `complement_of` skip the
+        // absorption sweep.
+        let f = Cnf::new([cl(&[2, 3]), cl(&[1, 2]), cl(&[1, 2, 3])]);
+        let d = Dnf::complement_of(&f);
+        assert_eq!(d, Dnf::new(d.terms().iter().cloned()));
+    }
+
+    #[test]
+    fn complement_eval_is_negation() {
+        // F = (x1∨x2)(x2∨x3); D(x̄) must equal ¬F(x) on every world.
+        let f = Cnf::new([cl(&[1, 2]), cl(&[2, 3])]);
+        let d = Dnf::complement_of(&f);
+        let support: Vec<Var> = f.vars().into_iter().collect();
+        for mask in 0u32..(1 << support.len()) {
+            let tv: BTreeSet<Var> = support
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| mask >> i & 1 == 1)
+                .map(|(_, &v)| v)
+                .collect();
+            let flipped: BTreeSet<Var> = support
+                .iter()
+                .filter(|v| !tv.contains(v))
+                .copied()
+                .collect();
+            assert_eq!(d.eval(&flipped), !f.eval(&tv), "mask {mask}");
+        }
+    }
+
+    #[test]
+    fn probability_flipped_complements_wmc() {
+        let f = Cnf::new([cl(&[1, 2]), cl(&[2, 3]), cl(&[1, 3])]);
+        let d = Dnf::complement_of(&f);
+        let mut w = HashMap::new();
+        w.insert(Var(1), Rational::from_ints(1, 3));
+        w.insert(Var(2), Rational::one_half());
+        w.insert(Var(3), Rational::from_ints(3, 4));
+        assert_eq!(
+            d.probability_flipped(&w),
+            wmc_brute_force(&f, &w).complement()
+        );
+    }
+
+    #[test]
+    fn union_bound_dominates_probability() {
+        let f = Cnf::new([cl(&[1, 2]), cl(&[2, 3])]);
+        let d = Dnf::complement_of(&f);
+        let half = UniformWeight(Rational::one_half());
+        // Union bound under flipped weights (all ½, self-complementary).
+        assert!(d.union_bound(&half) >= d.probability_flipped(&half));
+    }
+
+    #[test]
+    fn term_probability_multiplies() {
+        let d = Dnf::new([cl(&[1, 2, 3])]);
+        let w = UniformWeight(Rational::one_half());
+        assert_eq!(d.term_probability(0, &w), Rational::from_ints(1, 8));
+        assert_eq!(d.union_bound(&w), Rational::from_ints(1, 8));
+    }
+
+    #[test]
+    fn vars_and_len() {
+        let d = Dnf::new([cl(&[1, 2]), cl(&[4])]);
+        assert_eq!(d.len(), 2);
+        let vs: Vec<u32> = d.vars().into_iter().map(|Var(i)| i).collect();
+        assert_eq!(vs, vec![1, 2, 4]);
+    }
+}

@@ -5,6 +5,9 @@
 //! * [`cnf`] — monotone CNF formulas in canonical (subsumption-minimal) form,
 //!   with restriction, renaming, conjunction/disjunction, and decomposition
 //!   into variable-disjoint components;
+//! * [`dnf`] — monotone DNF, in particular the complement-DNF of a monotone
+//!   CNF (De Morgan transliteration) that turns lineage counting into the
+//!   DNF-union problem the Karp–Luby estimator (`gfomc-approx`) samples;
 //! * [`mod@wmc`] — exact weighted model counting (the `Pr(Q)` oracle of the
 //!   paper's Cook reductions), by Shannon expansion with component
 //!   decomposition and memoization, plus brute-force ground truth;
@@ -17,11 +20,13 @@
 pub mod circuit;
 pub mod cnf;
 pub mod decompose;
+pub mod dnf;
 pub mod intern;
 pub mod wmc;
 
 pub use circuit::{Circuit, Compiler, Node, NodeId, Valuation};
 pub use cnf::{Clause, Cnf, Var};
+pub use dnf::Dnf;
 pub use intern::{CnfId, CnfInterner};
 pub use wmc::{
     count_models, wmc, wmc_brute_force, ModelCounter, UniformWeight, WeightFn, WeightsFromFn,

@@ -1,0 +1,130 @@
+//! Circuit-size estimation for the dichotomy-aware query router.
+//!
+//! The dichotomy gives a *static* verdict (safe ⇒ lifted PTIME plan,
+//! unsafe ⇒ #P-hard in general), but on the unsafe side every concrete
+//! instance still admits exact evaluation by knowledge compilation — the
+//! only question is whether the circuit stays affordable. This module
+//! supplies the router's second input: a cheap, deterministic upper-bound
+//! estimate of the Shannon-compilation cost of a lineage, so callers can
+//! decide *before* compiling whether to take the exact circuit path or fall
+//! back to the `gfomc-approx` sampler.
+//!
+//! The estimate is deliberately pessimistic — the worst case of Shannon
+//! expansion is one cofactor per variable subset, i.e. `2^vars` per
+//! connected component, and component decomposition is the one structural
+//! saving the compiler is guaranteed to realize. A pessimistic bound routes
+//! borderline lineages to the sampler, which degrades an exact answer to a
+//! (ε, δ)-approximate one but never stalls the engine on an exponential
+//! compilation.
+
+use gfomc_logic::Cnf;
+
+/// Shannon-cost summary of a lineage CNF, produced by
+/// [`circuit_cost_estimate`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CircuitCostEstimate {
+    /// Number of distinct variables (uncertain tuples) in the lineage.
+    pub vars: usize,
+    /// Number of clauses after canonicalization.
+    pub clauses: usize,
+    /// Number of variable-disjoint connected components.
+    pub components: usize,
+    /// Saturating worst-case gate-count bound:
+    /// `Σ_components clauses_c · 2^min(vars_c, 40)`.
+    pub estimated_nodes: u64,
+}
+
+impl CircuitCostEstimate {
+    /// True iff the estimated compilation cost fits within `budget` gates.
+    pub fn within(&self, budget: u64) -> bool {
+        self.estimated_nodes <= budget
+    }
+}
+
+/// Estimates the worst-case Shannon-compilation cost of a monotone CNF.
+///
+/// Per connected component the bound is `clauses · 2^vars` (each of the up
+/// to `2^vars` cofactors touches every clause at most once), with the
+/// exponent clamped at 40 so the sum saturates instead of overflowing;
+/// components are independent, so their bounds add. Constants cost nothing:
+/// `⊤` has no components and estimate 0, `⊥` is a single empty component
+/// with estimate 1.
+///
+/// The bound is loose on structured lineages (memoization collapses
+/// cofactors massively on block databases), but it is *monotone* in lineage
+/// size and zero-cost to compute — exactly what a routing heuristic needs.
+pub fn circuit_cost_estimate(f: &Cnf) -> CircuitCostEstimate {
+    let vars = f.vars().len();
+    let clauses = f.len();
+    let comps = f.components();
+    let mut estimated: u64 = 0;
+    for c in &comps {
+        let cv = c.vars().len().min(40) as u32;
+        let per = (c.len().max(1) as u64).saturating_mul(1u64 << cv);
+        estimated = estimated.saturating_add(per);
+    }
+    CircuitCostEstimate {
+        vars,
+        clauses,
+        components: comps.len(),
+        estimated_nodes: estimated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfomc_logic::{Clause, Var};
+
+    fn cl(vs: &[u32]) -> Clause {
+        Clause::new(vs.iter().map(|&i| Var(i)))
+    }
+
+    #[test]
+    fn constants_are_free() {
+        let top = circuit_cost_estimate(&Cnf::top());
+        assert_eq!(top.estimated_nodes, 0);
+        assert_eq!(top.components, 0);
+        let bot = circuit_cost_estimate(&Cnf::bottom());
+        assert_eq!(bot.components, 1);
+        assert_eq!(bot.estimated_nodes, 1);
+    }
+
+    #[test]
+    fn components_add_instead_of_multiplying() {
+        // Two disjoint 2-var clauses: 1·2² + 1·2² = 8, not 1·2⁴ = 16.
+        let f = Cnf::new([cl(&[1, 2]), cl(&[3, 4])]);
+        let est = circuit_cost_estimate(&f);
+        assert_eq!(est.components, 2);
+        assert_eq!(est.estimated_nodes, 8);
+        let connected = Cnf::new([cl(&[1, 2]), cl(&[2, 3]), cl(&[3, 4])]);
+        assert_eq!(circuit_cost_estimate(&connected).estimated_nodes, 3 << 4);
+    }
+
+    #[test]
+    fn estimate_is_monotone_in_growth() {
+        let small = Cnf::new((0..4).map(|i| cl(&[i, i + 1])));
+        let big = Cnf::new((0..12).map(|i| cl(&[i, i + 1])));
+        assert!(
+            circuit_cost_estimate(&small).estimated_nodes
+                < circuit_cost_estimate(&big).estimated_nodes
+        );
+    }
+
+    #[test]
+    fn exponent_clamp_saturates_gracefully() {
+        // A 60-variable clique of clauses must not overflow.
+        let f = Cnf::new((0..60).map(|i| cl(&[i, (i + 1) % 60])));
+        let est = circuit_cost_estimate(&f);
+        assert_eq!(est.vars, 60);
+        assert_eq!(est.estimated_nodes, 60u64 << 40);
+    }
+
+    #[test]
+    fn within_compares_against_budget() {
+        let f = Cnf::new([cl(&[1, 2])]);
+        let est = circuit_cost_estimate(&f);
+        assert!(est.within(4));
+        assert!(!est.within(3));
+    }
+}

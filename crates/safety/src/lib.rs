@@ -11,13 +11,18 @@
 //!   ubiquitous symbols and the minimal-path symbol condition;
 //! * [`lifted`] — the PTIME lifted evaluator for safe queries (the easy side
 //!   of Theorem 2.1): independence across symbol components, product over
-//!   the one-sided domain, Shannon + inclusion–exclusion per element.
+//!   the one-sided domain, Shannon + inclusion–exclusion per element;
+//! * [`cost`] — worst-case Shannon-compilation cost estimates for lineages,
+//!   the runtime half of the dichotomy verdict consumed by the
+//!   `gfomc-engine` query router.
 
+pub mod cost;
 pub mod finality;
 pub mod forbidden;
 pub mod lifted;
 pub mod paths;
 
+pub use cost::{circuit_cost_estimate, CircuitCostEstimate};
 pub use finality::{
     classify, is_final, is_final_type_i, is_final_type_ii, simplify_to_final, Classification,
 };

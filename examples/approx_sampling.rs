@@ -1,0 +1,114 @@
+//! The dichotomy as a runtime routing decision, end to end: one entry
+//! point (`Engine::evaluate_auto`) sends a safe query to the PTIME lifted
+//! evaluator, a small unsafe query to the exact compiled circuit, and a
+//! large unsafe query to the Karp–Luby sampler — the three regimes the
+//! `gfomc-approx` subsystem completes.
+//!
+//! Run with `cargo run --example approx_sampling`.
+
+use gfomc::approx::lineage_sampler;
+use gfomc::engine::workload::{random_block_tid, unsafe_block_preset};
+use gfomc::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use std::time::Instant;
+
+fn show(label: &str, routed: &Routed, elapsed: std::time::Duration) {
+    match &routed.result {
+        AutoResult::Exact(p) => {
+            println!(
+                "{label}: route {:?}, exact Pr = {p} ({elapsed:?})",
+                routed.route
+            );
+        }
+        AutoResult::Approx {
+            estimate,
+            ci,
+            samples,
+        } => {
+            println!(
+                "{label}: route {:?}, Pr ≈ {:.6} ∈ [{:.6}, {:.6}] at 95% ({samples} samples, {elapsed:?})",
+                routed.route,
+                estimate.to_f64(),
+                ci.lo.to_f64(),
+                ci.hi.to_f64(),
+            );
+        }
+    }
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let budget = Budget::default().with_samples(20_000);
+    let mut engine = Engine::new();
+
+    // ------------------------------------------------------------------
+    // 1. A safe query: the router never grounds a lineage — the lifted
+    //    evaluator answers exactly, in PTIME, however large the domain.
+    // ------------------------------------------------------------------
+    let safe = catalog::safe_three_components();
+    let tid = random_block_tid(&mut rng, &safe, 12, 12);
+    let t0 = Instant::now();
+    let routed = engine.evaluate_auto(&safe, &tid, &budget);
+    show("safe 12x12      ", &routed, t0.elapsed());
+    assert_eq!(routed.route, Route::Lifted);
+    assert_eq!(
+        routed.result,
+        AutoResult::Exact(lifted_probability(&safe, &tid).unwrap())
+    );
+
+    // ------------------------------------------------------------------
+    // 2. A small unsafe query: #P-hard in general, but this instance's
+    //    estimated circuit cost fits the budget — still exact.
+    // ------------------------------------------------------------------
+    let h1 = catalog::h1();
+    let small = random_block_tid(&mut rng, &h1, 2, 2);
+    let t0 = Instant::now();
+    let routed = engine.evaluate_auto(&h1, &small, &budget);
+    show("unsafe 2x2      ", &routed, t0.elapsed());
+    assert_eq!(routed.route, Route::Compiled);
+    assert_eq!(routed.result, AutoResult::Exact(probability(&h1, &small)));
+
+    // ------------------------------------------------------------------
+    // 3. The unsafe-query/large-block preset: the worst-case Shannon cost
+    //    bound blows the budget, so the router falls back to the seeded
+    //    Karp–Luby sampler — an anytime estimate with a confidence
+    //    interval instead of an exponential compilation.
+    // ------------------------------------------------------------------
+    let (uq, utid) = unsafe_block_preset(&mut rng, 2, 6);
+    println!(
+        "unsafe preset   : query {uq}, 6x6 block, lineage cost estimate {}",
+        gfomc::safety::circuit_cost_estimate(&gfomc::tid::lineage(&uq, &utid).cnf).estimated_nodes,
+    );
+    let t0 = Instant::now();
+    let routed = engine.evaluate_auto(&uq, &utid, &budget);
+    show("unsafe 6x6      ", &routed, t0.elapsed());
+    assert_eq!(routed.route, Route::Sampled);
+
+    // Same seed, same answer: the estimate is bit-reproducible.
+    let again = Engine::new().evaluate_auto(&uq, &utid, &budget);
+    assert_eq!(routed, again);
+
+    // ------------------------------------------------------------------
+    // 4. Anytime refinement: more samples tighten the interval (the
+    //    Hoeffding half-width shrinks as 1/√N), against the same sampler.
+    // ------------------------------------------------------------------
+    let sampler = lineage_sampler(&uq, &utid);
+    for samples in [1_000u64, 10_000, 100_000] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t0 = Instant::now();
+        let est = sampler.estimate(&mut rng, samples, 0.05);
+        println!(
+            "  {samples:>7} samples: Pr ≈ {:.6}, CI width {:.6} ({:?})",
+            est.estimate.to_f64(),
+            est.ci.width().to_f64(),
+            t0.elapsed(),
+        );
+    }
+
+    let counts = engine.route_counts();
+    println!(
+        "routing tally: {} lifted, {} compiled, {} sampled",
+        counts.lifted, counts.compiled, counts.sampled
+    );
+    assert_eq!(counts.lifted + counts.compiled + counts.sampled, 3);
+}

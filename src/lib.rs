@@ -20,7 +20,8 @@
 //! | [`query`] | `gfomc-query` | Bipartite ∀CNF queries, Möbius lattices |
 //! | [`tid`] | `gfomc-tid` | Probabilistic databases, lineage, `Pr(Q)` |
 //! | [`safety`] | `gfomc-safety` | Dichotomy classifier, lifted evaluation |
-//! | [`engine`] | `gfomc-engine` | Knowledge compilation, batched evaluation |
+//! | [`approx`] | `gfomc-approx` | Karp–Luby sampling, (ε, δ) estimates |
+//! | [`engine`] | `gfomc-engine` | Knowledge compilation, batching, routing |
 //! | [`core`] | `gfomc-core` | Blocks, reductions, hardness machinery |
 //!
 //! ## Quickstart
@@ -44,6 +45,7 @@
 //! assert_eq!(probability(&q, &db), Rational::from_ints(5, 8));
 //! ```
 
+pub use gfomc_approx as approx;
 pub use gfomc_arith as arith;
 pub use gfomc_core as core;
 pub use gfomc_engine as engine;
@@ -56,6 +58,7 @@ pub use gfomc_tid as tid;
 
 /// The commonly-used names, for `use gfomc::prelude::*`.
 pub mod prelude {
+    pub use gfomc_approx::{CnfSampler, ConfidenceInterval, Estimate, KarpLuby};
     pub use gfomc_arith::{Integer, Natural, QuadExt, Rational};
     pub use gfomc_core::zigzag::{zg_database, zg_query, ZigzagQuery};
     pub use gfomc_core::{
@@ -63,7 +66,9 @@ pub mod prelude {
         probability_via_factorization, reduce_p2cnf, signature_counts, transfer_matrix, ConstAlloc,
         EigenData, OracleMode, P2Cnf, Pp2Cnf, ReductionOutcome,
     };
-    pub use gfomc_engine::{Compiled, Engine, TupleWeights};
+    pub use gfomc_engine::{
+        AutoResult, Budget, Compiled, Engine, Route, RouteCounts, Routed, TupleWeights,
+    };
     pub use gfomc_linalg::Matrix;
     pub use gfomc_logic::{wmc, Cnf, Var};
     pub use gfomc_poly::{arithmetize, PVar, Poly};
