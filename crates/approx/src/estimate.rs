@@ -115,6 +115,16 @@ pub(crate) fn clamp_unit(p: Rational) -> Rational {
     }
 }
 
+/// The largest dyadic `k/2^53 ≤ x` for `x ∈ [0, 1]` — the inward-rounded
+/// rational image of a float accuracy target. Comparing an outward-rounded
+/// half-width against this can only *under*-report convergence, never
+/// over-report it.
+pub(crate) fn rational_lower_bound(x: f64) -> Rational {
+    assert!((0.0..=1.0).contains(&x), "target must be in [0, 1]");
+    let scale = (1u64 << 53) as f64;
+    Rational::from_ints((x * scale).floor() as i64, 1i64 << 53)
+}
+
 /// The smallest dyadic `k/2^53 ≥ x` for `x ∈ [0, ∞)` — the outward-rounded
 /// rational image of a float half-width.
 pub(crate) fn rational_upper_bound(x: f64) -> Rational {

@@ -45,12 +45,25 @@
 //! outward so reported coverage is never optimistic. Property suites check
 //! empirical CI coverage against [`gfomc_logic::wmc_brute_force`] ground
 //! truth at fixed seeds.
+//!
+//! Two performance layers sit on top of the plain estimator, neither
+//! giving up determinism:
+//!
+//! * [`CnfSampler::estimate_seeded`] executes a **chunk-seeded sampling
+//!   plan** across OS threads — the estimate is a pure function of
+//!   `(seed, samples)`, bit-identical for every thread count;
+//! * [`CnfSampler::estimate_adaptive`] replaces the fixed worst-case
+//!   budget with **empirical-Bernstein stopping rounds** ([`adaptive`](crate::AdaptiveConfig)):
+//!   it never draws more than the fixed Karp–Luby–Madras budget and exits
+//!   as soon as the outward-rounded interval meets the accuracy target.
 
+mod adaptive;
 mod estimate;
 mod sampler;
 
+pub use adaptive::{AdaptiveConfig, AdaptiveEstimate};
 pub use estimate::{ConfidenceInterval, Estimate};
-pub use sampler::{CnfSampler, KarpLuby};
+pub use sampler::{CnfSampler, KarpLuby, SAMPLE_CHUNK};
 
 use gfomc_logic::Dnf;
 use gfomc_query::BipartiteQuery;

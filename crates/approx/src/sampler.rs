@@ -28,7 +28,37 @@
 use crate::estimate::{rational_upper_bound, ConfidenceInterval, Estimate};
 use gfomc_arith::Rational;
 use gfomc_logic::{Cnf, Dnf, Var, WeightFn, WeightsFromFn};
-use rand::Rng;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Samples per deterministic chunk of the seeded sampling plan (see
+/// [`KarpLuby::estimate_seeded`]).
+///
+/// A sampling run at seed `s` is partitioned into fixed-size chunks; chunk
+/// `k` draws all of its samples from its own RNG stream seeded with
+/// `chunk_seed(s, k)`. Hit counts are integers and addition commutes, so
+/// the merged estimate depends only on `(seed, sample count)` — never on
+/// how many threads executed the chunks or in which order.
+pub const SAMPLE_CHUNK: u64 = 256;
+
+/// The SplitMix64 finalizer: a bijective avalanche mix.
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The per-chunk RNG seed: a double avalanche of (seed, chunk index) so
+/// chunk streams are decorrelated even for adjacent indices.
+fn chunk_seed(seed: u64, chunk: u64) -> u64 {
+    mix64(
+        seed ^ mix64(
+            chunk
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(0xD1B5_4A32_D192_ED03),
+        ),
+    )
+}
 
 /// A prepared Karp–Luby sampler for `Pr(D)` of a monotone DNF under
 /// independent variable probabilities.
@@ -161,18 +191,23 @@ impl KarpLuby {
         let mut hits: u64 = 0;
         let mut world = vec![false; self.thresholds.len()];
         for _ in 0..samples {
-            let j = self.draw_term(rng);
-            self.draw_world(rng, j, &mut world);
-            if self.is_canonical(j, &world) {
+            if self.draw_hit(rng, &mut world) {
                 hits += 1;
             }
         }
-        // Ŝ·hits/N in exact arithmetic: the seeded-deterministic estimate.
-        // The raw unbiased estimator can overshoot 1 when the union bound
-        // is loose and samples are few; since the target is a probability,
-        // clamp the *reported* point into [0, 1] (mean clipping — it can
-        // only reduce absolute error). The interval is still centered on
-        // the raw value, which is what the Hoeffding bound speaks about.
+        self.estimate_from_hits(hits, samples, delta)
+    }
+
+    /// The estimate assembled from a merged hit count: `Ŝ·hits/N` in exact
+    /// arithmetic (the seeded-deterministic point) with a two-sided
+    /// Hoeffding interval at confidence `1 − δ`.
+    ///
+    /// The raw unbiased estimator can overshoot 1 when the union bound is
+    /// loose and samples are few; since the target is a probability, the
+    /// *reported* point is clamped into [0, 1] (mean clipping — it can only
+    /// reduce absolute error). The interval is still centered on the raw
+    /// value, which is what the Hoeffding bound speaks about.
+    pub(crate) fn estimate_from_hits(&self, hits: u64, samples: u64, delta: f64) -> Estimate {
         let frac = Rational::from_ints(hits as i64, samples as i64);
         let raw = &self.total * &frac;
         // Hoeffding half-width on μ, scaled by S, rounded outward.
@@ -186,6 +221,121 @@ impl KarpLuby {
             hits,
             exact: false,
         }
+    }
+
+    /// The raw point `Ŝ·hits/N` with an explicit outward-rounded half-width
+    /// (used by the adaptive stopper, whose interval is empirical-Bernstein
+    /// rather than Hoeffding).
+    pub(crate) fn estimate_with_half_width(
+        &self,
+        hits: u64,
+        samples: u64,
+        half: &Rational,
+        delta: f64,
+    ) -> Estimate {
+        let frac = Rational::from_ints(hits as i64, samples as i64);
+        let raw = &self.total * &frac;
+        let ci = ConfidenceInterval::new(&raw - half, &raw + half, delta);
+        Estimate {
+            estimate: crate::estimate::clamp_unit(raw),
+            ci,
+            samples,
+            hits,
+            exact: false,
+        }
+    }
+
+    /// The exact short-circuit value, if the formula was degenerate.
+    pub(crate) fn exact_value(&self) -> Option<&Rational> {
+        self.exact.as_ref()
+    }
+
+    /// One Karp–Luby sample: draw a term, a world conditioned on it, and
+    /// report whether the canonical indicator fired. `world` is scratch.
+    fn draw_hit<R: Rng>(&self, rng: &mut R, world: &mut [bool]) -> bool {
+        let j = self.draw_term(rng);
+        self.draw_world(rng, j, world);
+        self.is_canonical(j, world)
+    }
+
+    /// Hit count of one deterministic chunk: `n` samples from the chunk's
+    /// own seed stream (see [`SAMPLE_CHUNK`]).
+    fn chunk_hits(&self, seed: u64, chunk: u64, n: u64) -> u64 {
+        let mut rng = StdRng::seed_from_u64(chunk_seed(seed, chunk));
+        let mut world = vec![false; self.thresholds.len()];
+        let mut hits = 0u64;
+        for _ in 0..n {
+            if self.draw_hit(&mut rng, &mut world) {
+                hits += 1;
+            }
+        }
+        hits
+    }
+
+    /// Merged hit count of samples `from..to` of the seeded sampling plan,
+    /// executed on up to `threads` OS threads.
+    ///
+    /// `from` must sit on a [`SAMPLE_CHUNK`] boundary (rounds of the
+    /// adaptive stopper and whole runs both do). The result is the integer
+    /// sum of per-chunk hit counts, so it is **bit-identical for every
+    /// thread count** — parallelism changes only who executes a chunk,
+    /// never what the chunk draws.
+    pub fn hits_in_range(&self, seed: u64, from: u64, to: u64, threads: usize) -> u64 {
+        assert!(from <= to, "inverted sample range");
+        assert!(
+            from.is_multiple_of(SAMPLE_CHUNK),
+            "sample ranges must start on a chunk boundary"
+        );
+        if from == to {
+            return 0;
+        }
+        let first = from / SAMPLE_CHUNK;
+        let last = to.div_ceil(SAMPLE_CHUNK);
+        let len = |c: u64| (to - c * SAMPLE_CHUNK).min(SAMPLE_CHUNK);
+        let threads = threads.clamp(1, (last - first) as usize);
+        if threads == 1 {
+            return (first..last)
+                .map(|c| self.chunk_hits(seed, c, len(c)))
+                .sum();
+        }
+        let cursor = AtomicU64::new(first);
+        let hits = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    let mut local = 0u64;
+                    loop {
+                        let c = cursor.fetch_add(1, Ordering::Relaxed);
+                        if c >= last {
+                            break;
+                        }
+                        local += self.chunk_hits(seed, c, len(c));
+                    }
+                    hits.fetch_add(local, Ordering::Relaxed);
+                });
+            }
+        });
+        hits.load(Ordering::Relaxed)
+    }
+
+    /// The parallel, seed-addressed form of [`KarpLuby::estimate`]: draws
+    /// `samples` samples of the chunked plan for `seed` across `threads`
+    /// OS threads (`std::thread::scope`; 1 = serial).
+    ///
+    /// Determinism guarantee: for a fixed `(seed, samples, delta)` the
+    /// returned [`Estimate`] is bit-identical for **every** thread count —
+    /// see [`SAMPLE_CHUNK`]. The draw sequence differs from the
+    /// single-stream [`KarpLuby::estimate`], so the two entry points give
+    /// different (equally valid) estimates for the same seed.
+    pub fn estimate_seeded(&self, seed: u64, samples: u64, delta: f64, threads: usize) -> Estimate {
+        assert!(delta > 0.0 && delta < 1.0, "need 0 < δ < 1");
+        if let Some(value) = &self.exact {
+            return Estimate::exact(value.clone(), delta);
+        }
+        assert!(samples > 0, "need at least one sample");
+        assert!(samples <= i64::MAX as u64, "sample budget out of range");
+        let hits = self.hits_in_range(seed, 0, samples, threads);
+        self.estimate_from_hits(hits, samples, delta)
     }
 
     /// The (ε, δ)-FPRAS entry point: draws [`KarpLuby::fpras_samples`]
@@ -315,6 +465,20 @@ impl CnfSampler {
     /// interval at confidence `1 − δ`.
     pub fn estimate<R: Rng>(&self, rng: &mut R, samples: u64, delta: f64) -> Estimate {
         self.kl.estimate(rng, samples, delta).complement()
+    }
+
+    /// The parallel, seed-addressed form of [`CnfSampler::estimate`]:
+    /// bit-identical for every thread count at a fixed
+    /// `(seed, samples, delta)` — see [`KarpLuby::estimate_seeded`].
+    pub fn estimate_seeded(&self, seed: u64, samples: u64, delta: f64, threads: usize) -> Estimate {
+        self.kl
+            .estimate_seeded(seed, samples, delta, threads)
+            .complement()
+    }
+
+    /// The underlying complement-DNF sampler.
+    pub fn karp_luby(&self) -> &KarpLuby {
+        &self.kl
     }
 
     /// The (ε, δ)-FPRAS entry point (relative error on `Pr(¬f)`).

@@ -1,0 +1,140 @@
+//! Property suite for the parallel sampling plan and the adaptive stopper.
+//!
+//! The contracts under test (the acceptance bar of this PR's perf work):
+//!
+//! * **thread-count invariance** — `estimate_seeded` returns a
+//!   bit-identical [`Estimate`] on 1, 2, and 4 threads for any fixed seed:
+//!   parallelism may only change wall-clock, never the answer;
+//! * **adaptive ≤ fixed** — the adaptive stopper never draws more samples
+//!   than the fixed Karp–Luby–Madras budget it replaces, and when it
+//!   reports convergence its outward-rounded CI is within the requested
+//!   accuracy;
+//! * **coverage** — both the seeded-parallel and the adaptive estimates
+//!   keep their confidence intervals honest against exhaustive
+//!   [`wmc_brute_force`] ground truth.
+
+use gfomc_approx::{AdaptiveConfig, CnfSampler};
+use gfomc_arith::Rational;
+use gfomc_logic::{wmc_brute_force, Clause, Cnf, UniformWeight, Var};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// A random small monotone CNF driven by an explicit seed (the same shape
+/// the coverage suite uses): 2–5 clauses over ≤ 8 variables, each clause
+/// 1–3 variables.
+fn random_cnf(seed: u64) -> Cnf {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xF0F0_1234);
+    let n_clauses = rng.gen_range(2..=5usize);
+    Cnf::new((0..n_clauses).map(|_| {
+        let len = rng.gen_range(1..=3usize);
+        Clause::new((0..len).map(|_| Var(rng.gen_range(0..8u32))))
+    }))
+}
+
+fn half() -> UniformWeight {
+    UniformWeight(Rational::one_half())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn seeded_estimates_are_thread_count_invariant(seed in 0u64..1_000_000) {
+        let f = random_cnf(seed);
+        let s = CnfSampler::new(&f, &half());
+        let base = s.estimate_seeded(seed, 2_000, 0.05, 1);
+        for threads in [2usize, 4] {
+            prop_assert_eq!(
+                &base,
+                &s.estimate_seeded(seed, 2_000, 0.05, threads),
+                "threads = {}", threads
+            );
+        }
+    }
+
+    #[test]
+    fn seeded_ci_covers_brute_force(case in 0u64..1_000) {
+        let f = random_cnf(case);
+        let truth = wmc_brute_force(&f, &half());
+        let s = CnfSampler::new(&f, &half());
+        let e = s.estimate_seeded(0xC0FFEE ^ case, 3_000, 0.05, 4);
+        prop_assert!(e.ci.contains(&truth), "{:?} misses {}", e, truth);
+    }
+
+    #[test]
+    fn adaptive_never_exceeds_the_fixed_budget(seed in 0u64..1_000_000) {
+        let f = random_cnf(seed);
+        let s = CnfSampler::new(&f, &half());
+        let eps = 0.05;
+        let delta = 0.05;
+        let a = s.estimate_adaptive(&AdaptiveConfig::new(eps, delta, seed));
+        if !s.is_exact() {
+            let fixed = s.fpras_samples(eps, delta);
+            prop_assert!(
+                a.estimate.samples <= fixed,
+                "adaptive {} > fixed {}", a.estimate.samples, fixed
+            );
+            prop_assert_eq!(a.budget, fixed);
+        }
+        // When the accuracy target fired, the interval obeys it.
+        if a.converged && !a.estimate.exact {
+            let width = a.estimate.ci.width().to_f64();
+            prop_assert!(width <= 2.0 * eps + 1e-12, "width {} vs 2ε", width);
+        }
+    }
+
+    #[test]
+    fn adaptive_ci_covers_brute_force(case in 0u64..1_000) {
+        let f = random_cnf(case);
+        let truth = wmc_brute_force(&f, &half());
+        let s = CnfSampler::new(&f, &half());
+        let a = s.estimate_adaptive(&AdaptiveConfig::new(0.04, 0.05, 0xAA ^ case));
+        prop_assert!(
+            a.estimate.ci.contains(&truth),
+            "{:?} misses {}", a, truth
+        );
+    }
+
+    #[test]
+    fn adaptive_is_thread_count_invariant(seed in 0u64..1_000_000) {
+        let f = random_cnf(seed);
+        let s = CnfSampler::new(&f, &half());
+        let base = s.estimate_adaptive(&AdaptiveConfig::new(0.05, 0.05, seed));
+        for threads in [2usize, 4] {
+            let par = s.estimate_adaptive(
+                &AdaptiveConfig::new(0.05, 0.05, seed).with_threads(threads),
+            );
+            prop_assert_eq!(&base, &par, "threads = {}", threads);
+        }
+    }
+}
+
+#[test]
+fn different_seeds_move_the_seeded_estimate() {
+    let f = Cnf::new([
+        Clause::new([Var(1), Var(2)]),
+        Clause::new([Var(2), Var(3)]),
+        Clause::new([Var(1), Var(3)]),
+    ]);
+    let s = CnfSampler::new(&f, &half());
+    let a = s.estimate_seeded(1, 2_000, 0.05, 4);
+    let b = s.estimate_seeded(2, 2_000, 0.05, 4);
+    assert_ne!(a.hits, b.hits);
+}
+
+#[test]
+fn empirical_coverage_of_seeded_parallel_cis() {
+    // 40 independent seeds on one formula: the 95% intervals must cover
+    // ground truth essentially always (Hoeffding is conservative).
+    let f = Cnf::new([
+        Clause::new([Var(1), Var(2)]),
+        Clause::new([Var(3), Var(4)]),
+        Clause::new([Var(2), Var(4), Var(5)]),
+    ]);
+    let truth = wmc_brute_force(&f, &half());
+    let s = CnfSampler::new(&f, &half());
+    let covered = (0..40u64)
+        .filter(|&seed| s.estimate_seeded(seed, 1_500, 0.05, 2).ci.contains(&truth))
+        .count();
+    assert!(covered >= 38, "coverage {covered}/40 below the 95% bar");
+}

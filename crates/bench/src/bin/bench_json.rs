@@ -1,28 +1,43 @@
 //! CI perf-tracking entry point: runs a fixed, small benchmark suite and
-//! writes per-bench wall-times as JSON (default `BENCH.json`, or the path
-//! given as the first argument).
+//! writes per-bench wall-times as JSON (default `BENCH.json`; pass a path
+//! as the first argument to change it).
 //!
 //! This exists so the perf trajectory accumulates as an artifact per PR.
 //! Every record is stamped with the git SHA it was measured at, the bench
-//! name, the repetition count behind the median, and — for the sampling
-//! benches — the Monte-Carlo sample budget, so entries are comparable
-//! across PRs (schema `gfomc-bench-v2`). Timings are medians of a few
-//! repetitions on whatever machine CI hands us, so they are *tracking*
-//! numbers, not statistics — the CI job must never fail on them, only on
-//! compile errors.
+//! name, the repetition count behind the median, and — where relevant —
+//! the Monte-Carlo sample budget and thread count, so entries are
+//! comparable across PRs (schema `gfomc-bench-v3`). Schema v3 adds:
+//!
+//! * wall-clock timings **per route** (lifted / compiled-cold /
+//!   compiled-cached / sampled-fixed / sampled-adaptive);
+//! * parallel-sampler timings at 1 and 4 threads with the measured
+//!   speedup (and a bit-identity assertion between the two estimates);
+//! * compilation-cache hit/miss counts on the repeated-query workload;
+//! * adaptive-vs-fixed sample counts on the unsafe-block preset.
+//!
+//! Timings are medians of a few repetitions on whatever machine CI hands
+//! us, so they are *tracking* numbers, not statistics — the CI job must
+//! never fail on them. The `--check` flag turns on the **deterministic**
+//! perf-smoke assertions only (adaptive never exceeds the fixed budget,
+//! the repeated-query cache hit rate is nonzero, thread counts cannot
+//! move the estimate): those are machine-independent invariants, safe to
+//! gate CI on.
 
-use gfomc_approx::lineage_sampler;
+use gfomc_approx::{lineage_sampler, AdaptiveConfig};
 use gfomc_arith::Rational;
 use gfomc_bench::uniform_db;
 use gfomc_core::{reduce_p2cnf, OracleMode, P2Cnf};
 use gfomc_engine::workload::{random_block_tid, random_weightings, unsafe_block_preset};
-use gfomc_engine::{Budget, Engine, TupleWeights};
+use gfomc_engine::{Budget, Engine, SampleMode, TupleWeights};
 use gfomc_logic::{wmc, Clause, Cnf, UniformWeight, Var};
 use gfomc_query::{catalog, BipartiteQuery};
 use gfomc_safety::lifted_probability;
 use gfomc_tid::{lineage, Tid};
 use rand::{rngs::StdRng, SeedableRng};
 use std::time::Instant;
+
+/// Thread count exercised by the parallel benches.
+const THREADS: usize = 4;
 
 /// Median wall-time of `reps` runs, in seconds.
 fn time_median(reps: usize, mut f: impl FnMut()) -> f64 {
@@ -75,22 +90,37 @@ struct Entry {
     reps: usize,
     /// Monte-Carlo budget, for the sampling benches only.
     samples: Option<u64>,
+    /// Thread count, for the parallel benches only.
+    threads: Option<usize>,
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH.json".to_string());
+    let mut out_path = "BENCH.json".to_string();
+    let mut check = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--check" {
+            check = true;
+        } else if arg.starts_with('-') {
+            // A typo'd flag must fail loudly, not silently become the
+            // output path (which would disable the CI perf-smoke gate).
+            eprintln!("unknown flag: {arg} (expected --check or an output path)");
+            std::process::exit(2);
+        } else {
+            out_path = arg;
+        }
+    }
     let reps = 5;
     let sha = git_sha();
     let mut entries: Vec<Entry> = Vec::new();
-    let mut record = |name: &str, secs: f64, samples: Option<u64>| {
+    let mut failures: Vec<String> = Vec::new();
+    let mut record = |name: &str, secs: f64, samples: Option<u64>, threads: Option<usize>| {
         println!("{name:<44} {secs:.6}s");
         entries.push(Entry {
             name: name.to_string(),
             seconds: secs,
             reps,
             samples,
+            threads,
         });
     };
 
@@ -103,6 +133,7 @@ fn main() {
             std::hint::black_box(wmc(&path, &half));
         }),
         None,
+        None,
     );
 
     // The headline comparison: compile-once/evaluate-many vs N independent
@@ -113,7 +144,7 @@ fn main() {
         let compiled = Engine::new().compile(&q, &tid);
         std::hint::black_box(compiled.evaluate_batch(&weightings));
     });
-    record("engine_compile_once_h1_3x3_12w", compile_once, None);
+    record("engine_compile_once_h1_3x3_12w", compile_once, None, None);
     let independent = time_median(reps, || {
         for w in &weightings {
             let mut db = tid.clone();
@@ -124,7 +155,7 @@ fn main() {
             std::hint::black_box(wmc(&lin.cnf, lin.vars.weights()));
         }
     });
-    record("wmc_independent_h1_3x3_12w", independent, None);
+    record("wmc_independent_h1_3x3_12w", independent, None, None);
     let speedup = if compile_once > 0.0 {
         independent / compile_once
     } else {
@@ -135,17 +166,6 @@ fn main() {
         "engine_speedup (independent/compiled)"
     );
 
-    // Lifted (PTIME) evaluation on a safe query over a large domain.
-    let safe = catalog::safe_three_components();
-    let big = uniform_db(&safe, 24, 24);
-    record(
-        "lifted_safe_24x24",
-        time_median(reps, || {
-            std::hint::black_box(lifted_probability(&safe, &big).unwrap());
-        }),
-        None,
-    );
-
     // One full Cook reduction through the factorized oracle.
     let phi = P2Cnf::new(3, vec![(0, 1), (1, 2), (0, 2)]);
     record(
@@ -154,10 +174,61 @@ fn main() {
             std::hint::black_box(reduce_p2cnf(&q, &phi, OracleMode::Factorized));
         }),
         None,
+        None,
     );
 
-    // The approximate regime on the unsafe-query/large-block preset: the
-    // Karp–Luby sampler alone, and the full router around it.
+    // ------------------------------------------------------------------
+    // Per-route wall-clock: the three regimes of `evaluate_auto`, each on
+    // its representative instance.
+    // ------------------------------------------------------------------
+    let budget = Budget::default();
+
+    // Route 1: lifted (safe query, large domain — PTIME, no lineage).
+    let safe = catalog::safe_three_components();
+    let big = uniform_db(&safe, 24, 24);
+    record(
+        "lifted_safe_24x24",
+        time_median(reps, || {
+            std::hint::black_box(lifted_probability(&safe, &big).unwrap());
+        }),
+        None,
+        None,
+    );
+    let route_lifted = time_median(reps, || {
+        std::hint::black_box(Engine::new().evaluate_auto(&safe, &big, &budget));
+    });
+    record("route_lifted_safe_24x24", route_lifted, None, None);
+
+    // Route 2: compiled (the 3×3 unsafe block the tightened cost bound
+    // re-routed from the sampler to the exact circuit path), cold vs
+    // cache-hot on one engine.
+    let mut rng = StdRng::seed_from_u64(0xA55E55);
+    let (cq, ctid) = unsafe_block_preset(&mut rng, 2, 3);
+    let route_compiled_cold = time_median(reps, || {
+        std::hint::black_box(Engine::new().evaluate_auto(&cq, &ctid, &budget));
+    });
+    record(
+        "route_compiled_unsafe_3x3_cold",
+        route_compiled_cold,
+        None,
+        None,
+    );
+    let mut warm = Engine::new();
+    warm.evaluate_auto(&cq, &ctid, &budget);
+    let route_compiled_cached = time_median(reps, || {
+        std::hint::black_box(warm.evaluate_auto(&cq, &ctid, &budget));
+    });
+    record(
+        "route_compiled_unsafe_3x3_cached",
+        route_compiled_cached,
+        None,
+        None,
+    );
+
+    // Route 3: sampled. The refined cost bound actually proves the 5×5
+    // preset affordable now, so the sampled-route timings pin the route
+    // with a zero circuit budget — the series tracks the *sampled path's*
+    // cost (grounding + sampler build + draws), not the routing verdict.
     let mut rng = StdRng::seed_from_u64(0xA55E55);
     let (uq, utid) = unsafe_block_preset(&mut rng, 2, 5);
     let sampler = lineage_sampler(&uq, &utid);
@@ -169,16 +240,127 @@ fn main() {
                 std::hint::black_box(sampler.estimate(&mut rng, samples, 0.05));
             }),
             Some(samples),
+            None,
         );
     }
-    let budget = Budget::default().with_samples(1_000);
+    let fixed_budget = Budget::default()
+        .with_max_circuit_cost(0)
+        .with_samples(2_000);
+    let route_sampled_fixed = time_median(reps, || {
+        std::hint::black_box(Engine::new().evaluate_auto(&uq, &utid, &fixed_budget));
+    });
     record(
-        "approx_router_unsafe_5x5_1000s",
-        time_median(reps, || {
-            std::hint::black_box(Engine::new().evaluate_auto(&uq, &utid, &budget));
-        }),
-        Some(budget.samples),
+        "route_sampled_unsafe_5x5_fixed",
+        route_sampled_fixed,
+        Some(2_000),
+        None,
     );
+    let adaptive_budget = Budget::default().with_max_circuit_cost(0);
+    let route_sampled_adaptive = time_median(reps, || {
+        std::hint::black_box(Engine::new().evaluate_auto(&uq, &utid, &adaptive_budget));
+    });
+
+    // ------------------------------------------------------------------
+    // Adaptive vs fixed sample counts (deterministic; `--check` gates on
+    // them).
+    // ------------------------------------------------------------------
+    let adaptive = sampler.estimate_adaptive(&AdaptiveConfig::new(0.05, 0.05, 0x5EED));
+    let klm_budget = sampler.fpras_samples(0.05, 0.05);
+    record(
+        "route_sampled_unsafe_5x5_adaptive",
+        route_sampled_adaptive,
+        Some(adaptive.estimate.samples),
+        None,
+    );
+    println!(
+        "{:<44} {} of {} (converged: {})",
+        "adaptive_samples (vs fixed KLM budget)",
+        adaptive.estimate.samples,
+        klm_budget,
+        adaptive.converged
+    );
+    if adaptive.estimate.samples > klm_budget {
+        failures.push(format!(
+            "adaptive sampler drew {} samples, exceeding the fixed budget {}",
+            adaptive.estimate.samples, klm_budget
+        ));
+    }
+
+    // ------------------------------------------------------------------
+    // Parallel sampler scaling: the same seeded plan on 1 and 4 threads —
+    // the estimates must be bit-identical; only wall-clock may move.
+    // ------------------------------------------------------------------
+    let par_samples = 50_000u64;
+    let serial_est = sampler.estimate_seeded(7, par_samples, 0.05, 1);
+    let serial_secs = time_median(reps, || {
+        std::hint::black_box(sampler.estimate_seeded(7, par_samples, 0.05, 1));
+    });
+    record(
+        "sampler_seeded_unsafe_5x5_1t",
+        serial_secs,
+        Some(par_samples),
+        Some(1),
+    );
+    let parallel_est = sampler.estimate_seeded(7, par_samples, 0.05, THREADS);
+    let parallel_secs = time_median(reps, || {
+        std::hint::black_box(sampler.estimate_seeded(7, par_samples, 0.05, THREADS));
+    });
+    record(
+        &format!("sampler_seeded_unsafe_5x5_{THREADS}t"),
+        parallel_secs,
+        Some(par_samples),
+        Some(THREADS),
+    );
+    let parallel_speedup = if parallel_secs > 0.0 {
+        serial_secs / parallel_secs
+    } else {
+        0.0
+    };
+    println!(
+        "{:<44} {parallel_speedup:.2}x",
+        format!("parallel_sampler_speedup ({THREADS}t vs 1t)")
+    );
+    if serial_est != parallel_est {
+        failures.push(format!(
+            "thread count moved the estimate: 1t {serial_est:?} vs {THREADS}t {parallel_est:?}"
+        ));
+    }
+
+    // ------------------------------------------------------------------
+    // Compilation cache on the repeated-query workload: three unsafe
+    // queries asked four times each through one engine.
+    // ------------------------------------------------------------------
+    let mut rng = StdRng::seed_from_u64(0xCAC4E);
+    let mut repeated = Vec::new();
+    for _ in 0..3 {
+        let q = gfomc_engine::workload::random_query(
+            &mut rng,
+            2,
+            2,
+            gfomc_engine::workload::SafetyTarget::Unsafe,
+        );
+        let tid = random_block_tid(&mut rng, &q, 2, 2);
+        repeated.push((q, tid));
+    }
+    let mut engine = Engine::new();
+    let cache_budget = Budget::default().with_mode(SampleMode::Adaptive { epsilon: 0.05 });
+    let repeated_secs = time_median(reps, || {
+        for (q, tid) in &repeated {
+            std::hint::black_box(engine.evaluate_auto(q, tid, &cache_budget));
+        }
+    });
+    record("router_repeated_3q_per_pass", repeated_secs, None, None);
+    let cache = engine.cache_stats();
+    println!(
+        "{:<44} {} hits / {} misses (rate {:.2})",
+        "compilation_cache (repeated workload)",
+        cache.hits,
+        cache.misses,
+        cache.hit_rate()
+    );
+    if cache.hits == 0 {
+        failures.push("repeated-query workload produced zero cache hits".to_string());
+    }
 
     let json: String = {
         let fields: Vec<String> = entries
@@ -188,17 +370,54 @@ fn main() {
                     .samples
                     .map(|s| format!(", \"samples\": {s}"))
                     .unwrap_or_default();
+                let threads = e
+                    .threads
+                    .map(|t| format!(", \"threads\": {t}"))
+                    .unwrap_or_default();
                 format!(
-                    "    {{\"name\": \"{}\", \"seconds\": {:.9}, \"reps\": {}{samples}}}",
+                    "    {{\"name\": \"{}\", \"seconds\": {:.9}, \"reps\": {}{samples}{threads}}}",
                     e.name, e.seconds, e.reps
                 )
             })
             .collect();
         format!(
-            "{{\n  \"schema\": \"gfomc-bench-v2\",\n  \"unit\": \"seconds\",\n  \"git_sha\": \"{sha}\",\n  \"engine_speedup\": {speedup:.4},\n  \"benches\": [\n{}\n  ]\n}}\n",
-            fields.join(",\n")
+            concat!(
+                "{{\n",
+                "  \"schema\": \"gfomc-bench-v3\",\n",
+                "  \"unit\": \"seconds\",\n",
+                "  \"git_sha\": \"{sha}\",\n",
+                "  \"threads\": {threads},\n",
+                "  \"engine_speedup\": {speedup:.4},\n",
+                "  \"parallel_sampler_speedup\": {par:.4},\n",
+                "  \"cache\": {{\"hits\": {hits}, \"misses\": {misses}, \"hit_rate\": {rate:.4}}},\n",
+                "  \"adaptive\": {{\"samples\": {asamples}, \"fixed_budget\": {klm}, \"converged\": {conv}}},\n",
+                "  \"benches\": [\n{fields}\n  ]\n",
+                "}}\n"
+            ),
+            sha = sha,
+            threads = THREADS,
+            speedup = speedup,
+            par = parallel_speedup,
+            hits = cache.hits,
+            misses = cache.misses,
+            rate = cache.hit_rate(),
+            asamples = adaptive.estimate.samples,
+            klm = klm_budget,
+            conv = adaptive.converged,
+            fields = fields.join(",\n")
         )
     };
     std::fs::write(&out_path, json).expect("write bench JSON");
     println!("wrote {out_path} (sha {sha})");
+
+    if check {
+        if failures.is_empty() {
+            println!("perf-smoke: all deterministic invariants hold");
+        } else {
+            for f in &failures {
+                eprintln!("perf-smoke FAILURE: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
 }

@@ -48,39 +48,105 @@
 pub mod router;
 pub mod workload;
 
-pub use router::{AutoResult, Budget, Route, RouteCounts, Routed};
+pub use router::{AutoResult, Budget, Route, RouteCounts, Routed, SampleMode};
 
 use gfomc_arith::Rational;
-use gfomc_logic::{Circuit, WeightsFromFn};
+use gfomc_logic::{Circuit, Cnf, CnfId, CnfInterner, EvalArena, WeightsFromFn};
 use gfomc_query::BipartiteQuery;
 use gfomc_tid::{lineage, Lineage, Tid, Tuple, VarTable};
 use std::collections::HashMap;
+use std::sync::Arc;
 
-/// Compiles query/TID pairs and tracks aggregate compilation statistics.
+/// Default number of compiled circuits the engine keeps hot.
+pub const DEFAULT_CACHE_CAPACITY: usize = 64;
+
+/// Hit/miss record of the engine's compilation cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Compilations skipped because the canonical lineage was cached.
+    pub hits: usize,
+    /// Compilations actually performed.
+    pub misses: usize,
+    /// Circuits currently cached.
+    pub entries: usize,
+    /// Maximum number of cached circuits (0 = caching disabled).
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Hits over total lookups, or 0.0 before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Compiles query/TID pairs, caches the resulting circuits, and tracks
+/// aggregate compilation statistics.
 ///
 /// Each [`Engine::compile`] call produces a self-contained [`Compiled`]
-/// artifact; the engine itself only accumulates instrumentation (how many
-/// lineages were compiled, how large the circuits are), which the bench
-/// harness reports alongside wall-times.
-#[derive(Debug, Default)]
+/// artifact. Circuits are cached in an LRU keyed on **interned canonical
+/// CNF ids** ([`gfomc_logic::CnfInterner`]): two queries (or the same
+/// query over two TIDs) whose groundings canonicalize to the same lineage
+/// share one compilation — the second [`Engine::compile`] is a cache hit
+/// that only re-binds the tuple ↔ variable table. Cached circuits are
+/// behind [`Arc`], so a hit costs one reference bump, not a deep copy.
+#[derive(Debug)]
 pub struct Engine {
     compiled: usize,
     nodes: usize,
     decisions: usize,
     routes: RouteCounts,
+    interner: CnfInterner,
+    cache: HashMap<CnfId, (Arc<Circuit>, u64)>,
+    cache_capacity: usize,
+    cache_stamp: u64,
+    cache_hits: usize,
+    cache_misses: usize,
+    arena: EvalArena,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::with_cache_capacity(DEFAULT_CACHE_CAPACITY)
+    }
 }
 
 impl Engine {
-    /// A fresh engine with zeroed statistics.
+    /// A fresh engine with zeroed statistics and the default cache size.
     pub fn new() -> Self {
         Engine::default()
     }
 
-    /// Grounds `q` over `tid` and compiles the lineage into a circuit.
+    /// An engine whose compilation cache holds up to `capacity` circuits
+    /// (0 disables caching entirely).
+    pub fn with_cache_capacity(capacity: usize) -> Self {
+        Engine {
+            compiled: 0,
+            nodes: 0,
+            decisions: 0,
+            routes: RouteCounts::default(),
+            interner: CnfInterner::new(),
+            cache: HashMap::new(),
+            cache_capacity: capacity,
+            cache_stamp: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            arena: EvalArena::new(),
+        }
+    }
+
+    /// Grounds `q` over `tid` and compiles the lineage into a circuit —
+    /// or fetches the circuit from the cache if an identical canonical
+    /// lineage was compiled before.
     ///
-    /// This is the expensive step — it performs the full component /
-    /// Shannon decomposition exactly once. Every subsequent
-    /// [`Compiled::evaluate`] is a single bottom-up pass.
+    /// Compilation is the expensive step — it performs the full component
+    /// / Shannon decomposition exactly once per *distinct* lineage. Every
+    /// subsequent [`Compiled::evaluate`] is a single bottom-up pass.
     pub fn compile(&mut self, q: &BipartiteQuery, tid: &Tid) -> Compiled {
         self.compile_lineage(lineage(q, tid))
     }
@@ -89,17 +155,61 @@ impl Engine {
     /// and the router ([`Engine::evaluate_auto`]), which grounds the
     /// lineage itself to estimate its cost before committing to a circuit.
     pub(crate) fn compile_lineage(&mut self, lin: Lineage) -> Compiled {
-        let circuit = Circuit::compile(&lin.cnf);
-        self.compiled += 1;
-        self.nodes += circuit.node_count();
-        self.decisions += circuit.decision_count();
+        let circuit = self.compile_cnf(&lin.cnf);
         Compiled {
             circuit,
             vars: lin.vars,
         }
     }
 
-    /// Number of lineages compiled by this engine.
+    /// The cache-aware compilation core: interns the canonical CNF and
+    /// either returns the cached circuit or compiles and caches it.
+    fn compile_cnf(&mut self, cnf: &Cnf) -> Arc<Circuit> {
+        if self.cache_capacity == 0 {
+            self.cache_misses += 1;
+            return self.compile_fresh(cnf);
+        }
+        let id = self.interner.intern(cnf);
+        self.cache_stamp += 1;
+        let stamp = self.cache_stamp;
+        if let Some((circuit, last_used)) = self.cache.get_mut(&id) {
+            *last_used = stamp;
+            self.cache_hits += 1;
+            return Arc::clone(circuit);
+        }
+        self.cache_misses += 1;
+        let circuit = self.compile_fresh(cnf);
+        if self.cache.len() >= self.cache_capacity {
+            // Evict the least-recently-used entry. Linear scan: the cache
+            // is small and eviction is rare next to evaluation work. The
+            // interner forgets the evicted lineage too, so engine memory
+            // stays bounded by the cache capacity, not by every distinct
+            // lineage ever seen.
+            let victim = self
+                .cache
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(id, _)| *id);
+            if let Some(victim) = victim {
+                self.cache.remove(&victim);
+                self.interner.forget(victim);
+            }
+        }
+        self.cache.insert(id, (Arc::clone(&circuit), stamp));
+        circuit
+    }
+
+    /// Uncached compilation plus instrumentation.
+    fn compile_fresh(&mut self, cnf: &Cnf) -> Arc<Circuit> {
+        let circuit = Circuit::compile(cnf);
+        self.compiled += 1;
+        self.nodes += circuit.node_count();
+        self.decisions += circuit.decision_count();
+        Arc::new(circuit)
+    }
+
+    /// Number of lineages actually compiled by this engine (cache hits
+    /// are not compilations).
     pub fn compiled_count(&self) -> usize {
         self.compiled
     }
@@ -112,6 +222,23 @@ impl Engine {
     /// Total Shannon-split gates produced across all compilations.
     pub fn total_decisions(&self) -> usize {
         self.decisions
+    }
+
+    /// Compilation-cache hit/miss counters, surfaced next to
+    /// [`Engine::route_counts`] for workload instrumentation.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.cache_hits,
+            misses: self.cache_misses,
+            entries: self.cache.len(),
+            capacity: self.cache_capacity,
+        }
+    }
+
+    /// The engine's reusable evaluation arena (used by the router's
+    /// compiled path so repeated queries share one values buffer).
+    pub(crate) fn arena(&mut self) -> &mut EvalArena {
+        &mut self.arena
     }
 }
 
@@ -137,7 +264,7 @@ pub fn probability(q: &BipartiteQuery, tid: &Tid) -> Rational {
 /// arithmetically, so no recompilation is needed.
 #[derive(Clone, Debug)]
 pub struct Compiled {
-    circuit: Circuit,
+    circuit: Arc<Circuit>,
     vars: VarTable,
 }
 
@@ -147,22 +274,64 @@ impl Compiled {
         self.circuit.evaluate(self.vars.weights())
     }
 
+    /// [`Compiled::evaluate_db`] with a caller-provided values arena.
+    pub fn evaluate_db_with(&self, arena: &mut EvalArena) -> Rational {
+        self.circuit.evaluate_with(self.vars.weights(), arena)
+    }
+
     /// Evaluates the circuit under `weights`: each uncertain tuple takes
     /// its override if present, its database probability otherwise.
     pub fn evaluate(&self, weights: &TupleWeights) -> Rational {
+        let mut arena = EvalArena::new();
+        self.evaluate_with(weights, &mut arena)
+    }
+
+    /// [`Compiled::evaluate`] with a caller-provided values arena, so a
+    /// loop over many weightings reuses one buffer instead of allocating a
+    /// fresh values vector per assignment.
+    pub fn evaluate_with(&self, weights: &TupleWeights, arena: &mut EvalArena) -> Rational {
         let w = WeightsFromFn(|v| {
             weights
                 .get(&self.vars.tuple_of(v))
                 .cloned()
                 .unwrap_or_else(|| self.vars.weights()[&v].clone())
         });
-        self.circuit.evaluate(&w)
+        self.circuit.evaluate_with(&w, arena)
     }
 
     /// The batched form: one compiled circuit priced under every assignment
-    /// in `weights`. Output order matches input order.
+    /// in `weights`, sharing one values arena. Output order matches input
+    /// order.
     pub fn evaluate_batch(&self, weights: &[TupleWeights]) -> Vec<Rational> {
-        weights.iter().map(|w| self.evaluate(w)).collect()
+        let mut arena = EvalArena::with_capacity(self.circuit.node_count());
+        weights
+            .iter()
+            .map(|w| self.evaluate_with(w, &mut arena))
+            .collect()
+    }
+
+    /// [`Compiled::evaluate_batch`] fanned across `threads` OS threads
+    /// over the shared immutable circuit (delegates the fan-out to
+    /// [`Circuit::evaluate_batch_threads`]).
+    ///
+    /// Evaluation is exact rational arithmetic, so the output is
+    /// **identical** to the serial batch for every thread count.
+    pub fn evaluate_batch_threads(
+        &self,
+        weights: &[TupleWeights],
+        threads: usize,
+    ) -> Vec<Rational> {
+        let resolved: Vec<_> = weights
+            .iter()
+            .map(|w| {
+                WeightsFromFn(move |v| {
+                    w.get(&self.vars.tuple_of(v))
+                        .cloned()
+                        .unwrap_or_else(|| self.vars.weights()[&v].clone())
+                })
+            })
+            .collect();
+        self.circuit.evaluate_batch_threads(&resolved, threads)
     }
 
     /// The uncertain tuples of the compiled lineage — the tuples whose

@@ -7,24 +7,46 @@
 //!    ([`gfomc_safety::lifted_probability`]) — exact, polynomial in the
 //!    database, no lineage ever materialized.
 //! 2. **Unsafe query, affordable lineage** ⇒ knowledge compilation
-//!    ([`Engine::compile`]) — still exact; the worst-case Shannon cost
-//!    bound ([`gfomc_safety::circuit_cost_estimate`]) must fit the budget.
+//!    ([`Engine::compile`]) — still exact; the refined Shannon cost
+//!    bound ([`gfomc_safety::circuit_cost_estimate`]) must fit the
+//!    budget. Compiled circuits are cached per engine (LRU on interned
+//!    canonical lineages), so repeated queries skip compilation.
 //! 3. **Unsafe query, lineage over budget** ⇒ the Karp–Luby sampler
 //!    ([`gfomc_approx::CnfSampler`]) — a seeded-deterministic estimate
 //!    with a conservative confidence interval, in time linear in the
-//!    sample budget rather than exponential in the lineage.
+//!    sample budget rather than exponential in the lineage. The default
+//!    [`SampleMode::Adaptive`] stops as soon as the interval is within
+//!    the accuracy target (never exceeding the fixed Karp–Luby–Madras
+//!    budget); [`SampleMode::Fixed`] keeps the PR 3 fixed-budget path.
+//!    Either way the sampled path may fan across [`Budget::threads`] OS
+//!    threads without changing a single bit of the estimate.
 //!
 //! The result is tagged ([`AutoResult::Exact`] vs [`AutoResult::Approx`])
 //! so callers can never mistake an estimate for an exact probability, and
 //! carries the [`Route`] taken plus the cost estimate that justified it.
 
 use crate::Engine;
-use gfomc_approx::{CnfSampler, ConfidenceInterval, Estimate};
+use gfomc_approx::{AdaptiveConfig, CnfSampler, ConfidenceInterval, Estimate};
 use gfomc_arith::Rational;
 use gfomc_query::BipartiteQuery;
 use gfomc_safety::{circuit_cost_estimate, is_safe, lifted_probability, CircuitCostEstimate};
 use gfomc_tid::{lineage, Tid};
-use rand::{rngs::StdRng, SeedableRng};
+
+/// How the sampler spends its budget on the [`Route::Sampled`] path.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SampleMode {
+    /// Draw exactly [`Budget::samples`] samples — the PR 3 behavior.
+    Fixed,
+    /// Draw in geometrically growing rounds and stop as soon as the
+    /// outward-rounded CI half-width is at most `epsilon`, hard-capped at
+    /// the fixed Karp–Luby–Madras budget
+    /// [`gfomc_approx::KarpLuby::fpras_samples`]`(epsilon, δ)` — never
+    /// more samples than the fixed path, usually far fewer.
+    Adaptive {
+        /// Absolute accuracy target for the early exit.
+        epsilon: f64,
+    },
+}
 
 /// Resource limits and sampling parameters for [`Engine::evaluate_auto`].
 #[derive(Clone, Debug, PartialEq)]
@@ -32,24 +54,33 @@ pub struct Budget {
     /// Maximum estimated circuit gates the exact compiled path may cost
     /// (compared against [`CircuitCostEstimate::estimated_nodes`]).
     pub max_circuit_cost: u64,
-    /// Monte-Carlo sample count for the fallback sampler.
+    /// Monte-Carlo sample count for [`SampleMode::Fixed`] (ignored by the
+    /// adaptive mode, which derives its own cap).
     pub samples: u64,
     /// Failure probability `δ` of the sampler's confidence interval.
     pub delta: f64,
-    /// Seed for the sampler's deterministic RNG: same budget, same TID,
-    /// same query ⇒ bit-identical [`AutoResult::Approx`].
+    /// Seed of the sampler's deterministic chunked plan: same budget, same
+    /// TID, same query ⇒ bit-identical [`AutoResult::Approx`], whatever
+    /// [`Budget::threads`] says.
     pub seed: u64,
+    /// Stopping rule of the sampled path.
+    pub mode: SampleMode,
+    /// OS threads for the sampled path (1 = serial). Thread count never
+    /// changes the estimate — only the wall-clock.
+    pub threads: usize,
 }
 
 impl Default for Budget {
-    /// Compile lineages up to ~4M estimated gates; beyond that, 20k samples
-    /// at 95% confidence from a fixed seed.
+    /// Compile lineages up to ~4M estimated gates; beyond that, adaptive
+    /// sampling to ±0.05 at 95% confidence from a fixed seed, one thread.
     fn default() -> Self {
         Budget {
             max_circuit_cost: 1 << 22,
             samples: 20_000,
             delta: 0.05,
             seed: 0x5EED,
+            mode: SampleMode::Adaptive { epsilon: 0.05 },
+            threads: 1,
         }
     }
 }
@@ -61,9 +92,12 @@ impl Budget {
         self
     }
 
-    /// Builder-style override of the sample count.
+    /// Builder-style override of the fixed-mode sample count (also
+    /// switches to [`SampleMode::Fixed`], which is the only mode that
+    /// reads it).
     pub fn with_samples(mut self, samples: u64) -> Self {
         self.samples = samples;
+        self.mode = SampleMode::Fixed;
         self
     }
 
@@ -76,6 +110,18 @@ impl Budget {
     /// Builder-style override of the sampler seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Builder-style override of the sampling stopping rule.
+    pub fn with_mode(mut self, mode: SampleMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Builder-style override of the sampled-path thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
         self
     }
 }
@@ -188,15 +234,26 @@ impl Engine {
         if cost.within(budget.max_circuit_cost) {
             let compiled = self.compile_lineage(lin);
             self.routes.compiled += 1;
+            let mut arena = std::mem::take(self.arena());
+            let p = compiled.evaluate_db_with(&mut arena);
+            *self.arena() = arena;
             return Routed {
-                result: AutoResult::Exact(compiled.evaluate_db()),
+                result: AutoResult::Exact(p),
                 route: Route::Compiled,
                 cost: Some(cost),
             };
         }
         let sampler = CnfSampler::new(&lin.cnf, lin.vars.weights());
-        let mut rng = StdRng::seed_from_u64(budget.seed);
-        let est = sampler.estimate(&mut rng, budget.samples, budget.delta);
+        let est = match budget.mode {
+            SampleMode::Fixed => {
+                sampler.estimate_seeded(budget.seed, budget.samples, budget.delta, budget.threads)
+            }
+            SampleMode::Adaptive { epsilon } => {
+                let cfg = AdaptiveConfig::new(epsilon, budget.delta, budget.seed)
+                    .with_threads(budget.threads);
+                sampler.estimate_adaptive(&cfg).estimate
+            }
+        };
         self.routes.sampled += 1;
         Routed {
             result: est.into(),
@@ -217,6 +274,7 @@ mod tests {
     use crate::workload::{random_block_tid, random_query, SafetyTarget};
     use gfomc_query::catalog;
     use gfomc_tid::probability;
+    use rand::{rngs::StdRng, SeedableRng};
 
     #[test]
     fn safe_query_routes_to_lifted_bit_identical() {

@@ -252,14 +252,56 @@ impl Circuit {
 
     /// `Pr(F, w)`: evaluates the circuit bottom-up under `w`.
     pub fn evaluate<W: WeightFn>(&self, w: &W) -> Rational {
-        let values = evaluate_pool(&self.nodes, w);
-        values[self.root.0 as usize].clone()
+        let mut arena = EvalArena::new();
+        self.evaluate_with(w, &mut arena)
+    }
+
+    /// [`Circuit::evaluate`] with a caller-provided values arena, so a
+    /// loop over many weight functions reuses one allocation instead of
+    /// growing a fresh `Vec<Rational>` per weighting.
+    pub fn evaluate_with<W: WeightFn>(&self, w: &W, arena: &mut EvalArena) -> Rational {
+        evaluate_pool_into(&self.nodes, w, &mut arena.values);
+        arena.values[self.root.0 as usize].clone()
     }
 
     /// Evaluates under many weight functions — the compile-once /
-    /// evaluate-many form. Output order matches input order.
+    /// evaluate-many form. Output order matches input order. One values
+    /// arena is reused across the whole batch.
     pub fn evaluate_batch<W: WeightFn>(&self, weights: &[W]) -> Vec<Rational> {
-        weights.iter().map(|w| self.evaluate(w)).collect()
+        let mut arena = EvalArena::new();
+        weights
+            .iter()
+            .map(|w| self.evaluate_with(w, &mut arena))
+            .collect()
+    }
+
+    /// [`Circuit::evaluate_batch`] fanned across `threads` OS threads over
+    /// the shared immutable node pool.
+    ///
+    /// The batch is split into `threads` contiguous slices; each worker
+    /// evaluates its slice with a thread-local arena and the results are
+    /// re-assembled in input order. Evaluation is exact rational
+    /// arithmetic, so the output is **identical** to the serial
+    /// [`Circuit::evaluate_batch`] for every thread count.
+    pub fn evaluate_batch_threads<W: WeightFn + Sync>(
+        &self,
+        weights: &[W],
+        threads: usize,
+    ) -> Vec<Rational> {
+        let threads = threads.max(1).min(weights.len().max(1));
+        if threads == 1 {
+            return self.evaluate_batch(weights);
+        }
+        let chunk = weights.len().div_ceil(threads);
+        let mut out: Vec<Vec<Rational>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = weights
+                .chunks(chunk)
+                .map(|slice| scope.spawn(move || self.evaluate_batch(slice)))
+                .collect();
+            out.extend(handles.into_iter().map(|h| h.join().expect("worker")));
+        });
+        out.into_iter().flatten().collect()
     }
 
     /// The root gate.
@@ -287,9 +329,45 @@ impl Circuit {
     }
 }
 
+/// A reusable values buffer for circuit evaluation.
+///
+/// Bottom-up evaluation needs one [`Rational`] slot per gate. Allocating
+/// that vector anew for every weight assignment dominated the batched
+/// evaluation profile; an arena created once and threaded through
+/// [`Circuit::evaluate_with`] / [`Circuit::evaluate_batch`] keeps the
+/// capacity (though not the `Rational` heap allocations themselves) across
+/// weightings.
+#[derive(Clone, Debug, Default)]
+pub struct EvalArena {
+    values: Vec<Rational>,
+}
+
+impl EvalArena {
+    /// An empty arena; it grows to the pool size on first use.
+    pub fn new() -> Self {
+        EvalArena::default()
+    }
+
+    /// An arena pre-sized for a pool of `nodes` gates.
+    pub fn with_capacity(nodes: usize) -> Self {
+        EvalArena {
+            values: Vec::with_capacity(nodes),
+        }
+    }
+}
+
 /// Bottom-up evaluation of a child-before-parent node pool.
 fn evaluate_pool<W: WeightFn>(nodes: &[Node], w: &W) -> Vec<Rational> {
-    let mut values: Vec<Rational> = Vec::with_capacity(nodes.len());
+    let mut values = Vec::new();
+    evaluate_pool_into(nodes, w, &mut values);
+    values
+}
+
+/// [`evaluate_pool`] writing into a reused buffer: clears `values` (keeping
+/// its capacity) and fills it with one value per gate.
+fn evaluate_pool_into<W: WeightFn>(nodes: &[Node], w: &W, values: &mut Vec<Rational>) {
+    values.clear();
+    values.reserve(nodes.len());
     for node in nodes {
         let val = match node {
             Node::True => Rational::one(),
@@ -319,7 +397,6 @@ fn evaluate_pool<W: WeightFn>(nodes: &[Node], w: &W) -> Vec<Rational> {
         };
         values.push(val);
     }
-    values
 }
 
 #[cfg(test)]

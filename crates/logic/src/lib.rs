@@ -24,7 +24,7 @@ pub mod dnf;
 pub mod intern;
 pub mod wmc;
 
-pub use circuit::{Circuit, Compiler, Node, NodeId, Valuation};
+pub use circuit::{Circuit, Compiler, EvalArena, Node, NodeId, Valuation};
 pub use cnf::{Clause, Cnf, Var};
 pub use dnf::Dnf;
 pub use intern::{CnfId, CnfInterner};

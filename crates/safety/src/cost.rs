@@ -9,15 +9,47 @@
 //! decide *before* compiling whether to take the exact circuit path or fall
 //! back to the `gfomc-approx` sampler.
 //!
-//! The estimate is deliberately pessimistic — the worst case of Shannon
-//! expansion is one cofactor per variable subset, i.e. `2^vars` per
-//! connected component, and component decomposition is the one structural
-//! saving the compiler is guaranteed to realize. A pessimistic bound routes
-//! borderline lineages to the sampler, which degrades an exact answer to a
-//! (ε, δ)-approximate one but never stalls the engine on an exponential
-//! compilation.
+//! Two bounds are reported. [`CircuitCostEstimate::worst_case_nodes`] is
+//! the monolithic classic: `Σ_components clauses_c · 2^vars_c` — one
+//! cofactor per variable subset, with component decomposition the only
+//! structural saving credited. That bound is so loose on block-structured
+//! lineages that it used to misroute compilable instances to the sampler,
+//! degrading exact answers to (ε, δ)-approximate ones for no reason.
+//!
+//! [`CircuitCostEstimate::estimated_nodes`] tightens it by *simulating the
+//! decomposition the compiler will actually perform*, without building any
+//! circuit: recursively split into variable-disjoint components (costs
+//! **add**), Shannon-branch single components on exactly the variable the
+//! compiler itself will branch on ([`Cnf::branching_var`] — the cheapest
+//! split the compiler realizes, which is what makes the min over its two
+//! cofactors a *sound* upper bound of the real expansion), and only at a
+//! fixed work budget or at small subformulas fall back to the
+//! `clauses · 2^vars` leaf bound. Restriction exposes the component
+//! structure that the monolithic bound cannot see — on the paper's block
+//! databases a handful of splits decouples the `S_s(u, v)` cells and the
+//! bound collapses from `2^(#tuples)` to a low-degree polynomial. The
+//! estimate stays a bound on the *memoization-free* expansion tree along
+//! the compiler's actual branch choices, so it over-approximates every
+//! circuit the (memoizing) compiler can produce. (Minimizing over
+//! *alternative* branch variables was considered and rejected: the
+//! compiler does not take the min, so such an estimate could undershoot
+//! the real cost and route an exponential compilation to the exact path —
+//! the one failure this module exists to prevent.)
 
 use gfomc_logic::Cnf;
+
+/// Exponent clamp: beyond 2^40 estimated gates every budget is blown, so
+/// the arithmetic saturates instead of overflowing.
+const EXPONENT_CLAMP: usize = 40;
+
+/// Total decision expansions the refined descent may spend before falling
+/// back to leaf bounds — keeps the estimate zero-cost relative to an
+/// actual compilation, whatever the lineage.
+const WORK_BUDGET: u32 = 600;
+
+/// Single components at most this many variables take the closed-form leaf
+/// bound instead of recursing further.
+const LEAF_VARS: usize = 6;
 
 /// Shannon-cost summary of a lineage CNF, produced by
 /// [`circuit_cost_estimate`].
@@ -29,13 +61,20 @@ pub struct CircuitCostEstimate {
     pub clauses: usize,
     /// Number of variable-disjoint connected components.
     pub components: usize,
-    /// Saturating worst-case gate-count bound:
-    /// `Σ_components clauses_c · 2^min(vars_c, 40)`.
+    /// The refined bound: per-component decomposition simulated
+    /// recursively along the compiler's own branch variable
+    /// ([`gfomc_logic::Cnf::branching_var`] — never a min over other
+    /// candidates, which would be unsound; see the module docs),
+    /// saturating at 2^40 per term.
     pub estimated_nodes: u64,
+    /// The monolithic worst-case bound
+    /// `Σ_components clauses_c · 2^min(vars_c, 40)` — kept for reporting
+    /// and for measuring how much the refinement buys.
+    pub worst_case_nodes: u64,
 }
 
 impl CircuitCostEstimate {
-    /// True iff the estimated compilation cost fits within `budget` gates.
+    /// True iff the refined estimate fits within `budget` gates.
     pub fn within(&self, budget: u64) -> bool {
         self.estimated_nodes <= budget
     }
@@ -43,32 +82,83 @@ impl CircuitCostEstimate {
 
 /// Estimates the worst-case Shannon-compilation cost of a monotone CNF.
 ///
-/// Per connected component the bound is `clauses · 2^vars` (each of the up
-/// to `2^vars` cofactors touches every clause at most once), with the
-/// exponent clamped at 40 so the sum saturates instead of overflowing;
-/// components are independent, so their bounds add. Constants cost nothing:
-/// `⊤` has no components and estimate 0, `⊥` is a single empty component
-/// with estimate 1.
+/// Constants cost nothing: `⊤` has no components and estimate 0, `⊥` is a
+/// single empty component with estimate 1. Everything else gets both the
+/// monolithic per-component bound and the refined recursive bound (see the
+/// module docs); [`CircuitCostEstimate::within`] — the router's question —
+/// is answered by the refined one.
 ///
-/// The bound is loose on structured lineages (memoization collapses
-/// cofactors massively on block databases), but it is *monotone* in lineage
-/// size and zero-cost to compute — exactly what a routing heuristic needs.
+/// Deterministic and cheap by construction: the descent performs a fixed
+/// maximum number of decision expansions regardless of the lineage, then
+/// degrades to the closed-form leaf bound.
 pub fn circuit_cost_estimate(f: &Cnf) -> CircuitCostEstimate {
     let vars = f.vars().len();
     let clauses = f.len();
     let comps = f.components();
-    let mut estimated: u64 = 0;
-    for c in &comps {
-        let cv = c.vars().len().min(40) as u32;
-        let per = (c.len().max(1) as u64).saturating_mul(1u64 << cv);
-        estimated = estimated.saturating_add(per);
-    }
+    let worst_case = leaf_bound(f);
+    let mut work = WORK_BUDGET;
+    let estimated = refined_bound(f, &mut work);
     CircuitCostEstimate {
         vars,
         clauses,
         components: comps.len(),
-        estimated_nodes: estimated,
+        estimated_nodes: estimated.min(worst_case),
+        worst_case_nodes: worst_case,
     }
+}
+
+/// `2^min(e, 40)`, saturating.
+fn pow2_clamped(e: usize) -> u64 {
+    1u64 << e.min(EXPONENT_CLAMP)
+}
+
+/// The closed-form bound `Σ_components clauses_c · 2^min(vars_c, 40)`:
+/// each of the up to `2^vars` cofactors of a component touches every
+/// clause at most once; components are independent, so their bounds add.
+fn leaf_bound(f: &Cnf) -> u64 {
+    if f.is_true() {
+        return 0;
+    }
+    if f.is_false() {
+        return 1;
+    }
+    let comps = f.components();
+    if comps.len() == 1 {
+        return (f.len().max(1) as u64).saturating_mul(pow2_clamped(f.vars().len()));
+    }
+    comps
+        .iter()
+        .map(|c| (c.len().max(1) as u64).saturating_mul(pow2_clamped(c.vars().len())))
+        .fold(0u64, u64::saturating_add)
+}
+
+/// The refined recursive bound, following exactly the branch variable the
+/// compiler will use ([`Cnf::branching_var`]) so the result is a sound
+/// upper bound of the compiler's memoization-free expansion. `work` is
+/// the shared expansion budget; when it runs dry, subtrees fall back to
+/// [`leaf_bound`].
+fn refined_bound(f: &Cnf, work: &mut u32) -> u64 {
+    if f.is_true() || f.is_false() {
+        return 1;
+    }
+    let comps = f.components();
+    if comps.len() > 1 {
+        // Independent components: one product gate plus the sum of parts.
+        return comps
+            .iter()
+            .map(|c| refined_bound(c, work))
+            .fold(1u64, u64::saturating_add);
+    }
+    if f.vars().len() <= LEAF_VARS || *work == 0 {
+        return leaf_bound(f);
+    }
+    *work -= 1;
+    let v = f.branching_var().expect("non-constant CNF has variables");
+    let hi = refined_bound(&f.restrict(v, true), work);
+    let lo = refined_bound(&f.restrict(v, false), work);
+    let branched = hi.saturating_add(lo).saturating_add(1);
+    // The refinement may never exceed what the closed form promises.
+    branched.min(leaf_bound(f))
 }
 
 #[cfg(test)]
@@ -84,6 +174,7 @@ mod tests {
     fn constants_are_free() {
         let top = circuit_cost_estimate(&Cnf::top());
         assert_eq!(top.estimated_nodes, 0);
+        assert_eq!(top.worst_case_nodes, 0);
         assert_eq!(top.components, 0);
         let bot = circuit_cost_estimate(&Cnf::bottom());
         assert_eq!(bot.components, 1);
@@ -96,9 +187,38 @@ mod tests {
         let f = Cnf::new([cl(&[1, 2]), cl(&[3, 4])]);
         let est = circuit_cost_estimate(&f);
         assert_eq!(est.components, 2);
-        assert_eq!(est.estimated_nodes, 8);
+        assert_eq!(est.worst_case_nodes, 8);
+        assert!(est.estimated_nodes <= 8);
         let connected = Cnf::new([cl(&[1, 2]), cl(&[2, 3]), cl(&[3, 4])]);
-        assert_eq!(circuit_cost_estimate(&connected).estimated_nodes, 3 << 4);
+        assert_eq!(circuit_cost_estimate(&connected).worst_case_nodes, 3 << 4);
+    }
+
+    #[test]
+    fn refined_bound_tightens_connected_formulas() {
+        // A 14-var chain is connected, so the monolithic bound pays 2^14 —
+        // but one Shannon split decouples it into two short chains, which
+        // the refined descent discovers.
+        let f = Cnf::new((0..13).map(|i| cl(&[i, i + 1])));
+        let est = circuit_cost_estimate(&f);
+        assert_eq!(est.components, 1);
+        assert!(
+            est.estimated_nodes < est.worst_case_nodes / 4,
+            "refined {} vs worst case {}",
+            est.estimated_nodes,
+            est.worst_case_nodes
+        );
+    }
+
+    #[test]
+    fn refined_bound_never_exceeds_worst_case() {
+        for n in [2u32, 5, 9, 14, 20] {
+            let chain = Cnf::new((0..n).map(|i| cl(&[i, i + 1])));
+            let est = circuit_cost_estimate(&chain);
+            assert!(est.estimated_nodes <= est.worst_case_nodes, "chain {n}");
+            let clique = Cnf::new((0..n).flat_map(|i| (i + 1..n).map(move |j| cl(&[i, j]))));
+            let est = circuit_cost_estimate(&clique);
+            assert!(est.estimated_nodes <= est.worst_case_nodes, "clique {n}");
+        }
     }
 
     #[test]
@@ -117,13 +237,16 @@ mod tests {
         let f = Cnf::new((0..60).map(|i| cl(&[i, (i + 1) % 60])));
         let est = circuit_cost_estimate(&f);
         assert_eq!(est.vars, 60);
-        assert_eq!(est.estimated_nodes, 60u64 << 40);
+        assert_eq!(est.worst_case_nodes, 60u64 << 40);
+        assert!(est.estimated_nodes > 0);
+        assert!(est.estimated_nodes <= est.worst_case_nodes);
     }
 
     #[test]
-    fn within_compares_against_budget() {
+    fn within_compares_against_the_refined_bound() {
         let f = Cnf::new([cl(&[1, 2])]);
         let est = circuit_cost_estimate(&f);
+        assert_eq!(est.estimated_nodes, 4);
         assert!(est.within(4));
         assert!(!est.within(3));
     }

@@ -6,7 +6,7 @@
 //!
 //! Run with `cargo run --example approx_sampling`.
 
-use gfomc::approx::lineage_sampler;
+use gfomc::approx::{lineage_sampler, AdaptiveConfig};
 use gfomc::engine::workload::{random_block_tid, unsafe_block_preset};
 use gfomc::prelude::*;
 use rand::{rngs::StdRng, SeedableRng};
@@ -69,19 +69,38 @@ fn main() {
     assert_eq!(routed.result, AutoResult::Exact(probability(&h1, &small)));
 
     // ------------------------------------------------------------------
-    // 3. The unsafe-query/large-block preset: the worst-case Shannon cost
-    //    bound blows the budget, so the router falls back to the seeded
-    //    Karp–Luby sampler — an anytime estimate with a confidence
-    //    interval instead of an exponential compilation.
+    // 3a. A 6×6 unsafe block: the monolithic worst-case bound (~8·10¹³
+    //     gates) used to chase this to the sampler, but the refined cost
+    //     descent proves the block structure compiles in ~10⁴ gates — so
+    //     the router keeps it **exact**.
     // ------------------------------------------------------------------
-    let (uq, utid) = unsafe_block_preset(&mut rng, 2, 6);
+    let (mq, mtid) = unsafe_block_preset(&mut rng, 2, 6);
+    let mest = gfomc::safety::circuit_cost_estimate(&gfomc::tid::lineage(&mq, &mtid).cnf);
     println!(
-        "unsafe preset   : query {uq}, 6x6 block, lineage cost estimate {}",
+        "unsafe preset   : query {mq}, 6x6 block, cost refined {} vs worst-case {}",
+        mest.estimated_nodes, mest.worst_case_nodes,
+    );
+    let t0 = Instant::now();
+    let routed = engine.evaluate_auto(&mq, &mtid, &budget);
+    show("unsafe 6x6      ", &routed, t0.elapsed());
+    assert_eq!(routed.route, Route::Compiled);
+
+    // ------------------------------------------------------------------
+    // 3b. A 12×12 unsafe block: here even the refined bound stays above
+    //     the budget (the descent's work cap dries up before proving the
+    //     decomposition), so the router falls back to the seeded
+    //     Karp–Luby sampler — an anytime estimate with a confidence
+    //     interval instead of a possibly-exponential compilation.
+    // ------------------------------------------------------------------
+    let mut prng = StdRng::seed_from_u64(0xD1CE);
+    let (uq, utid) = unsafe_block_preset(&mut prng, 2, 12);
+    println!(
+        "unsafe preset   : query {uq}, 12x12 block, lineage cost estimate {}",
         gfomc::safety::circuit_cost_estimate(&gfomc::tid::lineage(&uq, &utid).cnf).estimated_nodes,
     );
     let t0 = Instant::now();
     let routed = engine.evaluate_auto(&uq, &utid, &budget);
-    show("unsafe 6x6      ", &routed, t0.elapsed());
+    show("unsafe 12x12    ", &routed, t0.elapsed());
     assert_eq!(routed.route, Route::Sampled);
 
     // Same seed, same answer: the estimate is bit-reproducible.
@@ -105,10 +124,54 @@ fn main() {
         );
     }
 
+    // ------------------------------------------------------------------
+    // 5. Adaptive stopping: instead of a fixed worst-case budget, sample
+    //    in rounds and stop as soon as the empirical-Bernstein interval
+    //    is within ±0.05 — never more draws than the fixed KLM budget,
+    //    usually far fewer.
+    // ------------------------------------------------------------------
+    let adaptive = sampler.estimate_adaptive(&AdaptiveConfig::new(0.05, 0.05, 7));
+    println!(
+        "adaptive stop   : {} samples of a {}-sample fixed budget ({} rounds, converged: {})",
+        adaptive.estimate.samples,
+        sampler.fpras_samples(0.05, 0.05),
+        adaptive.rounds,
+        adaptive.converged,
+    );
+    assert!(adaptive.estimate.samples <= sampler.fpras_samples(0.05, 0.05));
+
+    // ------------------------------------------------------------------
+    // 6. Parallel sampling: the chunk-seeded plan makes the estimate a
+    //    pure function of (seed, sample count) — threads only split the
+    //    work, so 1, 2, and 4 threads agree bit-for-bit.
+    // ------------------------------------------------------------------
+    let serial = sampler.estimate_seeded(7, 20_000, 0.05, 1);
+    for threads in [2usize, 4] {
+        assert_eq!(serial, sampler.estimate_seeded(7, 20_000, 0.05, threads));
+    }
+    println!(
+        "parallel plan   : 1t = 2t = 4t, bit-identical ({} hits)",
+        serial.hits
+    );
+
+    // ------------------------------------------------------------------
+    // 7. The compilation cache: asking the engine the same (compilable)
+    //    query again skips compilation entirely — the canonical lineage
+    //    is interned and the circuit comes back as a cache hit.
+    // ------------------------------------------------------------------
+    let again = engine.evaluate_auto(&h1, &small, &budget);
+    assert_eq!(again.result, AutoResult::Exact(probability(&h1, &small)));
+    let cache = engine.cache_stats();
+    println!(
+        "compile cache   : {} hits / {} misses after the repeat",
+        cache.hits, cache.misses
+    );
+    assert!(cache.hits >= 1);
+
     let counts = engine.route_counts();
     println!(
         "routing tally: {} lifted, {} compiled, {} sampled",
         counts.lifted, counts.compiled, counts.sampled
     );
-    assert_eq!(counts.lifted + counts.compiled + counts.sampled, 3);
+    assert_eq!(counts.lifted + counts.compiled + counts.sampled, 5);
 }

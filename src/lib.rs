@@ -58,7 +58,9 @@ pub use gfomc_tid as tid;
 
 /// The commonly-used names, for `use gfomc::prelude::*`.
 pub mod prelude {
-    pub use gfomc_approx::{CnfSampler, ConfidenceInterval, Estimate, KarpLuby};
+    pub use gfomc_approx::{
+        AdaptiveConfig, AdaptiveEstimate, CnfSampler, ConfidenceInterval, Estimate, KarpLuby,
+    };
     pub use gfomc_arith::{Integer, Natural, QuadExt, Rational};
     pub use gfomc_core::zigzag::{zg_database, zg_query, ZigzagQuery};
     pub use gfomc_core::{
@@ -67,7 +69,8 @@ pub mod prelude {
         EigenData, OracleMode, P2Cnf, Pp2Cnf, ReductionOutcome,
     };
     pub use gfomc_engine::{
-        AutoResult, Budget, Compiled, Engine, Route, RouteCounts, Routed, TupleWeights,
+        AutoResult, Budget, CacheStats, Compiled, Engine, Route, RouteCounts, Routed, SampleMode,
+        TupleWeights,
     };
     pub use gfomc_linalg::Matrix;
     pub use gfomc_logic::{wmc, Cnf, Var};
