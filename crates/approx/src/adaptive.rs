@@ -39,7 +39,8 @@
 //! for every thread count at a fixed seed.
 
 use crate::estimate::{rational_lower_bound, rational_upper_bound, Estimate};
-use crate::sampler::{CnfSampler, KarpLuby, SAMPLE_CHUNK};
+use crate::sampler::{validate_unit_open, CnfSampler, KarpLuby, SAMPLE_CHUNK};
+use gfomc_pool::WorkerPool;
 
 /// Parameters of the adaptive stopping rule.
 #[derive(Clone, Debug, PartialEq)]
@@ -64,8 +65,8 @@ impl AdaptiveConfig {
     /// A config with the default round schedule (512, doubling) on one
     /// thread.
     pub fn new(epsilon: f64, delta: f64, seed: u64) -> Self {
-        assert!(epsilon > 0.0 && epsilon < 1.0, "need 0 < ε < 1");
-        assert!(delta > 0.0 && delta < 1.0, "need 0 < δ < 1");
+        validate_unit_open("epsilon", epsilon);
+        validate_unit_open("delta", delta);
         AdaptiveConfig {
             epsilon,
             delta,
@@ -140,8 +141,23 @@ impl KarpLuby {
     /// [`KarpLuby::fpras_samples`]`(ε, δ)`.
     ///
     /// Bit-identical for every `cfg.threads` at a fixed `cfg.seed`.
+    /// Rounds draw from the process-wide shared [`WorkerPool`].
     pub fn estimate_adaptive(&self, cfg: &AdaptiveConfig) -> AdaptiveEstimate {
-        assert!(cfg.epsilon > 0.0 && cfg.epsilon < 1.0, "need 0 < ε < 1");
+        self.estimate_adaptive_on(WorkerPool::global(), cfg)
+    }
+
+    /// [`KarpLuby::estimate_adaptive`] on a caller-provided pool — the
+    /// engine's router runs its stopping rounds on the engine's own pool.
+    pub fn estimate_adaptive_on(
+        &self,
+        pool: &WorkerPool,
+        cfg: &AdaptiveConfig,
+    ) -> AdaptiveEstimate {
+        // `AdaptiveConfig`'s fields are public, so re-validate here: a
+        // config mutated after `AdaptiveConfig::new` must not smuggle a
+        // NaN/out-of-range ε or δ past the constructor's checks.
+        validate_unit_open("epsilon", cfg.epsilon);
+        validate_unit_open("delta", cfg.delta);
         if let Some(value) = self.exact_value() {
             return AdaptiveEstimate {
                 estimate: Estimate::exact(value.clone(), cfg.delta),
@@ -167,7 +183,7 @@ impl KarpLuby {
         let mut rounds: u32 = 0;
         loop {
             rounds += 1;
-            hits += self.hits_in_range(cfg.seed, total, next, cfg.threads);
+            hits += self.hits_in_range_on(pool, cfg.seed, total, next, cfg.threads);
             total = next;
             let delta_t = cfg.delta / 2f64.powi(rounds.min(1000) as i32);
             let h = bernstein_half_width(hits, total, delta_t);
@@ -192,6 +208,17 @@ impl CnfSampler {
     /// result is complemented (absolute accuracy carries over unchanged).
     pub fn estimate_adaptive(&self, cfg: &AdaptiveConfig) -> AdaptiveEstimate {
         self.karp_luby().estimate_adaptive(cfg).complement()
+    }
+
+    /// [`CnfSampler::estimate_adaptive`] on a caller-provided pool.
+    pub fn estimate_adaptive_on(
+        &self,
+        pool: &WorkerPool,
+        cfg: &AdaptiveConfig,
+    ) -> AdaptiveEstimate {
+        self.karp_luby()
+            .estimate_adaptive_on(pool, cfg)
+            .complement()
     }
 }
 
@@ -270,6 +297,40 @@ mod tests {
                 s.estimate_adaptive(&AdaptiveConfig::new(0.04, 0.05, 77).with_threads(threads));
             assert_eq!(base, par, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn adaptive_config_rejects_endpoint_and_nan_parameters() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        for eps in [0.0, 1.0, f64::NAN] {
+            assert!(
+                catch_unwind(AssertUnwindSafe(|| AdaptiveConfig::new(eps, 0.05, 1))).is_err(),
+                "ε = {eps} must be rejected"
+            );
+        }
+        for delta in [0.0, 1.0, f64::NAN] {
+            assert!(
+                catch_unwind(AssertUnwindSafe(|| AdaptiveConfig::new(0.1, delta, 1))).is_err(),
+                "δ = {delta} must be rejected"
+            );
+        }
+        // Public fields mutated past the constructor are re-validated at
+        // the estimation entry point.
+        let d = Dnf::new([cl(&[1, 2])]);
+        let kl = KarpLuby::new(&d, &half());
+        let mut cfg = AdaptiveConfig::new(0.1, 0.05, 1);
+        cfg.delta = f64::NAN;
+        assert!(catch_unwind(AssertUnwindSafe(|| kl.estimate_adaptive(&cfg))).is_err());
+    }
+
+    #[test]
+    fn adaptive_agrees_across_pools() {
+        let f = Cnf::new([cl(&[1, 2]), cl(&[2, 3]), cl(&[3, 4]), cl(&[1, 4])]);
+        let s = CnfSampler::new(&f, &half());
+        let cfg = AdaptiveConfig::new(0.04, 0.05, 77).with_threads(3);
+        let base = s.estimate_adaptive(&cfg);
+        let own = gfomc_pool::WorkerPool::new(2);
+        assert_eq!(base, s.estimate_adaptive_on(&own, &cfg));
     }
 
     #[test]

@@ -28,6 +28,7 @@
 use crate::estimate::{rational_upper_bound, ConfidenceInterval, Estimate};
 use gfomc_arith::Rational;
 use gfomc_logic::{Cnf, Dnf, Var, WeightFn, WeightsFromFn};
+use gfomc_pool::WorkerPool;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -40,6 +41,18 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// the merged estimate depends only on `(seed, sample count)` — never on
 /// how many threads executed the chunks or in which order.
 pub const SAMPLE_CHUNK: u64 = 256;
+
+/// Panics unless `0 < value < 1` — NaN included. The sampler's ε/δ
+/// parameters outside the open unit interval would otherwise flow into
+/// `ln`/`sqrt`/float-to-integer casts and silently produce NaN-derived or
+/// saturated sample budgets; every public entry point rejects them here
+/// with a message naming the offending parameter instead.
+pub(crate) fn validate_unit_open(name: &str, value: f64) {
+    assert!(
+        value > 0.0 && value < 1.0,
+        "{name} must lie strictly inside (0, 1), got {value}"
+    );
+}
 
 /// The SplitMix64 finalizer: a bijective avalanche mix.
 fn mix64(mut z: u64) -> u64 {
@@ -169,8 +182,8 @@ impl KarpLuby {
     /// mean is at least `1/m`, so a multiplicative Chernoff bound at
     /// `N ≥ 3·ln(2/δ)/(ε²μ)` suffices; we substitute the worst case.)
     pub fn fpras_samples(&self, epsilon: f64, delta: f64) -> u64 {
-        assert!(epsilon > 0.0 && epsilon < 1.0, "need 0 < ε < 1");
-        assert!(delta > 0.0 && delta < 1.0, "need 0 < δ < 1");
+        validate_unit_open("epsilon", epsilon);
+        validate_unit_open("delta", delta);
         let m = self.terms.len().max(1) as f64;
         (3.0 * m * (2.0 / delta).ln() / (epsilon * epsilon)).ceil() as u64
     }
@@ -182,7 +195,7 @@ impl KarpLuby {
     /// `μ` satisfies `|hits/N − μ| ≤ √(ln(2/δ)/2N)` with probability at
     /// least `1 − δ`, and the bound is scaled by `S` and rounded outward.
     pub fn estimate<R: Rng>(&self, rng: &mut R, samples: u64, delta: f64) -> Estimate {
-        assert!(delta > 0.0 && delta < 1.0, "need 0 < δ < 1");
+        validate_unit_open("delta", delta);
         if let Some(value) = &self.exact {
             return Estimate::exact(value.clone(), delta);
         }
@@ -273,54 +286,71 @@ impl KarpLuby {
     }
 
     /// Merged hit count of samples `from..to` of the seeded sampling plan,
-    /// executed on up to `threads` OS threads.
+    /// executed on up to `threads` logical workers of the process-wide
+    /// shared [`WorkerPool`].
     ///
     /// `from` must sit on a [`SAMPLE_CHUNK`] boundary (rounds of the
-    /// adaptive stopper and whole runs both do). The result is the integer
-    /// sum of per-chunk hit counts, so it is **bit-identical for every
-    /// thread count** — parallelism changes only who executes a chunk,
-    /// never what the chunk draws.
+    /// adaptive stopper and whole runs both do), unless the range is
+    /// empty. The result is the integer sum of per-chunk hit counts, so it
+    /// is **bit-identical for every thread count** — parallelism changes
+    /// only who executes a chunk, never what the chunk draws.
     pub fn hits_in_range(&self, seed: u64, from: u64, to: u64, threads: usize) -> u64 {
+        self.hits_in_range_on(WorkerPool::global(), seed, from, to, threads)
+    }
+
+    /// [`KarpLuby::hits_in_range`] on a caller-provided pool — the engine
+    /// routes its sampling through its own shared pool. Workers claim
+    /// chunk indices from a shared cursor (an idle worker steals the next
+    /// pending chunk), so stragglers never serialize a round.
+    pub fn hits_in_range_on(
+        &self,
+        pool: &WorkerPool,
+        seed: u64,
+        from: u64,
+        to: u64,
+        workers: usize,
+    ) -> u64 {
         assert!(from <= to, "inverted sample range");
+        if from == to {
+            // An empty range draws no chunks wherever it starts — checked
+            // before the alignment assert, so callers whose previous round
+            // ended exactly on a non-chunk-aligned cap may ask for the
+            // empty remainder without panicking.
+            return 0;
+        }
         assert!(
             from.is_multiple_of(SAMPLE_CHUNK),
             "sample ranges must start on a chunk boundary"
         );
-        if from == to {
-            return 0;
-        }
         let first = from / SAMPLE_CHUNK;
         let last = to.div_ceil(SAMPLE_CHUNK);
         let len = |c: u64| (to - c * SAMPLE_CHUNK).min(SAMPLE_CHUNK);
-        let threads = threads.clamp(1, (last - first) as usize);
-        if threads == 1 {
+        let workers = workers.clamp(1, (last - first) as usize);
+        if workers == 1 {
             return (first..last)
                 .map(|c| self.chunk_hits(seed, c, len(c)))
                 .sum();
         }
         let cursor = AtomicU64::new(first);
         let hits = AtomicU64::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| {
-                    let mut local = 0u64;
-                    loop {
-                        let c = cursor.fetch_add(1, Ordering::Relaxed);
-                        if c >= last {
-                            break;
-                        }
-                        local += self.chunk_hits(seed, c, len(c));
-                    }
-                    hits.fetch_add(local, Ordering::Relaxed);
-                });
+        pool.broadcast(workers, |_| {
+            let mut local = 0u64;
+            loop {
+                let c = cursor.fetch_add(1, Ordering::Relaxed);
+                if c >= last {
+                    break;
+                }
+                local += self.chunk_hits(seed, c, len(c));
             }
+            hits.fetch_add(local, Ordering::Relaxed);
         });
         hits.load(Ordering::Relaxed)
     }
 
     /// The parallel, seed-addressed form of [`KarpLuby::estimate`]: draws
-    /// `samples` samples of the chunked plan for `seed` across `threads`
-    /// OS threads (`std::thread::scope`; 1 = serial).
+    /// `samples` samples of the chunked plan for `seed` across up to
+    /// `threads` workers of the process-wide shared [`WorkerPool`]
+    /// (1 = serial).
     ///
     /// Determinism guarantee: for a fixed `(seed, samples, delta)` the
     /// returned [`Estimate`] is bit-identical for **every** thread count —
@@ -328,13 +358,26 @@ impl KarpLuby {
     /// single-stream [`KarpLuby::estimate`], so the two entry points give
     /// different (equally valid) estimates for the same seed.
     pub fn estimate_seeded(&self, seed: u64, samples: u64, delta: f64, threads: usize) -> Estimate {
-        assert!(delta > 0.0 && delta < 1.0, "need 0 < δ < 1");
+        self.estimate_seeded_on(WorkerPool::global(), seed, samples, delta, threads)
+    }
+
+    /// [`KarpLuby::estimate_seeded`] on a caller-provided pool. The pool
+    /// choice can never change the estimate — only the wall-clock.
+    pub fn estimate_seeded_on(
+        &self,
+        pool: &WorkerPool,
+        seed: u64,
+        samples: u64,
+        delta: f64,
+        workers: usize,
+    ) -> Estimate {
+        validate_unit_open("delta", delta);
         if let Some(value) = &self.exact {
             return Estimate::exact(value.clone(), delta);
         }
         assert!(samples > 0, "need at least one sample");
         assert!(samples <= i64::MAX as u64, "sample budget out of range");
-        let hits = self.hits_in_range(seed, 0, samples, threads);
+        let hits = self.hits_in_range_on(pool, seed, 0, samples, workers);
         self.estimate_from_hits(hits, samples, delta)
     }
 
@@ -476,6 +519,21 @@ impl CnfSampler {
             .complement()
     }
 
+    /// [`CnfSampler::estimate_seeded`] on a caller-provided pool — the
+    /// engine's router fans sampling across the engine's own shared pool.
+    pub fn estimate_seeded_on(
+        &self,
+        pool: &WorkerPool,
+        seed: u64,
+        samples: u64,
+        delta: f64,
+        workers: usize,
+    ) -> Estimate {
+        self.kl
+            .estimate_seeded_on(pool, seed, samples, delta, workers)
+            .complement()
+    }
+
     /// The underlying complement-DNF sampler.
     pub fn karp_luby(&self) -> &KarpLuby {
         &self.kl
@@ -606,6 +664,68 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let e = s.estimate(&mut rng, 64, 0.05);
         assert_eq!(e.estimate, Rational::from_ints(2, 7));
+    }
+
+    #[test]
+    fn empty_range_at_unaligned_offset_is_zero() {
+        // Regression: the chunk-alignment assert used to run before the
+        // `from == to` early return, so an empty range at a non-chunk-
+        // aligned offset (an adaptive round landing exactly on its cap)
+        // panicked instead of reporting zero hits.
+        let d = Dnf::new([cl(&[1, 2]), cl(&[2, 3])]);
+        let kl = KarpLuby::new(&d, &half());
+        let off = SAMPLE_CHUNK + SAMPLE_CHUNK / 2 + 7;
+        assert!(!off.is_multiple_of(SAMPLE_CHUNK));
+        assert_eq!(kl.hits_in_range(9, off, off, 1), 0);
+        assert_eq!(kl.hits_in_range(9, off, off, 4), 0);
+        assert_eq!(kl.hits_in_range(9, 0, 0, 1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk boundary")]
+    fn nonempty_unaligned_range_still_panics() {
+        let d = Dnf::new([cl(&[1])]);
+        let kl = KarpLuby::new(&d, &half());
+        kl.hits_in_range(9, 7, 100, 1);
+    }
+
+    #[test]
+    fn sampler_parameters_are_validated_at_both_endpoints() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let d = Dnf::new([cl(&[1, 2]), cl(&[2, 3])]);
+        let kl = KarpLuby::new(&d, &half());
+        // Valid interior values pass…
+        assert!(kl.fpras_samples(0.5, 0.5) > 0);
+        // …every endpoint, out-of-range value, and NaN panics with a
+        // message naming the parameter, instead of silently producing a
+        // NaN-derived or saturated budget.
+        for eps in [0.0, 1.0, -0.1, 2.0, f64::NAN] {
+            let err = catch_unwind(AssertUnwindSafe(|| kl.fpras_samples(eps, 0.05)))
+                .expect_err("ε out of (0,1) must panic");
+            let msg = err.downcast_ref::<String>().expect("panic message");
+            assert!(msg.contains("epsilon"), "{msg}");
+        }
+        for delta in [0.0, 1.0, -1.0, 3.5, f64::NAN] {
+            let err = catch_unwind(AssertUnwindSafe(|| kl.fpras_samples(0.1, delta)))
+                .expect_err("δ out of (0,1) must panic");
+            let msg = err.downcast_ref::<String>().expect("panic message");
+            assert!(msg.contains("delta"), "{msg}");
+            let err = catch_unwind(AssertUnwindSafe(|| kl.estimate_seeded(1, 64, delta, 1)))
+                .expect_err("δ out of (0,1) must panic in estimate_seeded");
+            let msg = err.downcast_ref::<String>().expect("panic message");
+            assert!(msg.contains("delta"), "{msg}");
+        }
+    }
+
+    #[test]
+    fn seeded_estimates_agree_across_pools() {
+        let f = Cnf::new([cl(&[1, 2]), cl(&[2, 3]), cl(&[1, 3])]);
+        let s = CnfSampler::new(&f, &half());
+        let base = s.estimate_seeded(42, 2_000, 0.05, 1);
+        let own = gfomc_pool::WorkerPool::new(3);
+        for workers in [1usize, 2, 8] {
+            assert_eq!(base, s.estimate_seeded_on(&own, 42, 2_000, 0.05, workers));
+        }
     }
 
     #[test]

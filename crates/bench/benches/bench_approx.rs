@@ -114,7 +114,7 @@ fn bench_router_end_to_end(c: &mut Criterion) {
         .with_samples(1_000);
     c.bench_function("approx_router/unsafe_5x5_sampled_1000s", |b| {
         b.iter(|| {
-            let mut engine = Engine::new();
+            let engine = Engine::new();
             criterion::black_box(engine.evaluate_auto(&q, &tid, &budget))
         })
     });
@@ -123,7 +123,7 @@ fn bench_router_end_to_end(c: &mut Criterion) {
     let default_budget = Budget::default();
     c.bench_function("approx_router/unsafe_5x5_rerouted_exact", |b| {
         b.iter(|| {
-            let mut engine = Engine::new();
+            let engine = Engine::new();
             let routed = engine.evaluate_auto(&q, &tid, &default_budget);
             assert_eq!(routed.route, gfomc_engine::Route::Compiled);
             criterion::black_box(routed)

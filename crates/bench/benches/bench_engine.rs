@@ -107,7 +107,7 @@ fn bench_engine_cache(c: &mut Criterion) {
     group.bench_function("cold", |b| {
         b.iter(|| Engine::with_cache_capacity(0).compile(&q, &tid))
     });
-    let mut engine = Engine::new();
+    let engine = Engine::new();
     engine.compile(&q, &tid);
     group.bench_function("hit", |b| b.iter(|| engine.compile(&q, &tid)));
     group.finish();

@@ -1,6 +1,9 @@
 //! CI perf-tracking entry point: runs a fixed, small benchmark suite and
 //! writes per-bench wall-times as JSON (default `BENCH.json`; pass a path
-//! as the first argument to change it).
+//! as the first argument to change it). A frozen per-PR snapshot (same
+//! schema; default `BENCH_pr5.json`, `--snapshot <path>` to override) is
+//! written alongside, so the series accumulates one comparable file per
+//! PR.
 //!
 //! This exists so the perf trajectory accumulates as an artifact per PR.
 //! Every record is stamped with the git SHA it was measured at, the bench
@@ -96,14 +99,29 @@ struct Entry {
 
 fn main() {
     let mut out_path = "BENCH.json".to_string();
+    // The frozen per-PR snapshot. The default carries the current PR's id
+    // and is bumped each PR (PR 2 wrote BENCH_pr2.json the same way);
+    // pass `--snapshot <path>` to pin it explicitly.
+    let mut snapshot_path = "BENCH_pr5.json".to_string();
     let mut check = false;
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         if arg == "--check" {
             check = true;
+        } else if arg == "--snapshot" {
+            match args.next() {
+                Some(path) => snapshot_path = path,
+                None => {
+                    eprintln!("--snapshot requires a path argument");
+                    std::process::exit(2);
+                }
+            }
         } else if arg.starts_with('-') {
             // A typo'd flag must fail loudly, not silently become the
             // output path (which would disable the CI perf-smoke gate).
-            eprintln!("unknown flag: {arg} (expected --check or an output path)");
+            eprintln!(
+                "unknown flag: {arg} (expected --check, --snapshot <path>, or an output path)"
+            );
             std::process::exit(2);
         } else {
             out_path = arg;
@@ -213,7 +231,7 @@ fn main() {
         None,
         None,
     );
-    let mut warm = Engine::new();
+    let warm = Engine::new();
     warm.evaluate_auto(&cq, &ctid, &budget);
     let route_compiled_cached = time_median(reps, || {
         std::hint::black_box(warm.evaluate_auto(&cq, &ctid, &budget));
@@ -342,7 +360,7 @@ fn main() {
         let tid = random_block_tid(&mut rng, &q, 2, 2);
         repeated.push((q, tid));
     }
-    let mut engine = Engine::new();
+    let engine = Engine::new();
     let cache_budget = Budget::default().with_mode(SampleMode::Adaptive { epsilon: 0.05 });
     let repeated_secs = time_median(reps, || {
         for (q, tid) in &repeated {
@@ -360,6 +378,32 @@ fn main() {
     );
     if cache.hits == 0 {
         failures.push("repeated-query workload produced zero cache hits".to_string());
+    }
+
+    // ------------------------------------------------------------------
+    // The concurrent front-end: `evaluate_auto_batch` fans a mixed batch
+    // across the shared pool with a shared cache. Bit-identity with the
+    // serial `evaluate_auto` loop is a deterministic `--check` invariant.
+    // ------------------------------------------------------------------
+    let batch: Vec<(BipartiteQuery, Tid)> = (0..4).flat_map(|_| repeated.iter().cloned()).collect();
+    let batch_budget = Budget::default().with_threads(THREADS);
+    let serial_engine = Engine::new();
+    let serial_batch: Vec<_> = batch
+        .iter()
+        .map(|(q, tid)| serial_engine.evaluate_auto(q, tid, &batch_budget))
+        .collect();
+    let batch_engine = Engine::new();
+    let batch_secs = time_median(reps, || {
+        std::hint::black_box(batch_engine.evaluate_auto_batch(&batch, &batch_budget));
+    });
+    record(
+        &format!("router_auto_batch_12q_{THREADS}t"),
+        batch_secs,
+        None,
+        Some(THREADS),
+    );
+    if Engine::new().evaluate_auto_batch(&batch, &batch_budget) != serial_batch {
+        failures.push("evaluate_auto_batch differs from the serial evaluate_auto loop".to_string());
     }
 
     let json: String = {
@@ -407,8 +451,15 @@ fn main() {
             fields = fields.join(",\n")
         )
     };
-    std::fs::write(&out_path, json).expect("write bench JSON");
+    std::fs::write(&out_path, &json).expect("write bench JSON");
     println!("wrote {out_path} (sha {sha})");
+    // Per-PR snapshot next to the rolling series: the perf trajectory
+    // accumulates one frozen schema-v3 file per PR, and CI uploads both
+    // as artifacts.
+    if out_path != snapshot_path {
+        std::fs::write(&snapshot_path, &json).expect("write bench snapshot");
+        println!("wrote {snapshot_path} (sha {sha})");
+    }
 
     if check {
         if failures.is_empty() {

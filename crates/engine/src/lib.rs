@@ -23,7 +23,7 @@
 //! tid.set_prob(Tuple::S(0, 0, 10), Rational::one_half());
 //! tid.set_prob(Tuple::T(10), Rational::one_half());
 //!
-//! let mut engine = Engine::new();
+//! let engine = Engine::new();
 //! let compiled = engine.compile(&q, &tid);          // lineage + circuit, once
 //! let base = compiled.evaluate_db();                 // Pr at the stored probabilities
 //! let swept = compiled.evaluate(                     // Pr with R(0) forced present
@@ -52,13 +52,21 @@ pub use router::{AutoResult, Budget, Route, RouteCounts, Routed, SampleMode};
 
 use gfomc_arith::Rational;
 use gfomc_logic::{Circuit, Cnf, CnfId, CnfInterner, EvalArena, WeightsFromFn};
+use gfomc_pool::WorkerPool;
 use gfomc_query::BipartiteQuery;
 use gfomc_tid::{lineage, Lineage, Tid, Tuple, VarTable};
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Default number of compiled circuits the engine keeps hot.
 pub const DEFAULT_CACHE_CAPACITY: usize = 64;
+
+/// Maximum number of independently locked cache shards (fewer when the
+/// capacity is smaller, so the `entries <= capacity` bound stays exact).
+const MAX_CACHE_SHARDS: usize = 8;
 
 /// Hit/miss record of the engine's compilation cache.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -71,6 +79,11 @@ pub struct CacheStats {
     pub entries: usize,
     /// Maximum number of cached circuits (0 = caching disabled).
     pub capacity: usize,
+    /// Resident circuits displaced by a costlier-to-recompute newcomer.
+    pub evictions: usize,
+    /// Newly compiled circuits denied admission because their compile cost
+    /// did not justify displacing anything resident (cost-aware admission).
+    pub rejections: usize,
 }
 
 impl CacheStats {
@@ -85,29 +98,75 @@ impl CacheStats {
     }
 }
 
+/// One resident circuit of a cache shard.
+#[derive(Debug)]
+struct CacheEntry {
+    circuit: Arc<Circuit>,
+    /// Eviction priority `last-touch stamp + compile cost` (see
+    /// [`Engine::compile`] — higher survives longer).
+    priority: u64,
+    /// Compile cost in circuit gates, the weight that keeps an expensive
+    /// circuit resident across many cheap newcomers.
+    cost: u64,
+}
+
+/// One independently locked shard of the compilation cache: its slice of
+/// the interner plus its resident circuits. Lineages are assigned to
+/// shards by the hash of their canonical CNF, so the interner invariant
+/// (an id is live iff its circuit is resident) is local to the shard.
+#[derive(Debug)]
+struct CacheShard {
+    interner: CnfInterner,
+    entries: HashMap<CnfId, CacheEntry>,
+    capacity: usize,
+}
+
 /// Compiles query/TID pairs, caches the resulting circuits, and tracks
-/// aggregate compilation statistics.
+/// aggregate compilation statistics. **Thread-safe**: `Engine` is
+/// `Send + Sync` and every method takes `&self`, so one engine can be
+/// shared behind an `Arc` (or a plain reference) by any number of
+/// concurrent callers — the serving setup the router's batched front-end
+/// ([`Engine::evaluate_auto_batch`]) is built for.
 ///
 /// Each [`Engine::compile`] call produces a self-contained [`Compiled`]
-/// artifact. Circuits are cached in an LRU keyed on **interned canonical
-/// CNF ids** ([`gfomc_logic::CnfInterner`]): two queries (or the same
-/// query over two TIDs) whose groundings canonicalize to the same lineage
-/// share one compilation — the second [`Engine::compile`] is a cache hit
-/// that only re-binds the tuple ↔ variable table. Cached circuits are
-/// behind [`Arc`], so a hit costs one reference bump, not a deep copy.
+/// artifact. Circuits are cached in a **sharded, cost-aware LRU** keyed on
+/// interned canonical CNF ids ([`gfomc_logic::CnfInterner`]): two queries
+/// (or the same query over two TIDs) whose groundings canonicalize to the
+/// same lineage share one compilation — the second [`Engine::compile`] is
+/// a cache hit that only re-binds the tuple ↔ variable table. Cached
+/// circuits are behind [`Arc`], so a hit costs one reference bump, not a
+/// deep copy.
+///
+/// Concurrency model: the cache is split into up to 8 mutex-guarded
+/// shards selected by the lineage hash, statistics are atomics, and the
+/// parallel paths run on a persistent [`WorkerPool`] created once per
+/// engine's lifetime (the process-shared pool by default,
+/// [`Engine::with_pool`] to dedicate one). Concurrent compiles of
+/// *distinct* lineages proceed in parallel with probability
+/// `1 − 1/shards`; concurrent compiles of the *same* lineage serialize on
+/// its shard so the work is done once, not duplicated.
+///
+/// Eviction is **cost-aware** (a GreedyDual-flavored LRU): the victim
+/// minimizes `last-touch stamp + compile cost`, so a 10⁶-gate circuit is
+/// never displaced by a 10²-gate newcomer — the cheap newcomer is denied
+/// admission instead (and, because the stamp keeps advancing, a dead
+/// giant still ages out eventually).
 #[derive(Debug)]
 pub struct Engine {
-    compiled: usize,
-    nodes: usize,
-    decisions: usize,
-    routes: RouteCounts,
-    interner: CnfInterner,
-    cache: HashMap<CnfId, (Arc<Circuit>, u64)>,
+    compiled: AtomicUsize,
+    nodes: AtomicUsize,
+    decisions: AtomicUsize,
+    routes_lifted: AtomicUsize,
+    routes_compiled: AtomicUsize,
+    routes_sampled: AtomicUsize,
+    shards: Box<[Mutex<CacheShard>]>,
     cache_capacity: usize,
-    cache_stamp: u64,
-    cache_hits: usize,
-    cache_misses: usize,
-    arena: EvalArena,
+    cache_stamp: AtomicU64,
+    cache_hits: AtomicUsize,
+    cache_misses: AtomicUsize,
+    cache_evictions: AtomicUsize,
+    cache_rejections: AtomicUsize,
+    pool: Arc<WorkerPool>,
 }
 
 impl Default for Engine {
@@ -123,38 +182,79 @@ impl Engine {
     }
 
     /// An engine whose compilation cache holds up to `capacity` circuits
-    /// (0 disables caching entirely).
+    /// (0 disables caching entirely), on the process-shared worker pool.
     pub fn with_cache_capacity(capacity: usize) -> Self {
+        Engine::with_cache_capacity_and_pool(capacity, Arc::clone(WorkerPool::global()))
+    }
+
+    /// An engine running its parallel paths (sampling rounds, batched
+    /// evaluation, [`Engine::evaluate_auto_batch`]) on a dedicated pool
+    /// instead of the process-shared one.
+    pub fn with_pool(pool: Arc<WorkerPool>) -> Self {
+        Engine::with_cache_capacity_and_pool(DEFAULT_CACHE_CAPACITY, pool)
+    }
+
+    /// The fully explicit constructor: cache capacity and worker pool.
+    pub fn with_cache_capacity_and_pool(capacity: usize, pool: Arc<WorkerPool>) -> Self {
+        // A small cache stays unsharded: splitting e.g. capacity 2 into
+        // two 1-slot shards would let hash-colliding hot lineages thrash
+        // a shard while the other sits empty — strictly worse than one
+        // lock around a cache this tiny. Larger caches split into
+        // MAX_CACHE_SHARDS shards whose capacities (each ≥ 1) sum to
+        // exactly `capacity`, preserving the user-visible bound
+        // `entries <= capacity`.
+        let shard_count = if capacity <= MAX_CACHE_SHARDS {
+            1
+        } else {
+            MAX_CACHE_SHARDS
+        };
+        let shards = (0..shard_count)
+            .map(|i| {
+                Mutex::new(CacheShard {
+                    interner: CnfInterner::new(),
+                    entries: HashMap::new(),
+                    capacity: capacity / shard_count + usize::from(i < capacity % shard_count),
+                })
+            })
+            .collect();
         Engine {
-            compiled: 0,
-            nodes: 0,
-            decisions: 0,
-            routes: RouteCounts::default(),
-            interner: CnfInterner::new(),
-            cache: HashMap::new(),
+            compiled: AtomicUsize::new(0),
+            nodes: AtomicUsize::new(0),
+            decisions: AtomicUsize::new(0),
+            routes_lifted: AtomicUsize::new(0),
+            routes_compiled: AtomicUsize::new(0),
+            routes_sampled: AtomicUsize::new(0),
+            shards,
             cache_capacity: capacity,
-            cache_stamp: 0,
-            cache_hits: 0,
-            cache_misses: 0,
-            arena: EvalArena::new(),
+            cache_stamp: AtomicU64::new(0),
+            cache_hits: AtomicUsize::new(0),
+            cache_misses: AtomicUsize::new(0),
+            cache_evictions: AtomicUsize::new(0),
+            cache_rejections: AtomicUsize::new(0),
+            pool,
         }
+    }
+
+    /// The worker pool this engine fans its parallel work across.
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
     }
 
     /// Grounds `q` over `tid` and compiles the lineage into a circuit —
     /// or fetches the circuit from the cache if an identical canonical
-    /// lineage was compiled before.
+    /// lineage was compiled before (by this thread or any other).
     ///
     /// Compilation is the expensive step — it performs the full component
     /// / Shannon decomposition exactly once per *distinct* lineage. Every
     /// subsequent [`Compiled::evaluate`] is a single bottom-up pass.
-    pub fn compile(&mut self, q: &BipartiteQuery, tid: &Tid) -> Compiled {
+    pub fn compile(&self, q: &BipartiteQuery, tid: &Tid) -> Compiled {
         self.compile_lineage(lineage(q, tid))
     }
 
     /// Compiles an already-grounded lineage — shared by [`Engine::compile`]
     /// and the router ([`Engine::evaluate_auto`]), which grounds the
     /// lineage itself to estimate its cost before committing to a circuit.
-    pub(crate) fn compile_lineage(&mut self, lin: Lineage) -> Compiled {
+    pub(crate) fn compile_lineage(&self, lin: Lineage) -> Compiled {
         let circuit = self.compile_cnf(&lin.cnf);
         Compiled {
             circuit,
@@ -162,83 +262,145 @@ impl Engine {
         }
     }
 
-    /// The cache-aware compilation core: interns the canonical CNF and
-    /// either returns the cached circuit or compiles and caches it.
-    fn compile_cnf(&mut self, cnf: &Cnf) -> Arc<Circuit> {
+    /// The shard a canonical CNF belongs to.
+    fn shard_of(&self, cnf: &Cnf) -> &Mutex<CacheShard> {
+        let mut hasher = DefaultHasher::new();
+        cnf.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+    }
+
+    /// Poison-tolerant shard lock: a panic inside `Circuit::compile` (one
+    /// pathological lineage) unwinds while the shard is held, and letting
+    /// that poison wedge every later query hashing to the shard would turn
+    /// one bad query into a persistent denial of service for a shared
+    /// serving engine. Recovery is safe: the worst a mid-update unwind
+    /// leaves behind is an interned id with no resident entry, which the
+    /// next compile of that lineage simply fills in.
+    fn lock_shard(shard: &Mutex<CacheShard>) -> std::sync::MutexGuard<'_, CacheShard> {
+        shard
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// The cache-aware compilation core: interns the canonical CNF in its
+    /// shard and either returns the resident circuit or compiles, admits,
+    /// and possibly evicts under the cost-aware policy.
+    fn compile_cnf(&self, cnf: &Cnf) -> Arc<Circuit> {
         if self.cache_capacity == 0 {
-            self.cache_misses += 1;
+            self.cache_misses.fetch_add(1, Ordering::Relaxed);
             return self.compile_fresh(cnf);
         }
-        let id = self.interner.intern(cnf);
-        self.cache_stamp += 1;
-        let stamp = self.cache_stamp;
-        if let Some((circuit, last_used)) = self.cache.get_mut(&id) {
-            *last_used = stamp;
-            self.cache_hits += 1;
-            return Arc::clone(circuit);
+        let mut shard = Engine::lock_shard(self.shard_of(cnf));
+        let id = shard.interner.intern(cnf);
+        let stamp = self.cache_stamp.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(entry) = shard.entries.get_mut(&id) {
+            entry.priority = stamp.saturating_add(entry.cost);
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(&entry.circuit);
         }
-        self.cache_misses += 1;
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        // Compile while holding the shard lock: concurrent callers of the
+        // *same* lineage wait for one compilation instead of duplicating
+        // it, and callers of distinct lineages collide only when their
+        // hashes share a shard.
         let circuit = self.compile_fresh(cnf);
-        if self.cache.len() >= self.cache_capacity {
-            // Evict the least-recently-used entry. Linear scan: the cache
-            // is small and eviction is rare next to evaluation work. The
-            // interner forgets the evicted lineage too, so engine memory
-            // stays bounded by the cache capacity, not by every distinct
-            // lineage ever seen.
-            let victim = self
-                .cache
+        let cost = circuit.node_count() as u64;
+        shard.entries.insert(
+            id,
+            CacheEntry {
+                circuit: Arc::clone(&circuit),
+                priority: stamp.saturating_add(cost),
+                cost,
+            },
+        );
+        if shard.entries.len() > shard.capacity {
+            // Cost-aware eviction: linear scan for the minimum priority
+            // (the cache is small and eviction is rare next to compile
+            // work). The interner forgets the victim too, so engine
+            // memory stays bounded by the cache capacity, not by every
+            // distinct lineage ever seen. When the newcomer itself is the
+            // minimum — its compile cost does not justify displacing any
+            // resident circuit — it is the one dropped: admission denied.
+            let victim = shard
+                .entries
                 .iter()
-                .min_by_key(|(_, (_, used))| *used)
-                .map(|(id, _)| *id);
-            if let Some(victim) = victim {
-                self.cache.remove(&victim);
-                self.interner.forget(victim);
+                .min_by_key(|(_, e)| e.priority)
+                .map(|(id, _)| *id)
+                .expect("eviction scan over a non-empty shard");
+            shard.entries.remove(&victim);
+            shard.interner.forget(victim);
+            if victim == id {
+                self.cache_rejections.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.cache_evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
-        self.cache.insert(id, (Arc::clone(&circuit), stamp));
         circuit
     }
 
     /// Uncached compilation plus instrumentation.
-    fn compile_fresh(&mut self, cnf: &Cnf) -> Arc<Circuit> {
+    fn compile_fresh(&self, cnf: &Cnf) -> Arc<Circuit> {
         let circuit = Circuit::compile(cnf);
-        self.compiled += 1;
-        self.nodes += circuit.node_count();
-        self.decisions += circuit.decision_count();
+        self.compiled.fetch_add(1, Ordering::Relaxed);
+        self.nodes
+            .fetch_add(circuit.node_count(), Ordering::Relaxed);
+        self.decisions
+            .fetch_add(circuit.decision_count(), Ordering::Relaxed);
         Arc::new(circuit)
     }
 
     /// Number of lineages actually compiled by this engine (cache hits
     /// are not compilations).
     pub fn compiled_count(&self) -> usize {
-        self.compiled
+        self.compiled.load(Ordering::Relaxed)
     }
 
     /// Total circuit gates produced across all compilations.
     pub fn total_nodes(&self) -> usize {
-        self.nodes
+        self.nodes.load(Ordering::Relaxed)
     }
 
     /// Total Shannon-split gates produced across all compilations.
     pub fn total_decisions(&self) -> usize {
-        self.decisions
+        self.decisions.load(Ordering::Relaxed)
     }
 
-    /// Compilation-cache hit/miss counters, surfaced next to
-    /// [`Engine::route_counts`] for workload instrumentation.
+    /// Compilation-cache counters, surfaced next to
+    /// [`Engine::route_counts`] for workload instrumentation. Counter
+    /// fields are point-in-time atomic snapshots; under concurrent
+    /// traffic they are mutually consistent only once the traffic quiesces.
     pub fn cache_stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.cache_hits,
-            misses: self.cache_misses,
-            entries: self.cache.len(),
+            hits: self.cache_hits.load(Ordering::Relaxed),
+            misses: self.cache_misses.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| Engine::lock_shard(s).entries.len())
+                .sum(),
             capacity: self.cache_capacity,
+            evictions: self.cache_evictions.load(Ordering::Relaxed),
+            rejections: self.cache_rejections.load(Ordering::Relaxed),
         }
     }
 
-    /// The engine's reusable evaluation arena (used by the router's
-    /// compiled path so repeated queries share one values buffer).
-    pub(crate) fn arena(&mut self) -> &mut EvalArena {
-        &mut self.arena
+    /// Bumps one route counter — the router's bookkeeping.
+    pub(crate) fn count_route(&self, route: router::Route) {
+        let counter = match route {
+            router::Route::Lifted => &self.routes_lifted,
+            router::Route::Compiled => &self.routes_compiled,
+            router::Route::Sampled => &self.routes_sampled,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Routing decisions made by this engine so far.
+    pub fn route_counts(&self) -> RouteCounts {
+        RouteCounts {
+            lifted: self.routes_lifted.load(Ordering::Relaxed),
+            compiled: self.routes_compiled.load(Ordering::Relaxed),
+            sampled: self.routes_sampled.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -310,8 +472,9 @@ impl Compiled {
             .collect()
     }
 
-    /// [`Compiled::evaluate_batch`] fanned across `threads` OS threads
-    /// over the shared immutable circuit (delegates the fan-out to
+    /// [`Compiled::evaluate_batch`] fanned across `threads` workers of the
+    /// process-wide shared [`WorkerPool`] over the shared immutable
+    /// circuit (delegates the fan-out to
     /// [`Circuit::evaluate_batch_threads`]).
     ///
     /// Evaluation is exact rational arithmetic, so the output is
@@ -320,6 +483,17 @@ impl Compiled {
         &self,
         weights: &[TupleWeights],
         threads: usize,
+    ) -> Vec<Rational> {
+        self.evaluate_batch_on(WorkerPool::global(), weights, threads)
+    }
+
+    /// [`Compiled::evaluate_batch_threads`] on a caller-provided pool —
+    /// e.g. [`Engine::pool`] to share the engine's workers.
+    pub fn evaluate_batch_on(
+        &self,
+        pool: &WorkerPool,
+        weights: &[TupleWeights],
+        workers: usize,
     ) -> Vec<Rational> {
         let resolved: Vec<_> = weights
             .iter()
@@ -331,7 +505,7 @@ impl Compiled {
                 })
             })
             .collect();
-        self.circuit.evaluate_batch_threads(&resolved, threads)
+        self.circuit.evaluate_batch_on(pool, &resolved, workers)
     }
 
     /// The uncertain tuples of the compiled lineage — the tuples whose
@@ -449,7 +623,7 @@ mod tests {
 
     #[test]
     fn compiled_matches_naive_oracle_on_catalog() {
-        let mut engine = Engine::new();
+        let engine = Engine::new();
         for (name, q) in catalog::unsafe_catalog()
             .iter()
             .chain(&catalog::safe_catalog())
@@ -519,6 +693,46 @@ mod tests {
         // R(0) was deterministic at compile time: not in the support.
         assert!(!compiled.tuples().contains(&Tuple::R(0)));
         assert!(compiled.tuples().contains(&Tuple::T(100)));
+    }
+
+    #[test]
+    fn engine_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Engine>();
+        assert_send_sync::<Compiled>();
+    }
+
+    #[test]
+    fn cost_aware_eviction_keeps_the_expensive_circuit() {
+        // Capacity 1 forces every admission decision to be a duel. The
+        // 3×3 lineage compiles to a much larger circuit than the 1×1, so
+        // after the cheap lineage is compiled the expensive one must still
+        // be resident (the newcomer is denied admission, not the giant).
+        let q = catalog::h1();
+        let big = uniform_tid(&q, 3, 3);
+        let small = uniform_tid(&q, 1, 1);
+        let engine = Engine::with_cache_capacity(1);
+        let big_compiled = engine.compile(&q, &big);
+        let small_compiled = engine.compile(&q, &small);
+        assert!(
+            big_compiled.node_count() > 10 * small_compiled.node_count(),
+            "preset sizes must differ by an order of magnitude: {} vs {}",
+            big_compiled.node_count(),
+            small_compiled.node_count()
+        );
+        let before = engine.cache_stats();
+        assert_eq!(before.rejections, 1, "{before:?}");
+        engine.compile(&q, &big);
+        let after = engine.cache_stats();
+        assert_eq!(after.hits, before.hits + 1, "giant must still be hot");
+        assert_eq!(after.entries, 1);
+        // An even costlier newcomer does displace it (cost dominates the
+        // duel), so the cache is not wedged on its first giant forever.
+        let bigger = uniform_tid(&q, 4, 4);
+        engine.compile(&q, &bigger);
+        let end = engine.cache_stats();
+        assert_eq!(end.entries, 1);
+        assert_eq!(end.evictions, 1, "{end:?}");
     }
 
     #[test]

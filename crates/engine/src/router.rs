@@ -18,19 +18,36 @@
 //!    [`SampleMode::Adaptive`] stops as soon as the interval is within
 //!    the accuracy target (never exceeding the fixed Karp–Luby–Madras
 //!    budget); [`SampleMode::Fixed`] keeps the PR 3 fixed-budget path.
-//!    Either way the sampled path may fan across [`Budget::threads`] OS
-//!    threads without changing a single bit of the estimate.
+//!    Either way the sampled path may fan across [`Budget::threads`]
+//!    workers of the engine's persistent pool without changing a single
+//!    bit of the estimate.
 //!
 //! The result is tagged ([`AutoResult::Exact`] vs [`AutoResult::Approx`])
 //! so callers can never mistake an estimate for an exact probability, and
 //! carries the [`Route`] taken plus the cost estimate that justified it.
+//!
+//! Both entry points take `&self`: one shared engine serves concurrent
+//! callers, and [`Engine::evaluate_auto_batch`] fans a whole batch of
+//! routed queries across the pool with a shared compilation cache.
 
 use crate::Engine;
 use gfomc_approx::{AdaptiveConfig, CnfSampler, ConfidenceInterval, Estimate};
 use gfomc_arith::Rational;
+use gfomc_logic::EvalArena;
 use gfomc_query::BipartiteQuery;
 use gfomc_safety::{circuit_cost_estimate, is_safe, lifted_probability, CircuitCostEstimate};
 use gfomc_tid::{lineage, Tid};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+thread_local! {
+    /// Per-thread evaluation arena for the compiled route: repeated
+    /// queries on one serving thread reuse a single values buffer, and
+    /// threads never contend for it (the engine itself stays lock-free on
+    /// this path).
+    static ROUTE_ARENA: RefCell<EvalArena> = RefCell::new(EvalArena::new());
+}
 
 /// How the sampler spends its budget on the [`Route::Sampled`] path.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -218,11 +235,16 @@ impl Engine {
     ///
     /// Safe queries return results bit-identical to
     /// [`lifted_probability`]; sampled results are bit-identical across
-    /// runs for a fixed `budget.seed`.
-    pub fn evaluate_auto(&mut self, q: &BipartiteQuery, tid: &Tid, budget: &Budget) -> Routed {
+    /// runs for a fixed `budget.seed`. Takes `&self`: any number of
+    /// threads may route queries through one shared engine concurrently.
+    pub fn evaluate_auto(&self, q: &BipartiteQuery, tid: &Tid, budget: &Budget) -> Routed {
+        // Normalize at the point of use: a `Budget` built as a struct
+        // literal can carry `threads: 0` past the `with_threads` clamp,
+        // and a zero must never reach the pool fan-out.
+        let threads = budget.threads.max(1);
         if is_safe(q) {
             let p = lifted_probability(q, tid).expect("safe query must lift");
-            self.routes.lifted += 1;
+            self.count_route(Route::Lifted);
             return Routed {
                 result: AutoResult::Exact(p),
                 route: Route::Lifted,
@@ -233,10 +255,8 @@ impl Engine {
         let cost = circuit_cost_estimate(&lin.cnf);
         if cost.within(budget.max_circuit_cost) {
             let compiled = self.compile_lineage(lin);
-            self.routes.compiled += 1;
-            let mut arena = std::mem::take(self.arena());
-            let p = compiled.evaluate_db_with(&mut arena);
-            *self.arena() = arena;
+            self.count_route(Route::Compiled);
+            let p = ROUTE_ARENA.with(|arena| compiled.evaluate_db_with(&mut arena.borrow_mut()));
             return Routed {
                 result: AutoResult::Exact(p),
                 route: Route::Compiled,
@@ -245,16 +265,20 @@ impl Engine {
         }
         let sampler = CnfSampler::new(&lin.cnf, lin.vars.weights());
         let est = match budget.mode {
-            SampleMode::Fixed => {
-                sampler.estimate_seeded(budget.seed, budget.samples, budget.delta, budget.threads)
-            }
+            SampleMode::Fixed => sampler.estimate_seeded_on(
+                self.pool(),
+                budget.seed,
+                budget.samples,
+                budget.delta,
+                threads,
+            ),
             SampleMode::Adaptive { epsilon } => {
-                let cfg = AdaptiveConfig::new(epsilon, budget.delta, budget.seed)
-                    .with_threads(budget.threads);
-                sampler.estimate_adaptive(&cfg).estimate
+                let cfg =
+                    AdaptiveConfig::new(epsilon, budget.delta, budget.seed).with_threads(threads);
+                sampler.estimate_adaptive_on(self.pool(), &cfg).estimate
             }
         };
-        self.routes.sampled += 1;
+        self.count_route(Route::Sampled);
         Routed {
             result: est.into(),
             route: Route::Sampled,
@@ -262,9 +286,65 @@ impl Engine {
         }
     }
 
-    /// Routing decisions made by this engine so far.
-    pub fn route_counts(&self) -> RouteCounts {
-        self.routes
+    /// The concurrent serving front-end: routes every query of `queries`
+    /// through [`Engine::evaluate_auto`], fanned across up to
+    /// [`Budget::threads`] workers of the engine's shared pool. All
+    /// workers share this engine's compilation cache, so duplicate
+    /// lineages inside one batch compile once.
+    ///
+    /// Output order matches input order, and every element is
+    /// **bit-identical** to a serial loop of [`Engine::evaluate_auto`]
+    /// calls with the same budget: the exact routes are deterministic,
+    /// and the sampled route's chunk-seeded plan is thread-count
+    /// invariant. Only the route/cache *counters* may interleave
+    /// differently; their totals agree.
+    pub fn evaluate_auto_batch(
+        &self,
+        queries: &[(BipartiteQuery, Tid)],
+        budget: &Budget,
+    ) -> Vec<Routed> {
+        let workers = budget.threads.max(1).min(queries.len().max(1));
+        if workers <= 1 {
+            return queries
+                .iter()
+                .map(|(q, tid)| self.evaluate_auto(q, tid, budget))
+                .collect();
+        }
+        // Queries are the unit of parallelism here, so each one samples
+        // serially — oversubscribing the pool with nested fan-out buys
+        // nothing once every worker is busy.
+        let per_query = Budget {
+            threads: 1,
+            ..budget.clone()
+        };
+        let cursor = AtomicUsize::new(0);
+        let mut out: Vec<Option<Routed>> = vec![None; queries.len()];
+        let slots = Mutex::new(&mut out);
+        self.pool().scope(|scope| {
+            for _ in 0..workers {
+                let cursor = &cursor;
+                let slots = &slots;
+                let per_query = &per_query;
+                scope.spawn(move || {
+                    let mut local: Vec<(usize, Routed)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= queries.len() {
+                            break;
+                        }
+                        let (q, tid) = &queries[i];
+                        local.push((i, self.evaluate_auto(q, tid, per_query)));
+                    }
+                    let mut slots = slots.lock().expect("batch output lock");
+                    for (i, routed) in local {
+                        slots[i] = Some(routed);
+                    }
+                });
+            }
+        });
+        out.into_iter()
+            .map(|r| r.expect("every query routed"))
+            .collect()
     }
 }
 
@@ -281,7 +361,7 @@ mod tests {
         let q = catalog::safe_three_components();
         let mut rng = StdRng::seed_from_u64(1);
         let tid = random_block_tid(&mut rng, &q, 3, 3);
-        let mut engine = Engine::new();
+        let engine = Engine::new();
         let routed = engine.evaluate_auto(&q, &tid, &Budget::default());
         assert_eq!(routed.route, Route::Lifted);
         assert!(routed.cost.is_none());
@@ -297,7 +377,7 @@ mod tests {
         let q = catalog::h1();
         let mut rng = StdRng::seed_from_u64(2);
         let tid = random_block_tid(&mut rng, &q, 2, 2);
-        let mut engine = Engine::new();
+        let engine = Engine::new();
         let routed = engine.evaluate_auto(&q, &tid, &Budget::default());
         assert_eq!(routed.route, Route::Compiled);
         assert_eq!(routed.result, AutoResult::Exact(probability(&q, &tid)));
@@ -318,7 +398,7 @@ mod tests {
         let budget = Budget::default()
             .with_max_circuit_cost(0)
             .with_samples(2_000);
-        let mut engine = Engine::new();
+        let engine = Engine::new();
         let routed = engine.evaluate_auto(&q, &tid, &budget);
         assert_eq!(routed.route, Route::Sampled);
         assert_eq!(engine.route_counts().sampled, 1);
@@ -344,7 +424,7 @@ mod tests {
     #[test]
     fn random_queries_route_by_safety_and_budget() {
         let mut rng = StdRng::seed_from_u64(4);
-        let mut engine = Engine::new();
+        let engine = Engine::new();
         let budget = Budget::default();
         for _ in 0..10 {
             let q = random_query(&mut rng, 2, 2, SafetyTarget::Any);

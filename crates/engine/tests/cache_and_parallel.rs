@@ -31,7 +31,7 @@ proptest! {
         let q = random_query(&mut rng, 2, 2, SafetyTarget::Unsafe);
         let tid = random_block_tid(&mut rng, &q, 2, 2);
 
-        let mut cached = Engine::new();
+        let cached = Engine::new();
         let first = cached.compile(&q, &tid);
         let second = cached.compile(&q, &tid);
         let stats = cached.cache_stats();
@@ -39,7 +39,7 @@ proptest! {
         prop_assert_eq!(stats.hits, 1);
         prop_assert_eq!(cached.compiled_count(), 1, "hit must skip compilation");
 
-        let mut uncached = Engine::with_cache_capacity(0);
+        let uncached = Engine::with_cache_capacity(0);
         let fresh = uncached.compile(&q, &tid);
         prop_assert_eq!(uncached.cache_stats().hits, 0);
 
@@ -99,7 +99,7 @@ fn repeated_query_workload_has_nonzero_cache_hit_rate() {
         let tid = random_block_tid(&mut rng, &q, 2, 2);
         queries.push((q, tid));
     }
-    let mut engine = Engine::new();
+    let engine = Engine::new();
     let budget = Budget::default();
     let mut first_pass = Vec::new();
     for (q, tid) in &queries {
@@ -131,7 +131,7 @@ fn repeated_query_workload_has_nonzero_cache_hit_rate() {
 #[test]
 fn cache_eviction_respects_capacity() {
     let mut rng = StdRng::seed_from_u64(7);
-    let mut engine = Engine::with_cache_capacity(2);
+    let engine = Engine::with_cache_capacity(2);
     for _ in 0..3 {
         let q = random_query(&mut rng, 3, 2, SafetyTarget::Unsafe);
         let tid = random_block_tid(&mut rng, &q, 2, 2);

@@ -23,7 +23,10 @@ use crate::cnf::{Cnf, Var};
 use crate::intern::{CnfId, CnfInterner};
 use crate::wmc::WeightFn;
 use gfomc_arith::Rational;
+use gfomc_pool::WorkerPool;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Index of a node in a [`Circuit`] or [`Compiler`] pool.
 ///
@@ -275,33 +278,58 @@ impl Circuit {
             .collect()
     }
 
-    /// [`Circuit::evaluate_batch`] fanned across `threads` OS threads over
-    /// the shared immutable node pool.
-    ///
-    /// The batch is split into `threads` contiguous slices; each worker
-    /// evaluates its slice with a thread-local arena and the results are
-    /// re-assembled in input order. Evaluation is exact rational
-    /// arithmetic, so the output is **identical** to the serial
-    /// [`Circuit::evaluate_batch`] for every thread count.
+    /// [`Circuit::evaluate_batch`] fanned across `workers` logical workers
+    /// of the process-wide shared [`WorkerPool`] (no per-call thread
+    /// spawns). Evaluation is exact rational arithmetic, so the output is
+    /// **identical** to the serial [`Circuit::evaluate_batch`] for every
+    /// worker count.
     pub fn evaluate_batch_threads<W: WeightFn + Sync>(
         &self,
         weights: &[W],
         threads: usize,
     ) -> Vec<Rational> {
-        let threads = threads.max(1).min(weights.len().max(1));
-        if threads == 1 {
+        self.evaluate_batch_on(WorkerPool::global(), weights, threads)
+    }
+
+    /// [`Circuit::evaluate_batch_threads`] on a caller-provided pool — the
+    /// engine routes its batches through its own shared pool.
+    ///
+    /// Workers claim batch indices from a shared cursor (an idle worker
+    /// steals the next pending weighting rather than owning a fixed
+    /// slice), each with a worker-local values arena; results are
+    /// scattered into their input positions, so the output is identical to
+    /// the serial batch for every worker count and pool size.
+    pub fn evaluate_batch_on<W: WeightFn + Sync>(
+        &self,
+        pool: &WorkerPool,
+        weights: &[W],
+        workers: usize,
+    ) -> Vec<Rational> {
+        let workers = workers.max(1).min(weights.len().max(1));
+        if workers == 1 {
             return self.evaluate_batch(weights);
         }
-        let chunk = weights.len().div_ceil(threads);
-        let mut out: Vec<Vec<Rational>> = Vec::new();
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = weights
-                .chunks(chunk)
-                .map(|slice| scope.spawn(move || self.evaluate_batch(slice)))
-                .collect();
-            out.extend(handles.into_iter().map(|h| h.join().expect("worker")));
+        let cursor = AtomicUsize::new(0);
+        let mut out: Vec<Option<Rational>> = vec![None; weights.len()];
+        let slots = Mutex::new(&mut out);
+        pool.broadcast(workers, |_| {
+            let mut arena = EvalArena::with_capacity(self.nodes.len());
+            let mut local: Vec<(usize, Rational)> = Vec::new();
+            loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= weights.len() {
+                    break;
+                }
+                local.push((i, self.evaluate_with(&weights[i], &mut arena)));
+            }
+            let mut slots = slots.lock().expect("batch output lock");
+            for (i, value) in local {
+                slots[i] = Some(value);
+            }
         });
-        out.into_iter().flatten().collect()
+        out.into_iter()
+            .map(|v| v.expect("every batch index evaluated"))
+            .collect()
     }
 
     /// The root gate.
@@ -483,6 +511,19 @@ mod tests {
         let batch = c.evaluate_batch(&weights);
         for (w, got) in weights.iter().zip(&batch) {
             assert_eq!(got, &wmc(&f, w));
+        }
+    }
+
+    #[test]
+    fn pooled_batch_matches_serial_batch() {
+        let f = Cnf::new([cl(&[1, 2]), cl(&[2, 3]), cl(&[3, 4]), cl(&[1, 4])]);
+        let c = Circuit::compile(&f);
+        let weights: Vec<UniformWeight> = (0..=8).map(|k| UniformWeight(r(k, 8))).collect();
+        let serial = c.evaluate_batch(&weights);
+        let pool = WorkerPool::new(2);
+        for workers in [1usize, 2, 3, 16] {
+            assert_eq!(serial, c.evaluate_batch_on(&pool, &weights, workers));
+            assert_eq!(serial, c.evaluate_batch_threads(&weights, workers));
         }
     }
 

@@ -39,7 +39,7 @@ fn show(label: &str, routed: &Routed, elapsed: std::time::Duration) {
 fn main() {
     let mut rng = StdRng::seed_from_u64(42);
     let budget = Budget::default().with_samples(20_000);
-    let mut engine = Engine::new();
+    let engine = Engine::new();
 
     // ------------------------------------------------------------------
     // 1. A safe query: the router never grounds a lineage — the lifted

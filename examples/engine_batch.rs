@@ -22,7 +22,7 @@ fn main() {
     // ------------------------------------------------------------------
     // 2. Compile once: lineage → d-DNNF-style arithmetic circuit.
     // ------------------------------------------------------------------
-    let mut engine = Engine::new();
+    let engine = Engine::new();
     let t0 = Instant::now();
     let compiled = engine.compile(&q, &tid);
     println!(
