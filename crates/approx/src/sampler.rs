@@ -78,7 +78,14 @@ fn chunk_seed(seed: u64, chunk: u64) -> u64 {
 ///
 /// Construction precomputes the term weights and their cumulative sums;
 /// each [`KarpLuby::estimate`] call is then `O(samples · (vars + scan))`
-/// with no allocation beyond one world vector.
+/// with no allocation beyond one world bitset, reused across every draw
+/// of the call (and, in the chunked plan, across every chunk a worker
+/// executes).
+///
+/// Worlds are word-packed: a sampled world is a `[u64]` bitset, one bit
+/// per variable position, and the canonical-term scan runs in whole-word
+/// AND/compare steps against per-term masks instead of per-variable
+/// `bool` loads.
 #[derive(Clone, Debug)]
 pub struct KarpLuby {
     /// Position → Bernoulli threshold on the 53-bit dyadic grid:
@@ -89,6 +96,11 @@ pub struct KarpLuby {
     /// Term → sorted positions of its variables (zero-probability terms are
     /// dropped: they hold in no world and cannot affect the canonical scan).
     terms: Vec<Vec<usize>>,
+    /// Term → sparse word masks `(word, bits)` over the packed world: term
+    /// `i` holds in `world` iff `world[word] & bits == bits` for every
+    /// entry. Positions are sorted, so entries are grouped per word and the
+    /// canonical scan touches each 64-variable window at most once.
+    term_masks: Vec<Vec<(u32, u64)>>,
     /// Cumulative term weights on the dyadic grid:
     /// `cum_thresholds[j] = ceil((Σ_{i ≤ j} Pr(T_i))·2^53 / S)`. Term
     /// selection is then a u64 binary search deciding identically to the
@@ -99,6 +111,11 @@ pub struct KarpLuby {
     /// Exact short-circuit for degenerate formulas (`⊤`, `⊥`, all terms
     /// impossible): no sampling needed.
     exact: Option<Rational>,
+}
+
+/// Words in the packed world bitset for `n` variable positions.
+fn world_words(n: usize) -> usize {
+    n.div_ceil(64)
 }
 
 impl KarpLuby {
@@ -138,13 +155,33 @@ impl KarpLuby {
             // Every term was impossible: Pr(D) = 0 exactly.
             return KarpLuby::trivial(Rational::zero());
         }
+        // Normalization hoist: `ceil((c/S)·2^53)` is computed as one integer
+        // ceiling division per term on cross-multiplied numerators — never
+        // materializing the reduced rational `c/S`, whose per-term gcd
+        // normalization used to dominate construction. Ceiling division is
+        // scale-invariant (`⌈ka/kb⌉ = ⌈a/b⌉`), so the thresholds are
+        // bit-identical to the old per-term `dyadic_threshold(c/S)` path.
+        let s_numer = total.numer().magnitude();
+        let s_denom = total.denom();
         let cum_thresholds = cum
             .iter()
-            .map(|c| dyadic_threshold(&(c / &total)))
+            .map(|c| {
+                let numer = (c.numer().magnitude() * s_denom).shl_bits(53);
+                let denom = c.denom() * s_numer;
+                let (q, r) = numer.div_rem(&denom);
+                let q = q.to_u64().expect("cum ≤ S keeps the threshold within 2^53");
+                if r.is_zero() {
+                    q
+                } else {
+                    q + 1
+                }
+            })
             .collect();
+        let term_masks = terms.iter().map(|t| word_masks(t)).collect();
         KarpLuby {
             thresholds,
             terms,
+            term_masks,
             cum_thresholds,
             total,
             exact: None,
@@ -155,6 +192,7 @@ impl KarpLuby {
         KarpLuby {
             thresholds: Vec::new(),
             terms: Vec::new(),
+            term_masks: Vec::new(),
             cum_thresholds: Vec::new(),
             total: Rational::zero(),
             exact: Some(value),
@@ -202,7 +240,7 @@ impl KarpLuby {
         assert!(samples > 0, "need at least one sample");
         assert!(samples <= i64::MAX as u64, "sample budget out of range");
         let mut hits: u64 = 0;
-        let mut world = vec![false; self.thresholds.len()];
+        let mut world = vec![0u64; world_words(self.thresholds.len())];
         for _ in 0..samples {
             if self.draw_hit(rng, &mut world) {
                 hits += 1;
@@ -264,21 +302,22 @@ impl KarpLuby {
     }
 
     /// One Karp–Luby sample: draw a term, a world conditioned on it, and
-    /// report whether the canonical indicator fired. `world` is scratch.
-    fn draw_hit<R: Rng>(&self, rng: &mut R, world: &mut [bool]) -> bool {
+    /// report whether the canonical indicator fired. `world` is scratch
+    /// (fully overwritten by the draw — no re-zeroing between samples).
+    fn draw_hit<R: Rng>(&self, rng: &mut R, world: &mut [u64]) -> bool {
         let j = self.draw_term(rng);
         self.draw_world(rng, j, world);
         self.is_canonical(j, world)
     }
 
     /// Hit count of one deterministic chunk: `n` samples from the chunk's
-    /// own seed stream (see [`SAMPLE_CHUNK`]).
-    fn chunk_hits(&self, seed: u64, chunk: u64, n: u64) -> u64 {
+    /// own seed stream (see [`SAMPLE_CHUNK`]). `world` is caller-owned
+    /// scratch, so a worker executing many chunks allocates it once.
+    fn chunk_hits(&self, seed: u64, chunk: u64, n: u64, world: &mut [u64]) -> u64 {
         let mut rng = StdRng::seed_from_u64(chunk_seed(seed, chunk));
-        let mut world = vec![false; self.thresholds.len()];
         let mut hits = 0u64;
         for _ in 0..n {
-            if self.draw_hit(&mut rng, &mut world) {
+            if self.draw_hit(&mut rng, world) {
                 hits += 1;
             }
         }
@@ -327,20 +366,24 @@ impl KarpLuby {
         let len = |c: u64| (to - c * SAMPLE_CHUNK).min(SAMPLE_CHUNK);
         let workers = workers.clamp(1, (last - first) as usize);
         if workers == 1 {
+            let mut world = vec![0u64; world_words(self.thresholds.len())];
             return (first..last)
-                .map(|c| self.chunk_hits(seed, c, len(c)))
+                .map(|c| self.chunk_hits(seed, c, len(c), &mut world))
                 .sum();
         }
         let cursor = AtomicU64::new(first);
         let hits = AtomicU64::new(0);
         pool.broadcast(workers, |_| {
+            // One world bitset per worker, reused across every chunk it
+            // claims from the cursor.
+            let mut world = vec![0u64; world_words(self.thresholds.len())];
             let mut local = 0u64;
             loop {
                 let c = cursor.fetch_add(1, Ordering::Relaxed);
                 if c >= last {
                     break;
                 }
-                local += self.chunk_hits(seed, c, len(c));
+                local += self.chunk_hits(seed, c, len(c), &mut world);
             }
             hits.fetch_add(local, Ordering::Relaxed);
         });
@@ -401,26 +444,59 @@ impl KarpLuby {
     /// Fills `world` with a sample conditioned on term `j` holding: its
     /// variables are forced true, every other variable is an independent
     /// Bernoulli draw against its exact dyadic threshold.
-    fn draw_world<R: Rng>(&self, rng: &mut R, j: usize, world: &mut [bool]) {
+    ///
+    /// The RNG consumption order is load-bearing: exactly one draw per
+    /// non-forced position, in position order, none for forced positions —
+    /// identical to the historical `Vec<bool>` walk, so seeded estimates
+    /// are unchanged by the packing. Each word is rebuilt from zero in a
+    /// register and stored once, which is what lets callers reuse the
+    /// scratch without clearing it.
+    fn draw_world<R: Rng>(&self, rng: &mut R, j: usize, world: &mut [u64]) {
+        let n = self.thresholds.len();
         let term = &self.terms[j];
         let mut next_forced = 0usize;
-        for (pos, slot) in world.iter_mut().enumerate() {
-            if next_forced < term.len() && term[next_forced] == pos {
-                *slot = true;
+        let mut word = 0u64;
+        for pos in 0..n {
+            let bit = if next_forced < term.len() && term[next_forced] == pos {
                 next_forced += 1;
+                true
             } else {
-                *slot = (rng.next_u64() >> 11) < self.thresholds[pos];
+                (rng.next_u64() >> 11) < self.thresholds[pos]
+            };
+            word |= (bit as u64) << (pos % 64);
+            if pos % 64 == 63 {
+                world[pos / 64] = word;
+                word = 0;
             }
+        }
+        if !n.is_multiple_of(64) {
+            world[n / 64] = word;
         }
     }
 
     /// True iff no earlier term also holds in `world` (term `j` holds by
-    /// construction): the coverage partition of the union space.
-    fn is_canonical(&self, j: usize, world: &[bool]) -> bool {
-        !self.terms[..j]
+    /// construction): the coverage partition of the union space. Each
+    /// earlier term is tested by whole-word mask containment.
+    fn is_canonical(&self, j: usize, world: &[u64]) -> bool {
+        !self.term_masks[..j]
             .iter()
-            .any(|t| t.iter().all(|&pos| world[pos]))
+            .any(|masks| masks.iter().all(|&(w, m)| world[w as usize] & m == m))
     }
+}
+
+/// Packs sorted variable positions into sparse `(word, bits)` masks —
+/// consecutive positions sharing a 64-bit window merge into one entry.
+fn word_masks(positions: &[usize]) -> Vec<(u32, u64)> {
+    let mut masks: Vec<(u32, u64)> = Vec::new();
+    for &pos in positions {
+        let word = (pos / 64) as u32;
+        let bit = 1u64 << (pos % 64);
+        match masks.last_mut() {
+            Some((w, m)) if *w == word => *m |= bit,
+            _ => masks.push((word, bit)),
+        }
+    }
+    masks
 }
 
 /// `ceil(p·2^53)` as a u64, for a probability `p`: the exact comparison
@@ -726,6 +802,62 @@ mod tests {
         for workers in [1usize, 2, 8] {
             assert_eq!(base, s.estimate_seeded_on(&own, 42, 2_000, 0.05, workers));
         }
+    }
+
+    #[test]
+    fn hoisted_cum_thresholds_match_per_term_division() {
+        // The cross-multiplied ceiling division must be bit-identical to
+        // the historical reduced-rational path `dyadic_threshold(c/S)` —
+        // awkward coprime weights make the gcd normalization nontrivial.
+        let d = Dnf::new([cl(&[1, 2]), cl(&[2, 3]), cl(&[3, 4]), cl(&[1, 4]), cl(&[5])]);
+        let mut w = HashMap::new();
+        w.insert(Var(1), Rational::from_ints(1, 3));
+        w.insert(Var(2), Rational::from_ints(2, 7));
+        w.insert(Var(3), Rational::from_ints(3, 5));
+        w.insert(Var(4), Rational::from_ints(5, 11));
+        w.insert(Var(5), Rational::from_ints(12, 13));
+        let kl = KarpLuby::new(&d, &w);
+        let mut total = Rational::zero();
+        let mut cum = Vec::new();
+        for i in 0..d.len() {
+            total = &total + &d.term_probability(i, &w);
+            cum.push(total.clone());
+        }
+        let old_way: Vec<u64> = cum
+            .iter()
+            .map(|c| dyadic_threshold(&(c / &total)))
+            .collect();
+        assert_eq!(kl.cum_thresholds, old_way);
+        assert_eq!(kl.union_bound(), &total);
+    }
+
+    #[test]
+    fn constructor_cost_is_linear_in_term_count() {
+        // Regression guard for the normalization hoist: growing the term
+        // count 8× must grow `KarpLuby::new` by roughly 8×, not 64×. The
+        // 48× ceiling leaves a wide noise margin while still failing any
+        // reintroduced per-term quadratic pass.
+        use std::time::Instant;
+        let build = |m: u32| Dnf::new((0..m).map(|i| cl(&[i + 1])));
+        let time = |d: &Dnf| {
+            let mut best = None;
+            for _ in 0..3 {
+                let t0 = Instant::now();
+                let kl = KarpLuby::new(d, &half());
+                let dt = t0.elapsed();
+                assert_eq!(kl.term_count(), d.len());
+                best = Some(best.map_or(dt, |b: std::time::Duration| b.min(dt)));
+            }
+            best.unwrap()
+        };
+        let small = build(1_000);
+        let large = build(8_000);
+        let t_small = time(&small).max(std::time::Duration::from_micros(200));
+        let t_large = time(&large);
+        assert!(
+            t_large < t_small * 48,
+            "constructor no longer linear: {t_small:?} for 1k terms vs {t_large:?} for 8k"
+        );
     }
 
     #[test]

@@ -1,0 +1,467 @@
+//! Outward-rounded `f64` interval arithmetic with certified comparisons.
+//!
+//! The workspace computes probabilities exactly ([`Rational`]), but exact
+//! arithmetic pays a bignum tax on every gate of every circuit evaluation.
+//! Most consumers do not need the exact value — they need a *comparison*
+//! (is the probability within a routing budget? on which side of a CI
+//! endpoint?). This module supplies the cheap first pass: an interval
+//! `[lo, hi]` of hardware doubles that is **certified** to contain the
+//! exact value, so any comparison decided by the interval is decided
+//! correctly, and only undecided comparisons fall back to exact
+//! re-evaluation.
+//!
+//! Soundness rests on two facts:
+//!
+//! * **Directed conversion.** A probability `p = n/d` is bracketed on the
+//!   dyadic grid `k/2^53`: `⌊n·2^53/d⌋ ≤ p·2^53 ≤ ⌈n·2^53/d⌉`, and both
+//!   endpoints are exactly representable (`k ≤ 2^53` fits the mantissa;
+//!   division by the power of two `2^53` is exact). No reliance on lossy
+//!   `to_f64` rounding.
+//! * **Outward rounding.** IEEE-754 round-to-nearest guarantees the true
+//!   result of `x ∘ y` lies within one ulp of the computed result, so
+//!   nudging the computed bound one ulp outward ([`f64::next_down`] /
+//!   [`f64::next_up`]) re-establishes the enclosure after every `add`,
+//!   `mul`, and `one_minus`.
+//!
+//! Comparisons return a [`Certifies`] verdict: `Proven(b)` only when the
+//! intervals (or the interval and an exact threshold) are disjoint in the
+//! deciding direction, `Unknown` otherwise — the interval layer never
+//! guesses.
+
+use crate::integer::Integer;
+use crate::natural::Natural;
+use crate::rational::Rational;
+
+/// `2^53` as an `f64` (exact).
+const TWO_POW_53: f64 = 9_007_199_254_740_992.0;
+
+/// The outcome of a comparison asked of the interval layer.
+///
+/// `Proven(b)` is a *certificate*: the enclosure mathematically implies the
+/// answer `b`. `Unknown` means the interval is too wide to decide and the
+/// caller must escalate to exact arithmetic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Certifies {
+    /// The enclosure decides the comparison: the answer is `bool`.
+    Proven(bool),
+    /// The enclosure straddles the threshold; exact fallback required.
+    Unknown,
+}
+
+impl Certifies {
+    /// True iff the comparison was decided (either way).
+    pub fn is_proven(self) -> bool {
+        matches!(self, Certifies::Proven(_))
+    }
+
+    /// The decided answer, if any.
+    pub fn proven(self) -> Option<bool> {
+        match self {
+            Certifies::Proven(b) => Some(b),
+            Certifies::Unknown => None,
+        }
+    }
+}
+
+/// A closed interval `[lo, hi]` of doubles certified to contain one exact
+/// real value.
+///
+/// Invariant: `lo ≤ hi` and both are finite for every interval produced by
+/// this module's constructors and operations on finite inputs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Interval {
+    /// Certified lower bound.
+    pub lo: f64,
+    /// Certified upper bound.
+    pub hi: f64,
+}
+
+/// One ulp downward, pinned at infinities.
+#[inline]
+fn down(x: f64) -> f64 {
+    if x.is_finite() {
+        x.next_down()
+    } else {
+        x
+    }
+}
+
+/// One ulp upward, pinned at infinities.
+#[inline]
+fn up(x: f64) -> f64 {
+    if x.is_finite() {
+        x.next_up()
+    } else {
+        x
+    }
+}
+
+/// The exact rational value of a finite double (every finite `f64` is a
+/// dyadic rational `±m·2^e`).
+fn dyadic(x: f64) -> Rational {
+    assert!(x.is_finite(), "dyadic conversion needs a finite double");
+    let bits = x.to_bits();
+    let negative = bits >> 63 == 1;
+    let biased = ((bits >> 52) & 0x7ff) as i64;
+    let frac = bits & ((1u64 << 52) - 1);
+    let (mantissa, exp) = if biased == 0 {
+        (frac, -1074i64) // subnormal (or ±0)
+    } else {
+        (frac | (1u64 << 52), biased - 1075)
+    };
+    let mag = Natural::from(mantissa);
+    let (numer, denom) = if exp >= 0 {
+        (mag.shl_bits(exp as usize), Natural::one())
+    } else {
+        (mag, Natural::one().shl_bits((-exp) as usize))
+    };
+    let mut numer = Integer::from(numer);
+    if negative {
+        numer = &numer * &Integer::neg_one();
+    }
+    Rational::new(numer, Integer::from(denom))
+}
+
+impl Interval {
+    /// The exact point `[0, 0]`.
+    pub const ZERO: Interval = Interval { lo: 0.0, hi: 0.0 };
+
+    /// The exact point `[1, 1]`.
+    pub const ONE: Interval = Interval { lo: 1.0, hi: 1.0 };
+
+    /// An interval from explicit bounds. Panics if `lo > hi` or either
+    /// bound is NaN.
+    pub fn new(lo: f64, hi: f64) -> Interval {
+        assert!(lo <= hi, "interval bounds out of order: [{lo}, {hi}]");
+        Interval { lo, hi }
+    }
+
+    /// The degenerate interval `[x, x]`.
+    pub fn point(x: f64) -> Interval {
+        assert!(!x.is_nan(), "interval point must not be NaN");
+        Interval { lo: x, hi: x }
+    }
+
+    /// Directed-rounding conversion of a probability `p ∈ [0, 1]`.
+    ///
+    /// Brackets `p` on the dyadic grid `k/2^53` by one exact integer
+    /// division: `lo = ⌊p·2^53⌋/2^53`, `hi = ⌈p·2^53⌉/2^53`. Both
+    /// endpoints are exactly representable, so the enclosure is certified
+    /// and at most one grid step (`2^-53`) wide — collapsing to a point
+    /// whenever `p` itself lies on the grid (e.g. `0`, `1`, `1/2`).
+    pub fn from_probability(p: &Rational) -> Interval {
+        assert!(p.is_probability(), "from_probability needs p in [0, 1]");
+        let scaled = p.numer().magnitude().shl_bits(53);
+        let (q, r) = scaled.div_rem(p.denom());
+        let q = q
+            .to_u64()
+            .expect("p <= 1 keeps the scaled floor within 2^53");
+        let lo = q as f64 / TWO_POW_53;
+        let hi = if r.is_zero() {
+            lo
+        } else {
+            (q + 1) as f64 / TWO_POW_53
+        };
+        Interval { lo, hi }
+    }
+
+    /// Directed-rounding conversion of an arbitrary rational.
+    ///
+    /// Probabilities take the exact dyadic-grid path of
+    /// [`Interval::from_probability`]; everything else goes through the
+    /// (lossy, Horner-accumulated) `to_f64` conversions with an outward
+    /// nudge generous enough to cover their worst-case accumulated
+    /// rounding (two ulps per limb of numerator and denominator, plus the
+    /// final division).
+    pub fn from_rational(x: &Rational) -> Interval {
+        if x.is_probability() {
+            return Interval::from_probability(x);
+        }
+        let approx = x.to_f64();
+        if !approx.is_finite() {
+            let bound = if approx > 0.0 { f64::MAX } else { f64::MIN };
+            return if approx > 0.0 {
+                Interval {
+                    lo: bound,
+                    hi: f64::INFINITY,
+                }
+            } else {
+                Interval {
+                    lo: f64::NEG_INFINITY,
+                    hi: bound,
+                }
+            };
+        }
+        let limbs = x.numer().magnitude().limbs().len() + x.denom().limbs().len();
+        let nudges = 2 * limbs + 4;
+        let (mut lo, mut hi) = (approx, approx);
+        for _ in 0..nudges {
+            lo = down(lo);
+            hi = up(hi);
+        }
+        Interval { lo, hi }
+    }
+
+    /// The exact rational endpoints of the enclosure.
+    pub fn to_rational_bounds(&self) -> (Rational, Rational) {
+        (dyadic(self.lo), dyadic(self.hi))
+    }
+
+    /// Width `hi − lo` (an upper bound on the conversion/rounding slack).
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// True iff the exact value `x` is consistent with this enclosure.
+    pub fn contains(&self, x: &Rational) -> bool {
+        let (lo, hi) = self.to_rational_bounds();
+        &lo <= x && x <= &hi
+    }
+
+    /// Certified sum: `[down(lo+lo'), up(hi+hi')]`.
+    pub fn add(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: down(self.lo + other.lo),
+            hi: up(self.hi + other.hi),
+        }
+    }
+
+    /// Certified product (general sign handling: min/max over the four
+    /// endpoint products, nudged outward).
+    pub fn mul(&self, other: &Interval) -> Interval {
+        let ll = self.lo * other.lo;
+        let lh = self.lo * other.hi;
+        let hl = self.hi * other.lo;
+        let hh = self.hi * other.hi;
+        Interval {
+            lo: down(ll.min(lh).min(hl).min(hh)),
+            hi: up(ll.max(lh).max(hl).max(hh)),
+        }
+    }
+
+    /// Certified complement `1 − x`: `[down(1−hi), up(1−lo)]`.
+    pub fn one_minus(&self) -> Interval {
+        Interval {
+            lo: down(1.0 - self.hi),
+            hi: up(1.0 - self.lo),
+        }
+    }
+
+    /// Intersects with `[0, 1]`.
+    ///
+    /// Sound only when the enclosed value is known to be a probability
+    /// (circuit gate values under probability weights are): intersecting
+    /// with a known superset tightens the enclosure without losing the
+    /// value, undoing the outward nudges' drift past the exact endpoints.
+    pub fn clamp_unit(&self) -> Interval {
+        Interval {
+            lo: self.lo.clamp(0.0, 1.0),
+            hi: self.hi.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Does the enclosed value satisfy `x < y` for `y` enclosed by
+    /// `other`? Proven only when the enclosures are disjoint.
+    pub fn proves_lt(&self, other: &Interval) -> Certifies {
+        if self.hi < other.lo {
+            Certifies::Proven(true)
+        } else if self.lo >= other.hi {
+            Certifies::Proven(false)
+        } else {
+            Certifies::Unknown
+        }
+    }
+
+    /// Does the enclosed value satisfy `x ≤ y` for `y` enclosed by `other`?
+    pub fn proves_le(&self, other: &Interval) -> Certifies {
+        if self.hi <= other.lo {
+            Certifies::Proven(true)
+        } else if self.lo > other.hi {
+            Certifies::Proven(false)
+        } else {
+            Certifies::Unknown
+        }
+    }
+
+    /// Does the enclosed value satisfy `x ≤ t` for an **exact** rational
+    /// threshold `t`? The endpoints are compared exactly (every finite
+    /// double is a dyadic rational), so the verdict is certified.
+    pub fn proves_le_rational(&self, t: &Rational) -> Certifies {
+        if &dyadic(self.hi) <= t {
+            Certifies::Proven(true)
+        } else if &dyadic(self.lo) > t {
+            Certifies::Proven(false)
+        } else {
+            Certifies::Unknown
+        }
+    }
+
+    /// Does the enclosed value satisfy `x < t` for an exact threshold `t`?
+    pub fn proves_lt_rational(&self, t: &Rational) -> Certifies {
+        if &dyadic(self.hi) < t {
+            Certifies::Proven(true)
+        } else if &dyadic(self.lo) >= t {
+            Certifies::Proven(false)
+        } else {
+            Certifies::Unknown
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::from_ints(n, d)
+    }
+
+    /// `1/2^60` — denominator far below the dyadic grid step.
+    fn tiny() -> Rational {
+        let denom = Integer::from(Natural::one().shl_bits(60));
+        Rational::new(Integer::one(), denom)
+    }
+
+    #[test]
+    fn grid_points_convert_exactly() {
+        for p in [r(0, 1), r(1, 1), r(1, 2), r(3, 4), r(1, 8)] {
+            let iv = Interval::from_probability(&p);
+            assert_eq!(iv.lo, iv.hi, "{p:?} lies on the dyadic grid");
+            assert!(iv.contains(&p));
+        }
+    }
+
+    #[test]
+    fn one_third_is_bracketed_within_one_grid_step() {
+        let p = r(1, 3);
+        let iv = Interval::from_probability(&p);
+        assert!(iv.lo < iv.hi);
+        assert!(iv.contains(&p));
+        assert!(iv.width() <= 1.0 / TWO_POW_53 + f64::EPSILON);
+        let (lo, hi) = iv.to_rational_bounds();
+        assert!(lo < p && p < hi);
+    }
+
+    #[test]
+    fn adversarially_tiny_probability_is_enclosed() {
+        let p = tiny();
+        let iv = Interval::from_probability(&p);
+        assert_eq!(iv.lo, 0.0, "floor of 2^53/2^60 is zero");
+        assert_eq!(iv.hi, 1.0 / TWO_POW_53);
+        assert!(iv.contains(&p));
+        // The enclosure cannot decide p ≤ 1/2^59 (grid too coarse)…
+        assert_eq!(
+            iv.proves_le_rational(&Rational::new(
+                Integer::one(),
+                Integer::from(Natural::one().shl_bits(59)),
+            )),
+            Certifies::Unknown
+        );
+        // …but easily decides p ≤ 1/4.
+        assert_eq!(iv.proves_le_rational(&r(1, 4)), Certifies::Proven(true));
+    }
+
+    #[test]
+    fn adversarially_near_one_probability_is_enclosed() {
+        let p = Rational::one() - tiny();
+        let iv = Interval::from_probability(&p);
+        assert!(iv.contains(&p));
+        assert_eq!(iv.hi, 1.0);
+        assert!(iv.lo < 1.0);
+        // Cannot prove p ≤ 1 − 1/2^59, can prove p ≤ 1.
+        assert_eq!(
+            iv.proves_le_rational(&(Rational::one() - &tiny() - &tiny())),
+            Certifies::Unknown
+        );
+        assert_eq!(
+            iv.proves_le_rational(&Rational::one()),
+            Certifies::Proven(true)
+        );
+    }
+
+    #[test]
+    fn dyadic_roundtrips_exactly() {
+        // Moderate magnitudes round-trip through the lossy to_f64 (which is
+        // exact when numerator and denominator each fit one limb).
+        for x in [0.0, 1.0, 0.5, 0.1, 1.0 / 3.0, 1024.0, 3.5e9] {
+            let d = dyadic(x);
+            assert_eq!(d.to_f64(), x, "{x} must round-trip");
+            assert_eq!(dyadic(-x).to_f64(), -x);
+        }
+        // Extreme magnitudes overflow to_f64's intermediate conversions, so
+        // verify exactness structurally instead: adjacent doubles map to
+        // strictly ordered rationals, and known dyadics match exactly.
+        assert_eq!(dyadic(0.5), r(1, 2));
+        assert_eq!(
+            dyadic(1.0 / TWO_POW_53),
+            Rational::new(Integer::one(), Integer::from(Natural::one().shl_bits(53)))
+        );
+        for x in [1e-300, f64::MIN_POSITIVE, 1e300] {
+            assert!(dyadic(x) > Rational::zero());
+            assert!(dyadic(x.next_up()) > dyadic(x), "{x}");
+        }
+    }
+
+    #[test]
+    fn arithmetic_preserves_enclosure() {
+        // Deterministic sweep over a grid of awkward rationals.
+        let mut probs = vec![r(1, 3), r(2, 7), r(5, 11), tiny(), Rational::one() - tiny()];
+        for k in 0..=6 {
+            probs.push(r(k, 6));
+        }
+        for a in &probs {
+            for b in &probs {
+                let ia = Interval::from_probability(a);
+                let ib = Interval::from_probability(b);
+                let sum = a + b;
+                assert!(ia.add(&ib).contains(&sum), "{a:?} + {b:?}");
+                let prod = a * b;
+                assert!(ia.mul(&ib).contains(&prod), "{a:?} * {b:?}");
+                assert!(
+                    ia.mul(&ib).clamp_unit().contains(&prod),
+                    "clamp keeps products of probabilities: {a:?} * {b:?}"
+                );
+                assert!(ia.one_minus().contains(&a.complement()), "1 - {a:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn comparisons_never_certify_a_wrong_answer() {
+        let probs = [r(1, 3), r(1, 2), r(2, 3), tiny(), Rational::one() - tiny()];
+        for a in &probs {
+            let ia = Interval::from_probability(a);
+            for t in &probs {
+                if let Certifies::Proven(ans) = ia.proves_le_rational(t) {
+                    assert_eq!(ans, a <= t, "{a:?} <= {t:?}");
+                }
+                if let Certifies::Proven(ans) = ia.proves_lt_rational(t) {
+                    assert_eq!(ans, a < t, "{a:?} < {t:?}");
+                }
+                let it = Interval::from_probability(t);
+                if let Certifies::Proven(ans) = ia.proves_lt(&it) {
+                    assert_eq!(ans, a < t, "interval {a:?} < {t:?}");
+                }
+                if let Certifies::Proven(ans) = ia.proves_le(&it) {
+                    assert_eq!(ans, a <= t, "interval {a:?} <= {t:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn certifies_accessors() {
+        assert!(Certifies::Proven(true).is_proven());
+        assert!(!Certifies::Unknown.is_proven());
+        assert_eq!(Certifies::Proven(false).proven(), Some(false));
+        assert_eq!(Certifies::Unknown.proven(), None);
+    }
+
+    #[test]
+    fn from_rational_handles_non_probabilities() {
+        for x in [r(7, 3), r(-5, 2), r(1_000_000, 7)] {
+            let iv = Interval::from_rational(&x);
+            assert!(iv.contains(&x), "{x:?}");
+        }
+    }
+}

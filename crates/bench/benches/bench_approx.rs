@@ -3,7 +3,7 @@
 //! table and wall-time scales with the *sample budget* instead of the
 //! lineage.
 //!
-//! Five series:
+//! Six series:
 //!
 //! * `sampler_scaleN/S` — Karp–Luby estimation at `S` samples on a
 //!   `N×N` unsafe block (sampling cost is linear in `S`, near-flat in the
@@ -12,6 +12,9 @@
 //!   estimate is bit-identical across rows (asserted), only wall-clock
 //!   moves, and on a multi-core host the 4-thread row should run ≥2×
 //!   faster than the 1-thread row;
+//! * `fixed_width_sampler/T` — the raw chunked hit-count loop (word-packed
+//!   world bitsets, whole-word canonical scan, no `Rational` until the
+//!   estimate) at 1/2/4 workers;
 //! * `stopping_rule/{fixed, adaptive}` — the fixed KLM budget against the
 //!   empirical-Bernstein adaptive stopper at the same (ε, δ);
 //! * `router` — `Engine::evaluate_auto` end to end, including the safety
@@ -131,6 +134,37 @@ fn bench_router_end_to_end(c: &mut Criterion) {
     });
 }
 
+/// The fixed-width per-sample loop after the bitset refactor: worlds are
+/// word-packed `u64` bitsets, the canonical-term scan is whole-word mask
+/// arithmetic, and `Rational` appears only at hit-count → estimate. Rows
+/// differ only in worker count; the chunk-seeded plan keeps every row's
+/// estimate bit-identical (asserted), so the group isolates the fixed-width
+/// draw loop's throughput and its thread scaling.
+fn bench_fixed_width_sampler(c: &mut Criterion) {
+    let (q, tid) = preset(6);
+    let sampler = lineage_sampler(&q, &tid);
+    let samples = 50_000u64;
+    let expect = sampler.karp_luby().hits_in_range(7, 0, samples, 1);
+    let mut group = c.benchmark_group("approx_fixed_width_sampler_6x6");
+    for threads in [1usize, 2, 4] {
+        assert_eq!(
+            expect,
+            sampler.karp_luby().hits_in_range(7, 0, samples, threads),
+            "hit count moved at {threads} threads"
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    criterion::black_box(sampler.karp_luby().hits_in_range(7, 0, samples, threads))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_sampler_vs_exact(c: &mut Criterion) {
     // 2×2 block: small enough that the compiled circuit is cheap — the
     // sampler should only win once lineages outgrow this regime.
@@ -156,6 +190,7 @@ criterion_group!(
     benches,
     bench_sampler_scaling,
     bench_sampler_parallel,
+    bench_fixed_width_sampler,
     bench_stopping_rule,
     bench_router_end_to_end,
     bench_sampler_vs_exact

@@ -9,9 +9,10 @@
 //! assignment with a bottom-up circuit pass.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gfomc_engine::workload::{random_block_tid, random_weightings};
+use gfomc_arith::Rational;
+use gfomc_engine::workload::{random_block_tid, random_weightings, unsafe_block_preset};
 use gfomc_engine::{Engine, TupleWeights};
-use gfomc_logic::wmc;
+use gfomc_logic::{wmc, Circuit};
 use gfomc_query::{catalog, BipartiteQuery};
 use gfomc_tid::{lineage, Tid};
 use rand::{rngs::StdRng, SeedableRng};
@@ -127,11 +128,63 @@ fn bench_engine_batch_h2(c: &mut Criterion) {
     group.finish();
 }
 
+/// The flat struct-of-arrays forward pass against the recursive tree
+/// evaluator, on the same compiled lineage (the seeded 3×3 unsafe-block
+/// preset). Both rows return the same `Rational` bit-for-bit — only the
+/// traversal differs: dense slices and packed children vs pointer-chased
+/// `Box`ed nodes.
+fn bench_flat_vs_tree(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0xA55E55);
+    let (q, tid) = unsafe_block_preset(&mut rng, 2, 3);
+    let lin = lineage(&q, &tid);
+    let tree = Circuit::compile(&lin.cnf);
+    let flat = tree.flatten();
+    let w = lin.vars.weights();
+    assert_eq!(flat.eval_exact(w), tree.evaluate(w));
+    let mut group = c.benchmark_group("flat_vs_tree_unsafe_3x3");
+    group.bench_function("flat_eval_exact", |b| b.iter(|| flat.eval_exact(w)));
+    group.bench_function("tree_evaluate", |b| b.iter(|| tree.evaluate(w)));
+    group.finish();
+}
+
+/// The interval fast path against the exact rational pass on the compiled
+/// preset: a full threshold sweep certified from f64 intervals (with exact
+/// fallback only where the interval is inconclusive) vs pricing the exact
+/// value once and comparing rationally.
+fn bench_interval_vs_exact(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0xA55E55);
+    let (q, tid) = unsafe_block_preset(&mut rng, 2, 3);
+    let compiled = Engine::new().compile(&q, &tid);
+    let thresholds: Vec<Rational> = (0..=16).map(|k| Rational::from_ints(k, 16)).collect();
+    let exact = compiled.evaluate_db();
+    for t in &thresholds {
+        assert_eq!(compiled.certify_le_db(t).0, &exact <= t);
+    }
+    let mut group = c.benchmark_group("interval_vs_exact_unsafe_3x3");
+    group.bench_function("interval_certify_sweep", |b| {
+        b.iter(|| {
+            thresholds
+                .iter()
+                .filter(|t| compiled.certify_le_db(t).0)
+                .count()
+        })
+    });
+    group.bench_function("exact_eval_sweep", |b| {
+        b.iter(|| {
+            let p = compiled.evaluate_db();
+            thresholds.iter().filter(|t| &p <= t).count()
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_engine_batch,
     bench_engine_batch_parallel,
     bench_engine_cache,
-    bench_engine_batch_h2
+    bench_engine_batch_h2,
+    bench_flat_vs_tree,
+    bench_interval_vs_exact
 );
 criterion_main!(benches);

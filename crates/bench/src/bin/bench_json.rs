@@ -9,21 +9,28 @@
 //! Every record is stamped with the git SHA it was measured at, the bench
 //! name, the repetition count behind the median, and — where relevant —
 //! the Monte-Carlo sample budget and thread count, so entries are
-//! comparable across PRs (schema `gfomc-bench-v3`). Schema v3 adds:
+//! comparable across PRs (schema `gfomc-bench-v4`). Schema v4 adds, on
+//! top of v3's per-route timings, parallel-sampler speedup, cache
+//! hit/miss counts, and adaptive-vs-fixed sample counts:
 //!
-//! * wall-clock timings **per route** (lifted / compiled-cold /
-//!   compiled-cached / sampled-fixed / sampled-adaptive);
-//! * parallel-sampler timings at 1 and 4 threads with the measured
-//!   speedup (and a bit-identity assertion between the two estimates);
-//! * compilation-cache hit/miss counts on the repeated-query workload;
-//! * adaptive-vs-fixed sample counts on the unsafe-block preset.
+//! * `per_gate_eval_ns` — the flat forward pass's exact-evaluation cost
+//!   per gate on the compiled 3×3 preset lineage;
+//! * `flat_vs_tree_speedup` — the same lineage priced by the flat
+//!   struct-of-arrays pass vs the recursive tree evaluator;
+//! * `interval_fallback_rate` — the fraction of a k/16 threshold sweep
+//!   the interval fast path could *not* certify (`Unknown` → exact
+//!   fallback) on that preset;
+//! * `host_cpus` — the machine's available parallelism, so thread-scaling
+//!   numbers can be read in context (a 1-CPU runner cannot speed up).
 //!
 //! Timings are medians of a few repetitions on whatever machine CI hands
 //! us, so they are *tracking* numbers, not statistics — the CI job must
 //! never fail on them. The `--check` flag turns on the **deterministic**
 //! perf-smoke assertions only (adaptive never exceeds the fixed budget,
 //! the repeated-query cache hit rate is nonzero, thread counts cannot
-//! move the estimate): those are machine-independent invariants, safe to
+//! move the estimate, and — new in v4 — the flat pass is bit-identical
+//! to the tree evaluator and every interval certificate agrees with the
+//! exact comparison): those are machine-independent invariants, safe to
 //! gate CI on.
 
 use gfomc_approx::{lineage_sampler, AdaptiveConfig};
@@ -32,7 +39,7 @@ use gfomc_bench::uniform_db;
 use gfomc_core::{reduce_p2cnf, OracleMode, P2Cnf};
 use gfomc_engine::workload::{random_block_tid, random_weightings, unsafe_block_preset};
 use gfomc_engine::{Budget, Engine, SampleMode, TupleWeights};
-use gfomc_logic::{wmc, Clause, Cnf, UniformWeight, Var};
+use gfomc_logic::{wmc, Circuit, Clause, Cnf, UniformWeight, Var};
 use gfomc_query::{catalog, BipartiteQuery};
 use gfomc_safety::lifted_probability;
 use gfomc_tid::{lineage, Tid};
@@ -102,7 +109,7 @@ fn main() {
     // The frozen per-PR snapshot. The default carries the current PR's id
     // and is bumped each PR (PR 2 wrote BENCH_pr2.json the same way);
     // pass `--snapshot <path>` to pin it explicitly.
-    let mut snapshot_path = "BENCH_pr5.json".to_string();
+    let mut snapshot_path = "BENCH_pr6.json".to_string();
     let mut check = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -241,6 +248,79 @@ fn main() {
         route_compiled_cached,
         None,
         None,
+    );
+
+    // ------------------------------------------------------------------
+    // The flat evaluation core on the same 3×3 preset lineage: exact
+    // forward pass vs the recursive tree evaluator (bit-identity is a
+    // `--check` invariant), per-gate cost, and the interval fast path's
+    // certification rate over a k/16 threshold sweep.
+    // ------------------------------------------------------------------
+    let clin = lineage(&cq, &ctid);
+    let tree = Circuit::compile(&clin.cnf);
+    let flat = tree.flatten();
+    let flat_exact = flat.eval_exact(clin.vars.weights());
+    let tree_exact = tree.evaluate(clin.vars.weights());
+    if flat_exact != tree_exact {
+        failures.push(format!(
+            "flat forward pass diverged from the tree evaluator: {flat_exact} vs {tree_exact}"
+        ));
+    }
+    let flat_secs = time_median(reps, || {
+        std::hint::black_box(flat.eval_exact(clin.vars.weights()));
+    });
+    record("flat_eval_exact_unsafe_3x3", flat_secs, None, None);
+    let tree_secs = time_median(reps, || {
+        std::hint::black_box(tree.evaluate(clin.vars.weights()));
+    });
+    record("tree_eval_exact_unsafe_3x3", tree_secs, None, None);
+    let per_gate_eval_ns = flat_secs * 1e9 / flat.gate_count().max(1) as f64;
+    let flat_vs_tree_speedup = if flat_secs > 0.0 {
+        tree_secs / flat_secs
+    } else {
+        0.0
+    };
+    println!(
+        "{:<44} {per_gate_eval_ns:.1}ns over {} gates",
+        "per_gate_eval_ns (flat exact pass)",
+        flat.gate_count()
+    );
+    println!(
+        "{:<44} {flat_vs_tree_speedup:.2}x",
+        "flat_vs_tree_speedup (same lineage)"
+    );
+    let compiled_preset = Engine::new().compile(&cq, &ctid);
+    let mut fallbacks = 0usize;
+    let mut sweep = 0usize;
+    let interval_secs = time_median(reps, || {
+        for k in 0..=16i64 {
+            let t = Rational::from_ints(k, 16);
+            std::hint::black_box(compiled_preset.certify_le_db(&t));
+        }
+    });
+    record(
+        "interval_certify_sweep_unsafe_3x3",
+        interval_secs,
+        None,
+        None,
+    );
+    for k in 0..=16i64 {
+        let t = Rational::from_ints(k, 16);
+        let (answer, fell_back) = compiled_preset.certify_le_db(&t);
+        sweep += 1;
+        if fell_back {
+            fallbacks += 1;
+        }
+        if answer != (flat_exact <= t) {
+            failures.push(format!(
+                "interval-certified comparison wrong at threshold {k}/16"
+            ));
+        }
+    }
+    let interval_fallback_rate = fallbacks as f64 / sweep as f64;
+    println!(
+        "{:<44} {interval_fallback_rate:.4} ({fallbacks}/{sweep} thresholds)",
+        "interval_fallback_rate (k/16 sweep)"
     );
 
     // Route 3: sampled. The refined cost bound actually proves the 5×5
@@ -427,12 +507,16 @@ fn main() {
         format!(
             concat!(
                 "{{\n",
-                "  \"schema\": \"gfomc-bench-v3\",\n",
+                "  \"schema\": \"gfomc-bench-v4\",\n",
                 "  \"unit\": \"seconds\",\n",
                 "  \"git_sha\": \"{sha}\",\n",
                 "  \"threads\": {threads},\n",
+                "  \"host_cpus\": {cpus},\n",
                 "  \"engine_speedup\": {speedup:.4},\n",
                 "  \"parallel_sampler_speedup\": {par:.4},\n",
+                "  \"per_gate_eval_ns\": {gate_ns:.2},\n",
+                "  \"flat_vs_tree_speedup\": {flat_speedup:.4},\n",
+                "  \"interval_fallback_rate\": {fallback:.4},\n",
                 "  \"cache\": {{\"hits\": {hits}, \"misses\": {misses}, \"hit_rate\": {rate:.4}}},\n",
                 "  \"adaptive\": {{\"samples\": {asamples}, \"fixed_budget\": {klm}, \"converged\": {conv}}},\n",
                 "  \"benches\": [\n{fields}\n  ]\n",
@@ -440,8 +524,12 @@ fn main() {
             ),
             sha = sha,
             threads = THREADS,
+            cpus = std::thread::available_parallelism().map_or(0, |n| n.get()),
             speedup = speedup,
             par = parallel_speedup,
+            gate_ns = per_gate_eval_ns,
+            flat_speedup = flat_vs_tree_speedup,
+            fallback = interval_fallback_rate,
             hits = cache.hits,
             misses = cache.misses,
             rate = cache.hit_rate(),
@@ -454,7 +542,7 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write bench JSON");
     println!("wrote {out_path} (sha {sha})");
     // Per-PR snapshot next to the rolling series: the perf trajectory
-    // accumulates one frozen schema-v3 file per PR, and CI uploads both
+    // accumulates one frozen schema-v4 file per PR, and CI uploads both
     // as artifacts.
     if out_path != snapshot_path {
         std::fs::write(&snapshot_path, &json).expect("write bench snapshot");

@@ -147,11 +147,14 @@ pub fn mobius_formula_probability(
                 .collect()
         })
         .collect();
+    // All cells are compiled; flatten the frozen pool once so the (u, v)
+    // sweep below prices every cell through the dense forward loop.
+    let flat = compiler.finish_flat();
     let mut valuations: HashMap<(u32, u32), Valuation> = HashMap::new();
     for u in 0..nu {
         for v in 0..nv {
             let w = WeightsFromFn(|var: Var| prob(var.0, u, v));
-            valuations.insert((u, v), compiler.evaluate_all(&w));
+            valuations.insert((u, v), flat.evaluate_all(&w));
         }
     }
     let y = |u: u32, v: u32, ai: usize, bi: usize| -> Rational {

@@ -50,8 +50,8 @@ pub mod workload;
 
 pub use router::{AutoResult, Budget, Route, RouteCounts, Routed, SampleMode};
 
-use gfomc_arith::Rational;
-use gfomc_logic::{Circuit, Cnf, CnfId, CnfInterner, EvalArena, WeightsFromFn};
+use gfomc_arith::{Interval, Rational};
+use gfomc_logic::{Circuit, Cnf, CnfId, CnfInterner, EvalArena, FlatCircuit, WeightsFromFn};
 use gfomc_pool::WorkerPool;
 use gfomc_query::BipartiteQuery;
 use gfomc_tid::{lineage, Lineage, Tid, Tuple, VarTable};
@@ -99,14 +99,20 @@ impl CacheStats {
 }
 
 /// One resident circuit of a cache shard.
+///
+/// Residents are kept in flat struct-of-arrays form ([`FlatCircuit`]):
+/// smaller per-entry footprint than the pointer-y compile-time tree (no
+/// per-`Product` child vector), and already in the layout every
+/// evaluation path wants.
 #[derive(Debug)]
 struct CacheEntry {
-    circuit: Arc<Circuit>,
+    circuit: Arc<FlatCircuit>,
     /// Eviction priority `last-touch stamp + compile cost` (see
     /// [`Engine::compile`] — higher survives longer).
     priority: u64,
-    /// Compile cost in circuit gates, the weight that keeps an expensive
-    /// circuit resident across many cheap newcomers.
+    /// Compile cost in **exact flat gate count** — the same unit
+    /// `gfomc_safety::CircuitCostEstimate` reports, so admission duels and
+    /// routing budgets speak one currency.
     cost: u64,
 }
 
@@ -285,7 +291,7 @@ impl Engine {
     /// The cache-aware compilation core: interns the canonical CNF in its
     /// shard and either returns the resident circuit or compiles, admits,
     /// and possibly evicts under the cost-aware policy.
-    fn compile_cnf(&self, cnf: &Cnf) -> Arc<Circuit> {
+    fn compile_cnf(&self, cnf: &Cnf) -> Arc<FlatCircuit> {
         if self.cache_capacity == 0 {
             self.cache_misses.fetch_add(1, Ordering::Relaxed);
             return self.compile_fresh(cnf);
@@ -304,7 +310,7 @@ impl Engine {
         // it, and callers of distinct lineages collide only when their
         // hashes share a shard.
         let circuit = self.compile_fresh(cnf);
-        let cost = circuit.node_count() as u64;
+        let cost = circuit.gate_count() as u64;
         shard.entries.insert(
             id,
             CacheEntry {
@@ -338,12 +344,15 @@ impl Engine {
         circuit
     }
 
-    /// Uncached compilation plus instrumentation.
-    fn compile_fresh(&self, cnf: &Cnf) -> Arc<Circuit> {
-        let circuit = Circuit::compile(cnf);
+    /// Uncached compilation plus instrumentation: the Shannon/component
+    /// decomposition builds the tree form, which is immediately flattened
+    /// into the struct-of-arrays evaluation form (gate ids and counts are
+    /// preserved 1:1) and the tree is dropped.
+    fn compile_fresh(&self, cnf: &Cnf) -> Arc<FlatCircuit> {
+        let circuit = Circuit::compile(cnf).flatten();
         self.compiled.fetch_add(1, Ordering::Relaxed);
         self.nodes
-            .fetch_add(circuit.node_count(), Ordering::Relaxed);
+            .fetch_add(circuit.gate_count(), Ordering::Relaxed);
         self.decisions
             .fetch_add(circuit.decision_count(), Ordering::Relaxed);
         Arc::new(circuit)
@@ -415,8 +424,16 @@ pub fn probability(q: &BipartiteQuery, tid: &Tid) -> Rational {
     compile(q, tid).evaluate_db()
 }
 
-/// A compiled query lineage: the arithmetic circuit plus the tuple ↔
+/// A compiled query lineage: the flat arithmetic circuit plus the tuple ↔
 /// variable table of the grounding.
+///
+/// The circuit is held in struct-of-arrays form ([`FlatCircuit`]), so
+/// every evaluation is one forward loop over dense slices with weights
+/// resolved once per distinct tuple — and an interval fast path
+/// ([`Compiled::evaluate_db_interval`]) is available when a certified
+/// enclosure suffices. All `Rational`-returning methods stay bit-identical
+/// to the tree evaluator (the flat exact pass replays the same gate
+/// arithmetic).
 ///
 /// Deterministic tuples (probability 0 or 1 in the source TID) were folded
 /// away during grounding, so the circuit's variables are exactly the
@@ -426,19 +443,36 @@ pub fn probability(q: &BipartiteQuery, tid: &Tid) -> Rational {
 /// arithmetically, so no recompilation is needed.
 #[derive(Clone, Debug)]
 pub struct Compiled {
-    circuit: Arc<Circuit>,
+    circuit: Arc<FlatCircuit>,
     vars: VarTable,
 }
 
 impl Compiled {
     /// Evaluates the circuit under the database's own tuple probabilities.
     pub fn evaluate_db(&self) -> Rational {
-        self.circuit.evaluate(self.vars.weights())
+        self.circuit.eval_exact(self.vars.weights())
     }
 
     /// [`Compiled::evaluate_db`] with a caller-provided values arena.
     pub fn evaluate_db_with(&self, arena: &mut EvalArena) -> Rational {
-        self.circuit.evaluate_with(self.vars.weights(), arena)
+        self.circuit.eval_exact_with(self.vars.weights(), arena)
+    }
+
+    /// A certified interval enclosure of [`Compiled::evaluate_db`] — the
+    /// fast path for callers that only need a comparison. The exact value
+    /// is guaranteed to lie within the returned bounds.
+    pub fn evaluate_db_interval(&self) -> Interval {
+        self.circuit.eval_interval(self.vars.weights())
+    }
+
+    /// Decides `Pr ≤ t` under the database weights: interval fast path
+    /// first, escalating to exact evaluation only when the enclosure
+    /// cannot certify the comparison. Returns `(answer,
+    /// fell_back_to_exact)`; the answer always agrees with comparing
+    /// [`Compiled::evaluate_db`] against `t` exactly.
+    pub fn certify_le_db(&self, t: &Rational) -> (bool, bool) {
+        let mut arena = EvalArena::new();
+        self.circuit.le_exact(self.vars.weights(), t, &mut arena)
     }
 
     /// Evaluates the circuit under `weights`: each uncertain tuple takes
@@ -450,7 +484,8 @@ impl Compiled {
 
     /// [`Compiled::evaluate`] with a caller-provided values arena, so a
     /// loop over many weightings reuses one buffer instead of allocating a
-    /// fresh values vector per assignment.
+    /// fresh values vector per assignment. The override lookup runs once
+    /// per distinct tuple (the flat slot table), not once per gate.
     pub fn evaluate_with(&self, weights: &TupleWeights, arena: &mut EvalArena) -> Rational {
         let w = WeightsFromFn(|v| {
             weights
@@ -458,14 +493,14 @@ impl Compiled {
                 .cloned()
                 .unwrap_or_else(|| self.vars.weights()[&v].clone())
         });
-        self.circuit.evaluate_with(&w, arena)
+        self.circuit.eval_exact_with(&w, arena)
     }
 
     /// The batched form: one compiled circuit priced under every assignment
     /// in `weights`, sharing one values arena. Output order matches input
     /// order.
     pub fn evaluate_batch(&self, weights: &[TupleWeights]) -> Vec<Rational> {
-        let mut arena = EvalArena::with_capacity(self.circuit.node_count());
+        let mut arena = EvalArena::with_capacity(self.circuit.gate_count());
         weights
             .iter()
             .map(|w| self.evaluate_with(w, &mut arena))
@@ -475,7 +510,7 @@ impl Compiled {
     /// [`Compiled::evaluate_batch`] fanned across `threads` workers of the
     /// process-wide shared [`WorkerPool`] over the shared immutable
     /// circuit (delegates the fan-out to
-    /// [`Circuit::evaluate_batch_threads`]).
+    /// [`FlatCircuit::evaluate_batch_on`]).
     ///
     /// Evaluation is exact rational arithmetic, so the output is
     /// **identical** to the serial batch for every thread count.
@@ -516,8 +551,8 @@ impl Compiled {
             .collect()
     }
 
-    /// The underlying circuit.
-    pub fn circuit(&self) -> &Circuit {
+    /// The underlying flat circuit.
+    pub fn circuit(&self) -> &FlatCircuit {
         &self.circuit
     }
 
@@ -526,9 +561,10 @@ impl Compiled {
         &self.vars
     }
 
-    /// Number of circuit gates.
+    /// Number of circuit gates (flat gate count — identical to the tree
+    /// node count, and the unit of the cache-admission cost).
     pub fn node_count(&self) -> usize {
-        self.circuit.node_count()
+        self.circuit.gate_count()
     }
 }
 

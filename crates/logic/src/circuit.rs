@@ -22,7 +22,7 @@
 use crate::cnf::{Cnf, Var};
 use crate::intern::{CnfId, CnfInterner};
 use crate::wmc::WeightFn;
-use gfomc_arith::Rational;
+use gfomc_arith::{Interval, Rational};
 use gfomc_pool::WorkerPool;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -221,7 +221,7 @@ impl Compiler {
 /// (see [`Compiler::evaluate_all`]).
 #[derive(Clone, Debug)]
 pub struct Valuation {
-    values: Vec<Rational>,
+    pub(crate) values: Vec<Rational>,
 }
 
 impl Valuation {
@@ -357,17 +357,33 @@ impl Circuit {
     }
 }
 
-/// A reusable values buffer for circuit evaluation.
+/// A reusable slab of evaluation buffers shared by the tree and flat
+/// evaluators.
 ///
-/// Bottom-up evaluation needs one [`Rational`] slot per gate. Allocating
-/// that vector anew for every weight assignment dominated the batched
-/// evaluation profile; an arena created once and threaded through
-/// [`Circuit::evaluate_with`] / [`Circuit::evaluate_batch`] keeps the
-/// capacity (though not the `Rational` heap allocations themselves) across
-/// weightings.
+/// Bottom-up evaluation needs one slot per gate. Allocating those vectors
+/// anew for every weight assignment dominated the batched evaluation
+/// profile; an arena created once and threaded through
+/// [`Circuit::evaluate_with`] / [`crate::flat::FlatCircuit::eval_exact_with`]
+/// keeps the capacity across weightings. The slabs:
+///
+/// * `values` — one exact [`Rational`] per gate (tree and flat exact
+///   passes);
+/// * `intervals` — one [`Interval`] per gate (the flat interval fast
+///   path, plain `Copy` doubles, no heap traffic);
+/// * `slot_weights` / `slot_intervals` — weights resolved once per
+///   *distinct variable* of a [`crate::flat::FlatCircuit`], so the
+///   per-gate loop indexes a dense slice instead of re-querying the
+///   weight function at every leaf and decision;
+/// * `overlay` — a sparse exact overlay for
+///   [`crate::flat::FlatCircuit::eval_exact_at`], re-pricing only the
+///   gates a certification actually needs.
 #[derive(Clone, Debug, Default)]
 pub struct EvalArena {
-    values: Vec<Rational>,
+    pub(crate) values: Vec<Rational>,
+    pub(crate) intervals: Vec<Interval>,
+    pub(crate) slot_weights: Vec<Rational>,
+    pub(crate) slot_intervals: Vec<Interval>,
+    pub(crate) overlay: Vec<Option<Rational>>,
 }
 
 impl EvalArena {
@@ -380,6 +396,7 @@ impl EvalArena {
     pub fn with_capacity(nodes: usize) -> Self {
         EvalArena {
             values: Vec::with_capacity(nodes),
+            ..EvalArena::default()
         }
     }
 }

@@ -1,0 +1,555 @@
+//! Flat struct-of-arrays circuits with interval-first evaluation.
+//!
+//! The pointer-y [`Node`] tree of [`crate::circuit`] is the *compilation*
+//! representation: easy to grow, memoize, and extract. It is a poor
+//! *evaluation* representation — every `Product` owns a heap
+//! `Vec<NodeId>`, every gate visit chases it, and every leaf and decision
+//! re-queries the weight function (a hash lookup plus a `Rational` clone
+//! per gate per weighting). [`FlatCircuit`] is the evaluation form the
+//! compile-once / evaluate-many workloads of the paper's §3 block
+//! constructions deserve:
+//!
+//! * **dense `u32` ids in topological order** — gate `g`'s children all
+//!   have ids `< g`, so evaluation is one forward loop, no recursion, no
+//!   hashing;
+//! * **struct-of-arrays layout** — parallel slices `ops` / `var_slot` /
+//!   `(off, len)` spans into one packed `children` vector: no per-gate
+//!   allocation anywhere;
+//! * **a distinct-variable slot table** — weights are resolved *once per
+//!   distinct variable* into a dense slice ([`FlatCircuit::resolve_weights`]),
+//!   and the per-gate loop just indexes it;
+//! * **interval-first evaluation** — [`FlatCircuit::eval_interval_with`]
+//!   prices every gate in certified outward-rounded `f64`
+//!   ([`Interval`]) at a few nanoseconds per gate; callers that only need
+//!   a comparison consult the certified verdict ([`Certifies`]) and fall
+//!   back to the exact pass ([`FlatCircuit::eval_exact_with`], or the
+//!   per-gate [`FlatCircuit::eval_exact_at`] with its sparse overlay)
+//!   only when the enclosure cannot decide. Whenever an output
+//!   `Rational` (not just a comparison) is demanded, the exact pass runs
+//!   in full — results stay bit-identical to the tree evaluator.
+//!
+//! Exactness contract: for every circuit and every weight function,
+//! `flat.eval_exact(w) == tree.evaluate(w) == wmc_brute_force(f, w)`
+//! (`Rational` equality, i.e. bit identity in lowest terms) — enforced by
+//! `tests/flat_suite.rs` and the engine's property suites.
+
+use crate::circuit::{Circuit, Compiler, EvalArena, Node, Valuation};
+use crate::cnf::Var;
+use crate::wmc::WeightFn;
+use gfomc_arith::{Certifies, Interval, Rational};
+use gfomc_pool::WorkerPool;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Gate opcode of a [`FlatCircuit`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum Op {
+    /// The constant `0` (`⊥`).
+    False,
+    /// The constant `1` (`⊤`).
+    True,
+    /// A positive literal: value `w(v)` for the gate's slot variable.
+    Leaf,
+    /// Decomposable product of the gate's children.
+    Product,
+    /// Shannon split `w(v)·hi + (1 − w(v))·lo`; children are `[hi, lo]`.
+    Decision,
+}
+
+/// Slot sentinel for gates without a variable.
+const NO_SLOT: u32 = u32::MAX;
+
+/// A flat, topologically ordered, struct-of-arrays arithmetic circuit.
+///
+/// Produced by [`Circuit::flatten`] (single root) or
+/// [`Compiler::finish_flat`] (whole multi-rooted pool, ids preserved).
+/// Gate ids are dense `u32`s with children before parents; the layout is
+/// four parallel slices plus one packed child vector — no per-gate heap
+/// allocation:
+///
+/// ```text
+/// gate g:   ops[g]       opcode
+///           var_slot[g]  index into vars() for Leaf/Decision, unused otherwise
+///           off[g]..off[g]+len[g]   g's children inside `children`
+/// ```
+#[derive(Clone, Debug)]
+pub struct FlatCircuit {
+    ops: Vec<Op>,
+    var_slot: Vec<u32>,
+    off: Vec<u32>,
+    len: Vec<u32>,
+    children: Vec<u32>,
+    vars: Vec<Var>,
+    root: u32,
+}
+
+impl FlatCircuit {
+    fn from_pool(nodes: &[Node], root: u32) -> FlatCircuit {
+        let n = nodes.len();
+        let mut ops = Vec::with_capacity(n);
+        let mut var_slot = Vec::with_capacity(n);
+        let mut off = Vec::with_capacity(n);
+        let mut len = Vec::with_capacity(n);
+        let mut children = Vec::new();
+        let mut vars: Vec<Var> = Vec::new();
+        let mut slot_of: HashMap<Var, u32> = HashMap::new();
+        let intern = |v: Var, vars: &mut Vec<Var>, slot_of: &mut HashMap<Var, u32>| {
+            *slot_of.entry(v).or_insert_with(|| {
+                vars.push(v);
+                (vars.len() - 1) as u32
+            })
+        };
+        for node in nodes {
+            let start = children.len() as u32;
+            let (op, slot) = match node {
+                Node::False => (Op::False, NO_SLOT),
+                Node::True => (Op::True, NO_SLOT),
+                Node::Leaf(v) => (Op::Leaf, intern(*v, &mut vars, &mut slot_of)),
+                Node::Product(kids) => {
+                    children.extend(kids.iter().map(|k| k.0));
+                    (Op::Product, NO_SLOT)
+                }
+                Node::Decision { var, hi, lo } => {
+                    children.push(hi.0);
+                    children.push(lo.0);
+                    (Op::Decision, intern(*var, &mut vars, &mut slot_of))
+                }
+            };
+            ops.push(op);
+            var_slot.push(slot);
+            off.push(start);
+            len.push(children.len() as u32 - start);
+        }
+        FlatCircuit {
+            ops,
+            var_slot,
+            off,
+            len,
+            children,
+            vars,
+            root,
+        }
+    }
+
+    /// Number of gates (including the two constants) — the unit of the
+    /// engine's cache-admission cost and of
+    /// `gfomc_safety::CircuitCostEstimate`.
+    pub fn gate_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// The root gate id.
+    pub fn root(&self) -> u32 {
+        self.root
+    }
+
+    /// The opcode of a gate.
+    pub fn op(&self, gate: u32) -> Op {
+        self.ops[gate as usize]
+    }
+
+    /// The distinct variables of the circuit, in slot order.
+    pub fn vars(&self) -> &[Var] {
+        &self.vars
+    }
+
+    /// Number of Shannon-split gates.
+    pub fn decision_count(&self) -> usize {
+        self.ops.iter().filter(|o| **o == Op::Decision).count()
+    }
+
+    /// The packed children of a gate.
+    #[inline]
+    fn kids(&self, g: usize) -> &[u32] {
+        let off = self.off[g] as usize;
+        &self.children[off..off + self.len[g] as usize]
+    }
+
+    /// Resolves `w` into one exact weight per distinct variable, in slot
+    /// order — the per-weighting setup that lets the per-gate loop index a
+    /// dense slice instead of re-querying `w` at every leaf and decision.
+    pub fn resolve_weights<W: WeightFn>(&self, w: &W, out: &mut Vec<Rational>) {
+        out.clear();
+        out.reserve(self.vars.len());
+        for &v in &self.vars {
+            let p = w.weight(v);
+            assert!(p.is_probability(), "weight out of [0,1] for {v:?}");
+            out.push(p);
+        }
+    }
+
+    /// The exact forward pass: one value per gate into `values`.
+    fn eval_exact_into(&self, w: &[Rational], values: &mut Vec<Rational>) {
+        values.clear();
+        values.reserve(self.ops.len());
+        for g in 0..self.ops.len() {
+            let val = match self.ops[g] {
+                Op::True => Rational::one(),
+                Op::False => Rational::zero(),
+                Op::Leaf => w[self.var_slot[g] as usize].clone(),
+                Op::Product => {
+                    let mut acc = Rational::one();
+                    for &k in self.kids(g) {
+                        acc = &acc * &values[k as usize];
+                        if acc.is_zero() {
+                            break;
+                        }
+                    }
+                    acc
+                }
+                Op::Decision => {
+                    let p = &w[self.var_slot[g] as usize];
+                    let kids = self.kids(g);
+                    let hi = &values[kids[0] as usize];
+                    let lo = &values[kids[1] as usize];
+                    &(p * hi) + &(&p.complement() * lo)
+                }
+            };
+            values.push(val);
+        }
+    }
+
+    /// The interval forward pass: one certified enclosure per gate.
+    ///
+    /// Every gate value of a monotone circuit under probability weights is
+    /// itself a probability, so each step intersects with `[0, 1]`
+    /// ([`Interval::clamp_unit`]) to undo the outward nudges' drift.
+    fn eval_interval_into(&self, w: &[Interval], out: &mut Vec<Interval>) {
+        out.clear();
+        out.reserve(self.ops.len());
+        for g in 0..self.ops.len() {
+            let iv = match self.ops[g] {
+                Op::True => Interval::ONE,
+                Op::False => Interval::ZERO,
+                Op::Leaf => w[self.var_slot[g] as usize],
+                Op::Product => {
+                    let mut acc = Interval::ONE;
+                    for &k in self.kids(g) {
+                        acc = acc.mul(&out[k as usize]).clamp_unit();
+                    }
+                    acc
+                }
+                Op::Decision => {
+                    let p = &w[self.var_slot[g] as usize];
+                    let kids = self.kids(g);
+                    let hi = &out[kids[0] as usize];
+                    let lo = &out[kids[1] as usize];
+                    p.mul(hi).add(&p.one_minus().mul(lo)).clamp_unit()
+                }
+            };
+            out.push(iv);
+        }
+    }
+
+    /// `Pr(F, w)` exactly, reusing the arena's slabs across weightings.
+    /// Bit-identical to [`Circuit::evaluate_with`] on the tree form.
+    pub fn eval_exact_with<W: WeightFn>(&self, w: &W, arena: &mut EvalArena) -> Rational {
+        self.resolve_weights(w, &mut arena.slot_weights);
+        self.eval_exact_into(&arena.slot_weights, &mut arena.values);
+        arena.values[self.root as usize].clone()
+    }
+
+    /// `Pr(F, w)` exactly, with a throwaway arena.
+    pub fn eval_exact<W: WeightFn>(&self, w: &W) -> Rational {
+        let mut arena = EvalArena::with_capacity(self.gate_count());
+        self.eval_exact_with(w, &mut arena)
+    }
+
+    /// A certified enclosure of `Pr(F, w)` — the fast path. Converts each
+    /// distinct weight with directed rounding, then runs the interval
+    /// forward pass (plain `Copy` doubles, no heap traffic).
+    pub fn eval_interval_with<W: WeightFn>(&self, w: &W, arena: &mut EvalArena) -> Interval {
+        self.resolve_weights(w, &mut arena.slot_weights);
+        arena.slot_intervals.clear();
+        arena
+            .slot_intervals
+            .extend(arena.slot_weights.iter().map(Interval::from_probability));
+        let (slots, intervals) = (&arena.slot_intervals, &mut arena.intervals);
+        self.eval_interval_into(slots, intervals);
+        intervals[self.root as usize]
+    }
+
+    /// A certified enclosure of `Pr(F, w)`, with a throwaway arena.
+    pub fn eval_interval<W: WeightFn>(&self, w: &W) -> Interval {
+        let mut arena = EvalArena::new();
+        self.eval_interval_with(w, &mut arena)
+    }
+
+    /// Exact value of a single gate, re-pricing **only the gates reachable
+    /// from it** through the arena's sparse overlay.
+    ///
+    /// This is the per-gate fallback of interval-first evaluation: after a
+    /// fast interval pass, a caller that needs one undecided gate exactly
+    /// pays for that gate's cone, not the whole pool — and repeated calls
+    /// share the overlay, so common sub-cones are priced once. The overlay
+    /// is keyed to one (circuit, weighting) pair; callers switching either
+    /// must reset it via [`EvalArena::default`]-fresh slabs (the engine's
+    /// evaluate paths do this by construction, resolving weights first).
+    ///
+    /// `w` must be the slot-resolved weights from
+    /// [`FlatCircuit::resolve_weights`].
+    pub fn eval_exact_at(
+        &self,
+        gate: u32,
+        w: &[Rational],
+        overlay: &mut Vec<Option<Rational>>,
+    ) -> Rational {
+        if overlay.len() < self.ops.len() {
+            overlay.resize(self.ops.len(), None);
+        }
+        let mut stack: Vec<(u32, bool)> = vec![(gate, false)];
+        while let Some((g, expanded)) = stack.pop() {
+            let gi = g as usize;
+            if overlay[gi].is_some() {
+                continue;
+            }
+            if !expanded {
+                match self.ops[gi] {
+                    Op::True => overlay[gi] = Some(Rational::one()),
+                    Op::False => overlay[gi] = Some(Rational::zero()),
+                    Op::Leaf => {
+                        overlay[gi] = Some(w[self.var_slot[gi] as usize].clone());
+                    }
+                    Op::Product | Op::Decision => {
+                        stack.push((g, true));
+                        stack.extend(self.kids(gi).iter().map(|&k| (k, false)));
+                    }
+                }
+            } else {
+                let val = match self.ops[gi] {
+                    Op::Product => {
+                        let mut acc = Rational::one();
+                        for &k in self.kids(gi) {
+                            let kid = overlay[k as usize].as_ref().expect("child priced");
+                            acc = &acc * kid;
+                            if acc.is_zero() {
+                                break;
+                            }
+                        }
+                        acc
+                    }
+                    Op::Decision => {
+                        let p = &w[self.var_slot[gi] as usize];
+                        let kids = self.kids(gi);
+                        let hi = overlay[kids[0] as usize].as_ref().expect("child priced");
+                        let lo = overlay[kids[1] as usize].as_ref().expect("child priced");
+                        &(p * hi) + &(&p.complement() * lo)
+                    }
+                    _ => unreachable!("constants and leaves priced on first visit"),
+                };
+                overlay[gi] = Some(val);
+            }
+        }
+        overlay[gate as usize].clone().expect("root priced")
+    }
+
+    /// Certified verdict for `Pr(F, w) ≤ t` from the interval pass alone
+    /// — [`Certifies::Unknown`] when the enclosure straddles `t`.
+    pub fn proves_le<W: WeightFn>(&self, w: &W, t: &Rational, arena: &mut EvalArena) -> Certifies {
+        self.eval_interval_with(w, arena).proves_le_rational(t)
+    }
+
+    /// Definite answer for `Pr(F, w) ≤ t`: interval fast path first, exact
+    /// re-pricing of the root's cone only on [`Certifies::Unknown`].
+    /// Returns `(answer, fell_back_to_exact)`.
+    pub fn le_exact<W: WeightFn>(
+        &self,
+        w: &W,
+        t: &Rational,
+        arena: &mut EvalArena,
+    ) -> (bool, bool) {
+        match self.proves_le(w, t, arena) {
+            Certifies::Proven(b) => (b, false),
+            Certifies::Unknown => {
+                arena.overlay.clear();
+                let exact = self.eval_exact_at(self.root, &arena.slot_weights, &mut arena.overlay);
+                (&exact <= t, true)
+            }
+        }
+    }
+
+    /// Evaluates **every** gate exactly under `w` in one forward pass —
+    /// the flat analogue of [`Compiler::evaluate_all`] for multi-rooted
+    /// pools built by [`Compiler::finish_flat`] (ids are preserved, so
+    /// `NodeId`s returned by [`Compiler::compile`] index the result).
+    pub fn evaluate_all<W: WeightFn>(&self, w: &W) -> Valuation {
+        let mut arena = EvalArena::with_capacity(self.gate_count());
+        self.resolve_weights(w, &mut arena.slot_weights);
+        self.eval_exact_into(&arena.slot_weights, &mut arena.values);
+        Valuation {
+            values: std::mem::take(&mut arena.values),
+        }
+    }
+
+    /// Exact batch evaluation, one arena reused across the whole batch.
+    /// Output order matches input order.
+    pub fn evaluate_batch<W: WeightFn>(&self, weights: &[W]) -> Vec<Rational> {
+        let mut arena = EvalArena::with_capacity(self.gate_count());
+        weights
+            .iter()
+            .map(|w| self.eval_exact_with(w, &mut arena))
+            .collect()
+    }
+
+    /// [`FlatCircuit::evaluate_batch`] fanned across `workers` logical
+    /// workers of a [`WorkerPool`]. Workers claim batch indices from a
+    /// shared cursor, each with a worker-local arena; exact rational
+    /// arithmetic makes the output identical to the serial batch for every
+    /// worker count.
+    pub fn evaluate_batch_on<W: WeightFn + Sync>(
+        &self,
+        pool: &WorkerPool,
+        weights: &[W],
+        workers: usize,
+    ) -> Vec<Rational> {
+        let workers = workers.max(1).min(weights.len().max(1));
+        if workers == 1 {
+            return self.evaluate_batch(weights);
+        }
+        let cursor = AtomicUsize::new(0);
+        let mut out: Vec<Option<Rational>> = vec![None; weights.len()];
+        let slots = Mutex::new(&mut out);
+        pool.broadcast(workers, |_| {
+            let mut arena = EvalArena::with_capacity(self.gate_count());
+            let mut local: Vec<(usize, Rational)> = Vec::new();
+            loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= weights.len() {
+                    break;
+                }
+                local.push((i, self.eval_exact_with(&weights[i], &mut arena)));
+            }
+            let mut slots = slots.lock().expect("batch output lock");
+            for (i, value) in local {
+                slots[i] = Some(value);
+            }
+        });
+        out.into_iter()
+            .map(|v| v.expect("every batch index evaluated"))
+            .collect()
+    }
+}
+
+impl Circuit {
+    /// Flattens a self-contained circuit into its struct-of-arrays
+    /// evaluation form. Gate ids and the gate count are preserved 1:1.
+    pub fn flatten(&self) -> FlatCircuit {
+        FlatCircuit::from_pool(self.nodes(), self.root().0)
+    }
+}
+
+impl Compiler {
+    /// Flattens the compiler's entire multi-rooted pool, preserving ids —
+    /// `NodeId`s handed out by [`Compiler::compile`] remain valid gate
+    /// ids of the result (the nominal root is the last gate; use
+    /// [`FlatCircuit::evaluate_all`] and index by compile-time ids).
+    pub fn finish_flat(&self) -> FlatCircuit {
+        let root = (self.node_count() - 1) as u32;
+        FlatCircuit::from_pool(self.nodes(), root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::{Clause, Cnf};
+    use crate::wmc::UniformWeight;
+
+    fn cl(vs: &[u32]) -> Clause {
+        Clause::new(vs.iter().map(|&i| Var(i)))
+    }
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::from_ints(n, d)
+    }
+
+    #[test]
+    fn flatten_preserves_counts_and_values() {
+        let f = Cnf::new([cl(&[1, 2]), cl(&[2, 3]), cl(&[3, 4])]);
+        let tree = Circuit::compile(&f);
+        let flat = tree.flatten();
+        assert_eq!(flat.gate_count(), tree.node_count());
+        assert_eq!(flat.decision_count(), tree.decision_count());
+        assert_eq!(flat.root(), tree.root().0);
+        for k in 0..=4 {
+            let w = UniformWeight(r(k, 4));
+            assert_eq!(flat.eval_exact(&w), tree.evaluate(&w));
+        }
+    }
+
+    #[test]
+    fn interval_encloses_exact_value() {
+        let f = Cnf::new([cl(&[1, 2]), cl(&[2, 3])]);
+        let flat = Circuit::compile(&f).flatten();
+        for w in [r(1, 2), r(1, 3), r(2, 7)] {
+            let w = UniformWeight(w);
+            let exact = flat.eval_exact(&w);
+            assert!(flat.eval_interval(&w).contains(&exact));
+        }
+    }
+
+    #[test]
+    fn per_gate_fallback_matches_forward_pass() {
+        let f = Cnf::new([cl(&[1, 2]), cl(&[2, 3]), cl(&[3, 4]), cl(&[1, 4])]);
+        let flat = Circuit::compile(&f).flatten();
+        let w = UniformWeight(r(1, 3));
+        let mut arena = EvalArena::new();
+        let full = flat.eval_exact_with(&w, &mut arena);
+        let mut overlay = Vec::new();
+        let at = flat.eval_exact_at(flat.root(), &arena.slot_weights, &mut overlay);
+        assert_eq!(at, full);
+        // The overlay memoizes: re-asking is answered without re-pricing.
+        assert_eq!(
+            flat.eval_exact_at(flat.root(), &arena.slot_weights, &mut overlay),
+            full
+        );
+    }
+
+    #[test]
+    fn le_exact_decides_correctly_with_and_without_fallback() {
+        let f = Cnf::new([cl(&[1, 2]), cl(&[2, 3])]);
+        let flat = Circuit::compile(&f).flatten();
+        let w = UniformWeight(r(1, 2));
+        let exact = flat.eval_exact(&w); // 5/8
+        let mut arena = EvalArena::new();
+        // Far threshold: interval decides, no fallback.
+        let (ans, fell_back) = flat.le_exact(&w, &r(3, 4), &mut arena);
+        assert!(ans && !fell_back);
+        // Threshold equal to the value: the outward nudges widen the
+        // enclosure past it, so this exercises the exact fallback.
+        let (ans, _) = flat.le_exact(&w, &exact, &mut arena);
+        assert!(ans);
+        let (ans, _) = flat.le_exact(&w, &r(1, 2), &mut arena);
+        assert!(!ans);
+    }
+
+    #[test]
+    fn pool_flattening_preserves_compile_ids() {
+        let mut comp = Compiler::new();
+        let f = Cnf::new([cl(&[1, 2]), cl(&[2, 3])]);
+        let g = Cnf::new([cl(&[1, 2]), cl(&[2, 3]), cl(&[4])]);
+        let rf = comp.compile(&f);
+        let rg = comp.compile(&g);
+        let flat = comp.finish_flat();
+        assert_eq!(flat.gate_count(), comp.node_count());
+        let w = UniformWeight(Rational::one_half());
+        let flat_vals = flat.evaluate_all(&w);
+        let tree_vals = comp.evaluate_all(&w);
+        assert_eq!(flat_vals.value(rf), tree_vals.value(rf));
+        assert_eq!(flat_vals.value(rg), tree_vals.value(rg));
+    }
+
+    #[test]
+    fn flat_batch_matches_serial_and_parallel() {
+        let f = Cnf::new([cl(&[1, 2]), cl(&[2, 3]), cl(&[3, 4]), cl(&[1, 4])]);
+        let flat = Circuit::compile(&f).flatten();
+        let weights: Vec<UniformWeight> = (0..=8).map(|k| UniformWeight(r(k, 8))).collect();
+        let serial = flat.evaluate_batch(&weights);
+        let pool = WorkerPool::new(2);
+        for workers in [1usize, 2, 3, 16] {
+            assert_eq!(serial, flat.evaluate_batch_on(&pool, &weights, workers));
+        }
+    }
+}

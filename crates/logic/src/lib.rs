@@ -13,6 +13,9 @@
 //!   decomposition and memoization, plus brute-force ground truth;
 //! * [`circuit`] — knowledge compilation of monotone CNFs into d-DNNF-style
 //!   arithmetic circuits, for compile-once / evaluate-many workloads;
+//! * [`flat`] — the struct-of-arrays evaluation form of those circuits
+//!   ([`FlatCircuit`]): dense topologically ordered gates, packed
+//!   children, interval-first evaluation with certified exact fallback;
 //! * [`intern`] — canonical-CNF interning shared by both WMC back-ends;
 //! * [`decompose`] — the disconnection / distance / migrating-variable
 //!   analysis of Appendix B.
@@ -21,12 +24,14 @@ pub mod circuit;
 pub mod cnf;
 pub mod decompose;
 pub mod dnf;
+pub mod flat;
 pub mod intern;
 pub mod wmc;
 
 pub use circuit::{Circuit, Compiler, EvalArena, Node, NodeId, Valuation};
 pub use cnf::{Clause, Cnf, Var};
 pub use dnf::Dnf;
+pub use flat::{FlatCircuit, Op};
 pub use intern::{CnfId, CnfInterner};
 pub use wmc::{
     count_models, wmc, wmc_brute_force, ModelCounter, UniformWeight, WeightFn, WeightsFromFn,

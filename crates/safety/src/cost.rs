@@ -35,6 +35,14 @@
 //! compiler does not take the min, so such an estimate could undershoot
 //! the real cost and route an exponential compilation to the exact path —
 //! the one failure this module exists to prevent.)
+//!
+//! **Units.** Both bounds are denominated in *flat gates* — entries of the
+//! struct-of-arrays [`gfomc_logic::FlatCircuit`] the engine actually
+//! caches, one per compiled Shannon node (constants, leaves, products,
+//! decisions alike), exactly [`gfomc_logic::FlatCircuit::gate_count`].
+//! The engine's cost-aware cache admission prices entries in the same
+//! unit, so a budget passed to [`CircuitCostEstimate::within`] and a
+//! cache capacity measured in gates are directly comparable.
 
 use gfomc_logic::Cnf;
 
@@ -61,8 +69,10 @@ pub struct CircuitCostEstimate {
     pub clauses: usize,
     /// Number of variable-disjoint connected components.
     pub components: usize,
-    /// The refined bound: per-component decomposition simulated
-    /// recursively along the compiler's own branch variable
+    /// The refined bound, in flat-gate units (see the module docs): an
+    /// upper bound on [`gfomc_logic::FlatCircuit::gate_count`] of the
+    /// compiled lineage, simulated per-component recursively along the
+    /// compiler's own branch variable
     /// ([`gfomc_logic::Cnf::branching_var`] — never a min over other
     /// candidates, which would be unsound; see the module docs),
     /// saturating at 2^40 per term.
@@ -77,6 +87,14 @@ impl CircuitCostEstimate {
     /// True iff the refined estimate fits within `budget` gates.
     pub fn within(&self, budget: u64) -> bool {
         self.estimated_nodes <= budget
+    }
+
+    /// The refined bound in the unit the engine's cache admission charges:
+    /// flat gates ([`gfomc_logic::FlatCircuit::gate_count`]). An alias of
+    /// [`CircuitCostEstimate::estimated_nodes`] that names the unit at the
+    /// call site.
+    pub fn flat_gate_units(&self) -> u64 {
+        self.estimated_nodes
     }
 }
 
@@ -249,5 +267,32 @@ mod tests {
         assert_eq!(est.estimated_nodes, 4);
         assert!(est.within(4));
         assert!(!est.within(3));
+    }
+
+    #[test]
+    fn estimate_bounds_the_flat_gate_count() {
+        // The estimate is denominated in flat gates: for every non-constant
+        // formula it must dominate the gate count of the circuit the
+        // compiler actually builds — the quantity the engine cache charges.
+        // (Constants are excluded: the flat pool pre-seeds the two constant
+        // gates even when the estimate rounds them to 0 or 1.)
+        use gfomc_logic::Circuit;
+        let catalog = [
+            Cnf::new([cl(&[1, 2])]),
+            Cnf::new([cl(&[1, 2]), cl(&[3, 4])]),
+            Cnf::new((0..9).map(|i| cl(&[i, i + 1]))),
+            Cnf::new((0..5).flat_map(|i| (i + 1..5).map(move |j| cl(&[i, j])))),
+            Cnf::new([cl(&[1]), cl(&[2, 3]), cl(&[3, 4, 5])]),
+        ];
+        for f in &catalog {
+            let est = circuit_cost_estimate(f);
+            let gates = Circuit::compile(f).flatten().gate_count() as u64;
+            assert!(
+                gates <= est.estimated_nodes,
+                "{f:?}: {gates} flat gates vs estimate {}",
+                est.estimated_nodes
+            );
+            assert_eq!(est.flat_gate_units(), est.estimated_nodes);
+        }
     }
 }

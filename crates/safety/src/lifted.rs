@@ -236,7 +236,10 @@ fn conjunction_of_disjunctions(
         })
         .collect();
     // Evaluate-many: `Pr(∀ b ∈ inner: cell holds at (a,b))` factorizes over
-    // `b`, and one bottom-up pass per `b` prices *all* cells at once.
+    // `b`, and one bottom-up pass per `b` prices *all* cells at once. The
+    // pool is frozen here, so it flattens once into the struct-of-arrays
+    // form and every pass runs the dense forward loop.
+    let flat = compiler.finish_flat();
     let inner: Vec<u32> = match side {
         Side::Left => tid.right_domain().to_vec(),
         Side::Right => tid.left_domain().to_vec(),
@@ -250,7 +253,7 @@ fn conjunction_of_disjunctions(
             };
             tid.prob(&t)
         });
-        let values = compiler.evaluate_all(&weights);
+        let values = flat.evaluate_all(&weights);
         for (acc, &root) in cell_probs.iter_mut().zip(&roots) {
             if !acc.is_zero() {
                 *acc = &*acc * values.value(root);
