@@ -42,13 +42,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// how many threads executed the chunks or in which order.
 pub const SAMPLE_CHUNK: u64 = 256;
 
-/// Panics unless `0 < value < 1` — NaN included. The sampler's ε/δ
-/// parameters outside the open unit interval would otherwise flow into
-/// `ln`/`sqrt`/float-to-integer casts and silently produce NaN-derived or
-/// saturated sample budgets; every public entry point rejects them here
-/// with a message naming the offending parameter instead.
+/// Debug-asserts `0 < value < 1` — NaN included. Range checking moved to
+/// the typed `BudgetError` validation in `gfomc-engine`'s `Budget`
+/// builders (the public front door, which a network request can reach);
+/// by the time a parameter gets here it has already been validated, so
+/// this is a debug-build tripwire against new call paths that skip the
+/// builders, not a release-build gate.
 pub(crate) fn validate_unit_open(name: &str, value: f64) {
-    assert!(
+    debug_assert!(
         value > 0.0 && value < 1.0,
         "{name} must lie strictly inside (0, 1), got {value}"
     );

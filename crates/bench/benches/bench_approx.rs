@@ -114,7 +114,8 @@ fn bench_router_end_to_end(c: &mut Criterion) {
     // and draws.
     let budget = Budget::default()
         .with_max_circuit_cost(0)
-        .with_samples(1_000);
+        .with_samples(1_000)
+        .expect("positive sample budget");
     c.bench_function("approx_router/unsafe_5x5_sampled_1000s", |b| {
         b.iter(|| {
             let engine = Engine::new();

@@ -106,7 +106,12 @@ fn bench_engine_cache(c: &mut Criterion) {
     let tid = random_block_tid(&mut rng, &q, 3, 3);
     let mut group = c.benchmark_group("engine_compile_cache_h1_3x3");
     group.bench_function("cold", |b| {
-        b.iter(|| Engine::with_cache_capacity(0).compile(&q, &tid))
+        b.iter(|| {
+            Engine::builder()
+                .cache_capacity(0)
+                .build()
+                .compile(&q, &tid)
+        })
     });
     let engine = Engine::new();
     engine.compile(&q, &tid);

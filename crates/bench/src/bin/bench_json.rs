@@ -9,9 +9,19 @@
 //! Every record is stamped with the git SHA it was measured at, the bench
 //! name, the repetition count behind the median, and — where relevant —
 //! the Monte-Carlo sample budget and thread count, so entries are
-//! comparable across PRs (schema `gfomc-bench-v4`). Schema v4 adds, on
-//! top of v3's per-route timings, parallel-sampler speedup, cache
-//! hit/miss counts, and adaptive-vs-fixed sample counts:
+//! comparable across PRs (schema `gfomc-bench-v5`). Schema v5 adds the
+//! serving layer on top of v4:
+//!
+//! * `serve_rtt_us` — median microseconds for one exact `/eval` round
+//!   trip over a real loopback socket against an in-process
+//!   `gfomc-serve` server (parse + route + cache hit + serialize +
+//!   HTTP overhead);
+//! * `serve_queue` — the admission gate's counters after the serving
+//!   benches: high-water in-flight depth, admitted, rejected, and the
+//!   configured bound.
+//!
+//! Schema v4 added, on top of v3's per-route timings, parallel-sampler
+//! speedup, cache hit/miss counts, and adaptive-vs-fixed sample counts:
 //!
 //! * `per_gate_eval_ns` — the flat forward pass's exact-evaluation cost
 //!   per gate on the compiled 3×3 preset lineage;
@@ -28,22 +38,25 @@
 //! never fail on them. The `--check` flag turns on the **deterministic**
 //! perf-smoke assertions only (adaptive never exceeds the fixed budget,
 //! the repeated-query cache hit rate is nonzero, thread counts cannot
-//! move the estimate, and — new in v4 — the flat pass is bit-identical
-//! to the tree evaluator and every interval certificate agrees with the
-//! exact comparison): those are machine-independent invariants, safe to
-//! gate CI on.
+//! move the estimate, the flat pass is bit-identical to the tree
+//! evaluator, every interval certificate agrees with the exact
+//! comparison, and — new in v5 — the `/eval` wire answer is byte-for-byte
+//! the direct `evaluate_auto` answer and overload rejects explicitly):
+//! those are machine-independent invariants, safe to gate CI on.
 
 use gfomc_approx::{lineage_sampler, AdaptiveConfig};
 use gfomc_arith::Rational;
 use gfomc_bench::uniform_db;
 use gfomc_core::{reduce_p2cnf, OracleMode, P2Cnf};
 use gfomc_engine::workload::{random_block_tid, random_weightings, unsafe_block_preset};
-use gfomc_engine::{Budget, Engine, SampleMode, TupleWeights};
+use gfomc_engine::{Budget, Engine, EvalRequest, SampleMode, TupleWeights};
 use gfomc_logic::{wmc, Circuit, Clause, Cnf, UniformWeight, Var};
 use gfomc_query::{catalog, BipartiteQuery};
 use gfomc_safety::lifted_probability;
+use gfomc_serve::{Client, Connection, Server};
 use gfomc_tid::{lineage, Tid};
 use rand::{rngs::StdRng, SeedableRng};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Thread count exercised by the parallel benches.
@@ -109,7 +122,7 @@ fn main() {
     // The frozen per-PR snapshot. The default carries the current PR's id
     // and is bumped each PR (PR 2 wrote BENCH_pr2.json the same way);
     // pass `--snapshot <path>` to pin it explicitly.
-    let mut snapshot_path = "BENCH_pr6.json".to_string();
+    let mut snapshot_path = "BENCH_pr7.json".to_string();
     let mut check = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -343,7 +356,8 @@ fn main() {
     }
     let fixed_budget = Budget::default()
         .with_max_circuit_cost(0)
-        .with_samples(2_000);
+        .with_samples(2_000)
+        .expect("positive sample budget");
     let route_sampled_fixed = time_median(reps, || {
         std::hint::black_box(Engine::new().evaluate_auto(&uq, &utid, &fixed_budget));
     });
@@ -441,7 +455,9 @@ fn main() {
         repeated.push((q, tid));
     }
     let engine = Engine::new();
-    let cache_budget = Budget::default().with_mode(SampleMode::Adaptive { epsilon: 0.05 });
+    let cache_budget = Budget::default()
+        .with_mode(SampleMode::Adaptive { epsilon: 0.05 })
+        .expect("epsilon in (0, 1)");
     let repeated_secs = time_median(reps, || {
         for (q, tid) in &repeated {
             std::hint::black_box(engine.evaluate_auto(q, tid, &cache_budget));
@@ -486,6 +502,78 @@ fn main() {
         failures.push("evaluate_auto_batch differs from the serial evaluate_auto loop".to_string());
     }
 
+    // ------------------------------------------------------------------
+    // The serving layer (schema v5): one in-process server on a loopback
+    // socket. `serve_rtt_us` tracks a full exact `/eval` round trip on a
+    // cache-warm engine; the gate counters land in `serve_queue`. The
+    // `--check` invariants: the wire answer is byte-for-byte the direct
+    // `evaluate_auto` answer, and a saturated gate rejects with a 429
+    // instead of queueing.
+    // ------------------------------------------------------------------
+    let serve_engine = Arc::new(Engine::new());
+    let handle = Server::bind(Arc::clone(&serve_engine), "127.0.0.1:0")
+        .expect("bind loopback")
+        .spawn()
+        .expect("spawn server");
+    let serve_req = {
+        let mut rng = StdRng::seed_from_u64(0xA55E55);
+        let (sq, stid) = unsafe_block_preset(&mut rng, 2, 3);
+        EvalRequest::new(sq, stid)
+    };
+    let serve_body = serve_req.to_string();
+    let direct_text = serve_engine
+        .evaluate_request(&serve_req)
+        .expect("valid budget")
+        .to_string();
+    let mut conn = Connection::open(handle.addr()).expect("connect");
+    // Warm the compilation cache so the RTT tracks serving overhead, not
+    // first-compile cost.
+    let warmup = conn
+        .request("POST", "/eval", &serve_body)
+        .expect("round trip");
+    if warmup.status != 200 || warmup.body != direct_text {
+        failures.push(format!(
+            "wire answer diverged from the direct engine call: status {} body {:?} vs {:?}",
+            warmup.status, warmup.body, direct_text
+        ));
+    }
+    let serve_rtt = time_median(reps, || {
+        let resp = conn
+            .request("POST", "/eval", &serve_body)
+            .expect("round trip");
+        std::hint::black_box(resp);
+    });
+    record("serve_eval_rtt_unsafe_3x3_warm", serve_rtt, None, None);
+    let serve_rtt_us = serve_rtt * 1e6;
+    println!(
+        "{:<44} {serve_rtt_us:.1}us",
+        "serve_rtt_us (loopback /eval, cache-warm)"
+    );
+    // Overload drill: hold the gate's whole depth, then require an
+    // explicit 429 + Retry-After rather than a queued/hanging request.
+    let gate = handle.gate();
+    let permits: Vec<_> = std::iter::from_fn(|| gate.try_admit()).collect();
+    let overload = Client::new(handle.addr().to_string())
+        .post("/eval", &serve_body)
+        .expect("round trip");
+    if overload.status != 429 || overload.retry_after.is_none() {
+        failures.push(format!(
+            "saturated gate answered {} (retry_after {:?}) instead of 429 + Retry-After",
+            overload.status, overload.retry_after
+        ));
+    }
+    drop(permits);
+    let serve_queue = gate.stats();
+    println!(
+        "{:<44} high water {} / depth {}, {} admitted, {} rejected",
+        "serve_queue (admission gate)",
+        serve_queue.high_water,
+        serve_queue.max_depth,
+        serve_queue.admitted,
+        serve_queue.rejected
+    );
+    handle.stop();
+
     let json: String = {
         let fields: Vec<String> = entries
             .iter()
@@ -507,7 +595,7 @@ fn main() {
         format!(
             concat!(
                 "{{\n",
-                "  \"schema\": \"gfomc-bench-v4\",\n",
+                "  \"schema\": \"gfomc-bench-v5\",\n",
                 "  \"unit\": \"seconds\",\n",
                 "  \"git_sha\": \"{sha}\",\n",
                 "  \"threads\": {threads},\n",
@@ -519,6 +607,9 @@ fn main() {
                 "  \"interval_fallback_rate\": {fallback:.4},\n",
                 "  \"cache\": {{\"hits\": {hits}, \"misses\": {misses}, \"hit_rate\": {rate:.4}}},\n",
                 "  \"adaptive\": {{\"samples\": {asamples}, \"fixed_budget\": {klm}, \"converged\": {conv}}},\n",
+                "  \"serve_rtt_us\": {rtt_us:.2},\n",
+                "  \"serve_queue\": {{\"high_water\": {qhigh}, \"max_depth\": {qmax}, ",
+                "\"admitted\": {qadm}, \"rejected\": {qrej}}},\n",
                 "  \"benches\": [\n{fields}\n  ]\n",
                 "}}\n"
             ),
@@ -536,13 +627,18 @@ fn main() {
             asamples = adaptive.estimate.samples,
             klm = klm_budget,
             conv = adaptive.converged,
+            rtt_us = serve_rtt_us,
+            qhigh = serve_queue.high_water,
+            qmax = serve_queue.max_depth,
+            qadm = serve_queue.admitted,
+            qrej = serve_queue.rejected,
             fields = fields.join(",\n")
         )
     };
     std::fs::write(&out_path, &json).expect("write bench JSON");
     println!("wrote {out_path} (sha {sha})");
     // Per-PR snapshot next to the rolling series: the perf trajectory
-    // accumulates one frozen schema-v4 file per PR, and CI uploads both
+    // accumulates one frozen schema-v5 file per PR, and CI uploads both
     // as artifacts.
     if out_path != snapshot_path {
         std::fs::write(&snapshot_path, &json).expect("write bench snapshot");

@@ -1,0 +1,11 @@
+//! `gfomc-cli` — thin binary over [`gfomc_cli::run`]; see the library
+//! docs for the subcommand reference.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout();
+    let code = gfomc_cli::run(&args, &mut gfomc_cli::stdin_body, &mut stdout);
+    ExitCode::from(code.clamp(0, u8::MAX as i32) as u8)
+}

@@ -1,0 +1,240 @@
+//! # gfomc-cli
+//!
+//! Command-line client for the gfomc service. Five subcommands:
+//!
+//! * `submit` — POST an [`EvalRequest`] body to `/eval` and print the
+//!   [`Routed`] response text;
+//! * `status` / `routes` / `cache` — print the matching GET endpoint's
+//!   counters verbatim;
+//! * `check` — submit a body over the wire **and** route the same request
+//!   through a direct in-process [`Engine`], then assert the two answers
+//!   are bit-identical. This is the end-to-end determinism drill the CI
+//!   smoke job runs: if the wire format, the server, or the engine ever
+//!   disagree byte-for-byte, `check` exits non-zero.
+//!
+//! The library entry point [`run`] takes its arguments, an input-body
+//! source, and an output sink explicitly, so the test suite can drive
+//! every subcommand without a subprocess; the binary is a thin wrapper.
+
+use gfomc_engine::{Engine, EvalRequest, Routed};
+use gfomc_serve::Client;
+use std::io::{self, Read, Write};
+
+/// Exit code vocabulary: success.
+pub const EXIT_OK: i32 = 0;
+/// Exit code vocabulary: usage or transport failure.
+pub const EXIT_USAGE: i32 = 1;
+/// Exit code vocabulary: the server answered with a non-200 status.
+pub const EXIT_SERVER: i32 = 2;
+/// Exit code vocabulary: `check` found a wire/direct answer mismatch.
+pub const EXIT_MISMATCH: i32 = 3;
+
+const USAGE: &str = "usage: gfomc-cli <submit|status|routes|cache|check> \
+                     [--addr HOST:PORT] [--file PATH]\n\
+                     submit/check read the request body from --file or stdin";
+
+/// Where a request body comes from: `--file PATH`, or the caller's stdin
+/// closure (the binary reads real stdin; tests inject a string).
+fn request_body(
+    file: &Option<String>,
+    stdin: &mut dyn FnMut() -> io::Result<String>,
+) -> io::Result<String> {
+    match file {
+        Some(path) => std::fs::read_to_string(path),
+        None => stdin(),
+    }
+}
+
+/// Runs one CLI invocation. `args` excludes the program name; `stdin`
+/// supplies the request body when no `--file` is given; all output
+/// (results and errors) goes to `out`. Returns the process exit code.
+pub fn run(
+    args: &[String],
+    stdin: &mut dyn FnMut() -> io::Result<String>,
+    out: &mut dyn Write,
+) -> i32 {
+    match run_inner(args, stdin, out) {
+        Ok(code) => code,
+        Err(e) => {
+            let _ = writeln!(out, "gfomc-cli: {e}");
+            EXIT_USAGE
+        }
+    }
+}
+
+fn run_inner(
+    args: &[String],
+    stdin: &mut dyn FnMut() -> io::Result<String>,
+    out: &mut dyn Write,
+) -> io::Result<i32> {
+    let Some(command) = args.first() else {
+        writeln!(out, "{USAGE}")?;
+        return Ok(EXIT_USAGE);
+    };
+    let mut addr = "127.0.0.1:7070".to_string();
+    let mut file: Option<String> = None;
+    let mut rest = args[1..].iter();
+    while let Some(flag) = rest.next() {
+        match flag.as_str() {
+            "--addr" => match rest.next() {
+                Some(v) => addr = v.clone(),
+                None => {
+                    writeln!(out, "gfomc-cli: --addr needs a value")?;
+                    return Ok(EXIT_USAGE);
+                }
+            },
+            "--file" => match rest.next() {
+                Some(v) => file = Some(v.clone()),
+                None => {
+                    writeln!(out, "gfomc-cli: --file needs a value")?;
+                    return Ok(EXIT_USAGE);
+                }
+            },
+            other => {
+                writeln!(out, "gfomc-cli: unknown flag '{other}'\n{USAGE}")?;
+                return Ok(EXIT_USAGE);
+            }
+        }
+    }
+    let client = Client::new(addr);
+    match command.as_str() {
+        "submit" => {
+            let body = request_body(&file, stdin)?;
+            submit(&client, &body, out)
+        }
+        "status" => get(&client, "/status", out),
+        "routes" => get(&client, "/routes", out),
+        "cache" => get(&client, "/cache", out),
+        "check" => {
+            let body = request_body(&file, stdin)?;
+            check(&client, &body, out)
+        }
+        other => {
+            writeln!(out, "gfomc-cli: unknown command '{other}'\n{USAGE}")?;
+            Ok(EXIT_USAGE)
+        }
+    }
+}
+
+/// `submit`: one POST to `/eval`; the response body is printed verbatim
+/// (the stable [`Routed`] text on 200, the server's error line otherwise).
+fn submit(client: &Client, body: &str, out: &mut dyn Write) -> io::Result<i32> {
+    let resp = client.post("/eval", body)?;
+    if resp.status == 200 {
+        write!(out, "{}", resp.body)?;
+        return Ok(EXIT_OK);
+    }
+    write!(out, "server error {}: {}", resp.status, resp.body)?;
+    if let Some(secs) = resp.retry_after {
+        writeln!(out, "retry after {secs}s")?;
+    }
+    Ok(EXIT_SERVER)
+}
+
+/// `status` / `routes` / `cache`: print the endpoint body verbatim.
+fn get(client: &Client, path: &str, out: &mut dyn Write) -> io::Result<i32> {
+    let resp = client.get(path)?;
+    write!(out, "{}", resp.body)?;
+    Ok(if resp.status == 200 {
+        EXIT_OK
+    } else {
+        EXIT_SERVER
+    })
+}
+
+/// `check`: the bit-identity drill. The same body is routed over the wire
+/// and through a fresh in-process [`Engine`]; seeded determinism promises
+/// the two rendered [`Routed`] records are byte-for-byte equal.
+fn check(client: &Client, body: &str, out: &mut dyn Write) -> io::Result<i32> {
+    let request: EvalRequest = match body.parse() {
+        Ok(req) => req,
+        Err(e) => {
+            writeln!(out, "request does not parse locally: {e}")?;
+            return Ok(EXIT_USAGE);
+        }
+    };
+    let resp = client.post("/eval", body)?;
+    if resp.status != 200 {
+        write!(out, "server error {}: {}", resp.status, resp.body)?;
+        return Ok(EXIT_SERVER);
+    }
+    let direct = match Engine::new().evaluate_request(&request) {
+        Ok(routed) => routed,
+        Err(e) => {
+            writeln!(out, "direct evaluation rejected the budget: {e}")?;
+            return Ok(EXIT_USAGE);
+        }
+    };
+    let direct_text = direct.to_string();
+    if resp.body != direct_text {
+        writeln!(out, "MISMATCH between wire and direct answers")?;
+        writeln!(
+            out,
+            "--- wire ---\n{}--- direct ---\n{direct_text}",
+            resp.body
+        )?;
+        return Ok(EXIT_MISMATCH);
+    }
+    // Belt and braces: the wire text must also parse back to the value.
+    match resp.body.parse::<Routed>() {
+        Ok(parsed) if parsed == direct => {
+            write!(out, "identical ({})\n{}", direct.route, resp.body)?;
+            Ok(EXIT_OK)
+        }
+        Ok(_) => {
+            writeln!(out, "MISMATCH after reparse")?;
+            Ok(EXIT_MISMATCH)
+        }
+        Err(e) => {
+            writeln!(out, "wire answer does not reparse: {e}")?;
+            Ok(EXIT_MISMATCH)
+        }
+    }
+}
+
+/// Reads all of real stdin — the binary's body source.
+pub fn stdin_body() -> io::Result<String> {
+    let mut buf = String::new();
+    io::stdin().read_to_string(&mut buf)?;
+    Ok(buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_to_string(args: &[&str], stdin: &str) -> (i32, String) {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        let body = stdin.to_string();
+        let code = run(&args, &mut || Ok(body.clone()), &mut out);
+        (code, String::from_utf8(out).unwrap())
+    }
+
+    #[test]
+    fn no_command_prints_usage() {
+        let (code, out) = run_to_string(&[], "");
+        assert_eq!(code, EXIT_USAGE);
+        assert!(out.contains("usage:"));
+    }
+
+    #[test]
+    fn unknown_command_and_flags_are_usage_errors() {
+        for args in [
+            &["frobnicate"][..],
+            &["submit", "--bogus"],
+            &["submit", "--addr"],
+        ] {
+            let (code, _) = run_to_string(args, "");
+            assert_eq!(code, EXIT_USAGE, "{args:?}");
+        }
+    }
+
+    #[test]
+    fn submit_without_server_reports_transport_error() {
+        // Port 1 on localhost is essentially never listening.
+        let (code, out) = run_to_string(&["submit", "--addr", "127.0.0.1:1"], "query x\n");
+        assert_eq!(code, EXIT_USAGE);
+        assert!(out.contains("gfomc-cli:"), "{out}");
+    }
+}

@@ -1,0 +1,117 @@
+//! Drives every `gfomc-cli` subcommand against a live in-process server,
+//! including the `check` bit-identity drill the CI smoke job relies on.
+
+use gfomc_arith::Rational;
+use gfomc_cli::{run, EXIT_OK, EXIT_SERVER, EXIT_USAGE};
+use gfomc_engine::{Budget, Engine, EvalRequest};
+use gfomc_query::catalog;
+use gfomc_serve::{Server, ServerHandle};
+use gfomc_tid::{Tid, Tuple};
+use std::sync::Arc;
+
+fn spawn(engine: Engine) -> ServerHandle {
+    Server::bind(Arc::new(engine), "127.0.0.1:0")
+        .expect("bind")
+        .spawn()
+        .expect("spawn")
+}
+
+fn cli(handle: &ServerHandle, args: &[&str], stdin: &str) -> (i32, String) {
+    let mut full: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    full.extend(["--addr".to_string(), handle.addr().to_string()]);
+    let mut out = Vec::new();
+    let body = stdin.to_string();
+    let code = run(&full, &mut || Ok(body.clone()), &mut out);
+    (code, String::from_utf8(out).unwrap())
+}
+
+/// A small unsafe instance (compiled route) with explicit probabilities.
+fn exact_request() -> EvalRequest {
+    let mut tid = Tid::all_present([0, 1], [1000]);
+    tid.set_prob(Tuple::R(0), Rational::one_half());
+    tid.set_prob(Tuple::S(0, 0, 1000), Rational::from_ints(3, 8));
+    tid.set_prob(Tuple::T(1000), Rational::one_half());
+    EvalRequest::new(catalog::h1(), tid)
+}
+
+/// The same instance forced down the sampled route by a zero circuit
+/// budget — the approx half of the smoke drill.
+fn sampled_request() -> EvalRequest {
+    exact_request().with_budget(
+        Budget::default()
+            .with_max_circuit_cost(0)
+            .with_samples(512)
+            .expect("positive sample budget")
+            .with_seed(0xD15C),
+    )
+}
+
+#[test]
+fn submit_prints_the_routed_wire_text() {
+    let handle = spawn(Engine::new());
+    let req = exact_request();
+    let (code, out) = cli(&handle, &["submit"], &req.to_string());
+    assert_eq!(code, EXIT_OK, "{out}");
+    let direct = Engine::new().evaluate_request(&req).unwrap();
+    assert_eq!(out, direct.to_string());
+    handle.stop();
+}
+
+#[test]
+fn check_asserts_bit_identity_for_exact_and_sampled_routes() {
+    let handle = spawn(Engine::new());
+    for (name, req) in [("exact", exact_request()), ("sampled", sampled_request())] {
+        let (code, out) = cli(&handle, &["check"], &req.to_string());
+        assert_eq!(code, EXIT_OK, "{name}: {out}");
+        assert!(out.starts_with("identical"), "{name}: {out}");
+    }
+    handle.stop();
+}
+
+#[test]
+fn status_routes_and_cache_print_server_counters() {
+    let handle = spawn(Engine::new());
+    let req = exact_request().with_tenant("cli-test");
+    let (code, _) = cli(&handle, &["submit"], &req.to_string());
+    assert_eq!(code, EXIT_OK);
+
+    let (code, out) = cli(&handle, &["status"], "");
+    assert_eq!(code, EXIT_OK);
+    assert!(out.contains("queue_max_depth "), "{out}");
+
+    let (code, out) = cli(&handle, &["routes"], "");
+    assert_eq!(code, EXIT_OK);
+    assert!(out.contains("tenant cli-test "), "{out}");
+
+    let (code, out) = cli(&handle, &["cache"], "");
+    assert_eq!(code, EXIT_OK);
+    assert!(out.contains("misses "), "{out}");
+    handle.stop();
+}
+
+#[test]
+fn submit_surfaces_server_rejections_as_exit_codes() {
+    // 400: malformed body.
+    let handle = spawn(Engine::new());
+    let (code, out) = cli(&handle, &["submit"], "not a request\n");
+    assert_eq!(code, EXIT_SERVER, "{out}");
+    assert!(out.contains("server error 400"), "{out}");
+    handle.stop();
+
+    // 429: zero-depth gate; the Retry-After hint reaches the user.
+    let handle = spawn(Engine::builder().max_queue_depth(0).build());
+    let (code, out) = cli(&handle, &["submit"], &exact_request().to_string());
+    assert_eq!(code, EXIT_SERVER, "{out}");
+    assert!(out.contains("server error 429"), "{out}");
+    assert!(out.contains("retry after"), "{out}");
+    handle.stop();
+}
+
+#[test]
+fn check_rejects_locally_unparseable_bodies_before_the_wire() {
+    let handle = spawn(Engine::new());
+    let (code, out) = cli(&handle, &["check"], "garbage\n");
+    assert_eq!(code, EXIT_USAGE, "{out}");
+    assert!(out.contains("does not parse locally"), "{out}");
+    handle.stop();
+}

@@ -45,10 +45,12 @@
 //! `gfomc-approx` — returning a result tagged [`AutoResult::Exact`] or
 //! [`AutoResult::Approx`] so the two regimes can never be confused.
 
+pub mod api;
 pub mod router;
 pub mod workload;
 
-pub use router::{AutoResult, Budget, Route, RouteCounts, Routed, SampleMode};
+pub use api::{EvalError, EvalRequest, EvalResponse, RequestParseError, ResponseParseError};
+pub use router::{AutoResult, Budget, BudgetError, Route, RouteCounts, Routed, SampleMode};
 
 use gfomc_arith::{Interval, Rational};
 use gfomc_logic::{Circuit, Cnf, CnfId, CnfInterner, EvalArena, FlatCircuit, WeightsFromFn};
@@ -63,6 +65,10 @@ use std::sync::{Arc, Mutex};
 
 /// Default number of compiled circuits the engine keeps hot.
 pub const DEFAULT_CACHE_CAPACITY: usize = 64;
+
+/// Default bound on concurrently admitted serving requests (the
+/// [`EngineBuilder::max_queue_depth`] knob read by `gfomc-serve`).
+pub const DEFAULT_MAX_QUEUE_DEPTH: usize = 64;
 
 /// Maximum number of independently locked cache shards (fewer when the
 /// capacity is smaller, so the `entries <= capacity` bound stays exact).
@@ -165,6 +171,11 @@ pub struct Engine {
     routes_lifted: AtomicUsize,
     routes_compiled: AtomicUsize,
     routes_sampled: AtomicUsize,
+    /// Per-tenant routing tallies, keyed by the tenant label of the
+    /// [`EvalRequest`](crate::EvalRequest) that carried the query (the
+    /// serving layer's multi-tenant accounting; empty until a labeled
+    /// request arrives).
+    tenant_routes: Mutex<HashMap<String, RouteCounts>>,
     shards: Box<[Mutex<CacheShard>]>,
     cache_capacity: usize,
     cache_stamp: AtomicU64,
@@ -172,36 +183,75 @@ pub struct Engine {
     cache_misses: AtomicUsize,
     cache_evictions: AtomicUsize,
     cache_rejections: AtomicUsize,
+    /// Serving knob carried by the engine so server, CLI, and benches all
+    /// read one source of truth: how many admitted-but-unfinished requests
+    /// a front-end may hold before it must reject explicitly.
+    max_queue_depth: usize,
     pool: Arc<WorkerPool>,
 }
 
-impl Default for Engine {
+/// The one construction path for [`Engine`]: a fluent builder covering
+/// every knob the four historical constructors spread across ad-hoc
+/// entry points, plus the serving-layer knobs introduced with
+/// `gfomc-serve`.
+///
+/// ```
+/// use gfomc_engine::Engine;
+/// use gfomc_pool::WorkerPool;
+/// use std::sync::Arc;
+///
+/// let engine = Engine::builder()
+///     .cache_capacity(16)
+///     .pool(Arc::new(WorkerPool::new(2)))
+///     .max_queue_depth(8)
+///     .build();
+/// assert_eq!(engine.cache_stats().capacity, 16);
+/// assert_eq!(engine.max_queue_depth(), 8);
+/// ```
+#[derive(Debug)]
+pub struct EngineBuilder {
+    cache_capacity: usize,
+    pool: Option<Arc<WorkerPool>>,
+    max_queue_depth: usize,
+}
+
+impl Default for EngineBuilder {
     fn default() -> Self {
-        Engine::with_cache_capacity(DEFAULT_CACHE_CAPACITY)
+        EngineBuilder {
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+            pool: None,
+            max_queue_depth: DEFAULT_MAX_QUEUE_DEPTH,
+        }
     }
 }
 
-impl Engine {
-    /// A fresh engine with zeroed statistics and the default cache size.
-    pub fn new() -> Self {
-        Engine::default()
+impl EngineBuilder {
+    /// Compilation-cache capacity in circuits (0 disables caching).
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
     }
 
-    /// An engine whose compilation cache holds up to `capacity` circuits
-    /// (0 disables caching entirely), on the process-shared worker pool.
-    pub fn with_cache_capacity(capacity: usize) -> Self {
-        Engine::with_cache_capacity_and_pool(capacity, Arc::clone(WorkerPool::global()))
+    /// A dedicated worker pool for the engine's parallel paths (sampling
+    /// rounds, batched evaluation, [`Engine::evaluate_auto_batch`]).
+    /// Defaults to the process-shared [`WorkerPool::global`].
+    pub fn pool(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.pool = Some(pool);
+        self
     }
 
-    /// An engine running its parallel paths (sampling rounds, batched
-    /// evaluation, [`Engine::evaluate_auto_batch`]) on a dedicated pool
-    /// instead of the process-shared one.
-    pub fn with_pool(pool: Arc<WorkerPool>) -> Self {
-        Engine::with_cache_capacity_and_pool(DEFAULT_CACHE_CAPACITY, pool)
+    /// Bound on concurrently admitted serving requests, read by the
+    /// `gfomc-serve` admission gate: beyond this depth a front-end must
+    /// reject explicitly (429-style) instead of queueing. 0 means "reject
+    /// everything" — useful for drain/maintenance modes and overload tests.
+    pub fn max_queue_depth(mut self, depth: usize) -> Self {
+        self.max_queue_depth = depth;
+        self
     }
 
-    /// The fully explicit constructor: cache capacity and worker pool.
-    pub fn with_cache_capacity_and_pool(capacity: usize, pool: Arc<WorkerPool>) -> Self {
+    /// Builds the engine with zeroed statistics.
+    pub fn build(self) -> Engine {
+        let capacity = self.cache_capacity;
         // A small cache stays unsharded: splitting e.g. capacity 2 into
         // two 1-slot shards would let hash-colliding hot lineages thrash
         // a shard while the other sits empty — strictly worse than one
@@ -230,6 +280,7 @@ impl Engine {
             routes_lifted: AtomicUsize::new(0),
             routes_compiled: AtomicUsize::new(0),
             routes_sampled: AtomicUsize::new(0),
+            tenant_routes: Mutex::new(HashMap::new()),
             shards,
             cache_capacity: capacity,
             cache_stamp: AtomicU64::new(0),
@@ -237,13 +288,71 @@ impl Engine {
             cache_misses: AtomicUsize::new(0),
             cache_evictions: AtomicUsize::new(0),
             cache_rejections: AtomicUsize::new(0),
-            pool,
+            max_queue_depth: self.max_queue_depth,
+            pool: self
+                .pool
+                .unwrap_or_else(|| Arc::clone(WorkerPool::global())),
         }
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::builder().build()
+    }
+}
+
+impl Engine {
+    /// A fresh engine with zeroed statistics and every knob at its
+    /// default — the trivial case of [`Engine::builder`].
+    pub fn new() -> Self {
+        Engine::default()
+    }
+
+    /// The configuration entry point: see [`EngineBuilder`].
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// An engine whose compilation cache holds up to `capacity` circuits
+    /// (0 disables caching entirely), on the process-shared worker pool.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Engine::builder().cache_capacity(capacity).build()"
+    )]
+    pub fn with_cache_capacity(capacity: usize) -> Self {
+        Engine::builder().cache_capacity(capacity).build()
+    }
+
+    /// An engine running its parallel paths (sampling rounds, batched
+    /// evaluation, [`Engine::evaluate_auto_batch`]) on a dedicated pool
+    /// instead of the process-shared one.
+    #[deprecated(since = "0.1.0", note = "use Engine::builder().pool(pool).build()")]
+    pub fn with_pool(pool: Arc<WorkerPool>) -> Self {
+        Engine::builder().pool(pool).build()
+    }
+
+    /// The fully explicit constructor: cache capacity and worker pool.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Engine::builder().cache_capacity(capacity).pool(pool).build()"
+    )]
+    pub fn with_cache_capacity_and_pool(capacity: usize, pool: Arc<WorkerPool>) -> Self {
+        Engine::builder()
+            .cache_capacity(capacity)
+            .pool(pool)
+            .build()
     }
 
     /// The worker pool this engine fans its parallel work across.
     pub fn pool(&self) -> &Arc<WorkerPool> {
         &self.pool
+    }
+
+    /// The serving-layer admission bound this engine was built with (see
+    /// [`EngineBuilder::max_queue_depth`]).
+    pub fn max_queue_depth(&self) -> usize {
+        self.max_queue_depth
     }
 
     /// Grounds `q` over `tid` and compiles the lineage into a circuit —
@@ -410,6 +519,38 @@ impl Engine {
             compiled: self.routes_compiled.load(Ordering::Relaxed),
             sampled: self.routes_sampled.load(Ordering::Relaxed),
         }
+    }
+
+    /// Bumps the routing tally of one tenant — called by
+    /// [`Engine::evaluate_request`](crate::api) for requests that carry a
+    /// tenant label. Tenants are created on first use.
+    pub(crate) fn count_tenant_route(&self, tenant: &str, route: router::Route) {
+        let mut map = self
+            .tenant_routes
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let counts = map.entry(tenant.to_string()).or_default();
+        match route {
+            router::Route::Lifted => counts.lifted += 1,
+            router::Route::Compiled => counts.compiled += 1,
+            router::Route::Sampled => counts.sampled += 1,
+        }
+    }
+
+    /// Per-tenant routing tallies, sorted by tenant label — the
+    /// multi-tenant half of [`Engine::route_counts`]. Only requests routed
+    /// through [`Engine::evaluate_request`](crate::api) with a tenant label
+    /// are counted here; anonymous traffic appears in the global tallies
+    /// only.
+    pub fn tenant_route_counts(&self) -> Vec<(String, RouteCounts)> {
+        let map = self
+            .tenant_routes
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut out: Vec<(String, RouteCounts)> =
+            map.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
     }
 }
 
@@ -747,7 +888,7 @@ mod tests {
         let q = catalog::h1();
         let big = uniform_tid(&q, 3, 3);
         let small = uniform_tid(&q, 1, 1);
-        let engine = Engine::with_cache_capacity(1);
+        let engine = Engine::builder().cache_capacity(1).build();
         let big_compiled = engine.compile(&q, &big);
         let small_compiled = engine.compile(&q, &small);
         assert!(

@@ -49,6 +49,51 @@ thread_local! {
     static ROUTE_ARENA: RefCell<EvalArena> = RefCell::new(EvalArena::new());
 }
 
+/// A [`Budget`] parameter rejected at construction — the typed form of
+/// what used to be a panic deep inside the sampler.
+///
+/// ε and δ feed `ln`/`sqrt`/float-to-integer casts in the Karp–Luby budget
+/// arithmetic; outside the open unit interval (NaN included) they would
+/// silently produce NaN-derived or saturated sample counts. Validation now
+/// happens **once**, at [`Budget`] construction (and again in
+/// [`Budget::validate`] for struct-literal escapes), so the serving layer
+/// can turn a bad request into a 400-style response instead of a crashed
+/// worker; the sampler's own checks are demoted to debug assertions.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum BudgetError {
+    /// `δ` outside the open unit interval `(0, 1)`.
+    Delta(f64),
+    /// An adaptive-mode `ε` outside the open unit interval `(0, 1)`.
+    Epsilon(f64),
+    /// A fixed-mode sample budget of zero.
+    ZeroSamples,
+}
+
+impl std::fmt::Display for BudgetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BudgetError::Delta(v) => {
+                write!(f, "delta must lie strictly inside (0, 1), got {v}")
+            }
+            BudgetError::Epsilon(v) => {
+                write!(f, "epsilon must lie strictly inside (0, 1), got {v}")
+            }
+            BudgetError::ZeroSamples => write!(f, "fixed sample budget must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for BudgetError {}
+
+/// `Ok(value)` iff `value` lies strictly inside `(0, 1)` (NaN rejected).
+fn unit_open(value: f64, err: fn(f64) -> BudgetError) -> Result<f64, BudgetError> {
+    if value > 0.0 && value < 1.0 {
+        Ok(value)
+    } else {
+        Err(err(value))
+    }
+}
+
 /// How the sampler spends its budget on the [`Route::Sampled`] path.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum SampleMode {
@@ -111,17 +156,23 @@ impl Budget {
 
     /// Builder-style override of the fixed-mode sample count (also
     /// switches to [`SampleMode::Fixed`], which is the only mode that
-    /// reads it).
-    pub fn with_samples(mut self, samples: u64) -> Self {
+    /// reads it). A zero budget is rejected as
+    /// [`BudgetError::ZeroSamples`].
+    pub fn with_samples(mut self, samples: u64) -> Result<Self, BudgetError> {
+        if samples == 0 {
+            return Err(BudgetError::ZeroSamples);
+        }
         self.samples = samples;
         self.mode = SampleMode::Fixed;
-        self
+        Ok(self)
     }
 
-    /// Builder-style override of the CI failure probability.
-    pub fn with_delta(mut self, delta: f64) -> Self {
-        self.delta = delta;
-        self
+    /// Builder-style override of the CI failure probability. Values
+    /// outside the open unit interval (NaN included) are rejected with a
+    /// typed [`BudgetError`] instead of panicking later in the sampler.
+    pub fn with_delta(mut self, delta: f64) -> Result<Self, BudgetError> {
+        self.delta = unit_open(delta, BudgetError::Delta)?;
+        Ok(self)
     }
 
     /// Builder-style override of the sampler seed.
@@ -130,16 +181,37 @@ impl Budget {
         self
     }
 
-    /// Builder-style override of the sampling stopping rule.
-    pub fn with_mode(mut self, mode: SampleMode) -> Self {
+    /// Builder-style override of the sampling stopping rule. An adaptive
+    /// `ε` outside the open unit interval is rejected with a typed
+    /// [`BudgetError`].
+    pub fn with_mode(mut self, mode: SampleMode) -> Result<Self, BudgetError> {
+        if let SampleMode::Adaptive { epsilon } = mode {
+            unit_open(epsilon, BudgetError::Epsilon)?;
+        }
         self.mode = mode;
-        self
+        Ok(self)
     }
 
     /// Builder-style override of the sampled-path thread count.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
+    }
+
+    /// Re-checks every validated invariant — the struct-literal escape
+    /// hatch. A `Budget` built through the `with_*` builders always
+    /// passes; one assembled field-by-field may not, and the router
+    /// ([`Engine::try_evaluate_auto`]) rejects it here with the same typed
+    /// error the builders return.
+    pub fn validate(&self) -> Result<(), BudgetError> {
+        unit_open(self.delta, BudgetError::Delta)?;
+        match self.mode {
+            SampleMode::Fixed if self.samples == 0 => Err(BudgetError::ZeroSamples),
+            SampleMode::Adaptive { epsilon } => {
+                unit_open(epsilon, BudgetError::Epsilon).map(|_| ())
+            }
+            _ => Ok(()),
+        }
     }
 }
 
@@ -238,6 +310,29 @@ impl Engine {
     /// runs for a fixed `budget.seed`. Takes `&self`: any number of
     /// threads may route queries through one shared engine concurrently.
     pub fn evaluate_auto(&self, q: &BipartiteQuery, tid: &Tid, budget: &Budget) -> Routed {
+        self.try_evaluate_auto(q, tid, budget)
+            .unwrap_or_else(|e| panic!("invalid budget: {e}"))
+    }
+
+    /// The fallible form of [`Engine::evaluate_auto`]: a malformed
+    /// [`Budget`] (assembled as a struct literal, or deserialized from
+    /// the wire) comes back as a typed [`BudgetError`] instead of a panic
+    /// — the contract the serving layer needs to answer 400 instead of
+    /// killing a worker thread. A budget that passes
+    /// [`Budget::validate`] always takes the `Ok` path, bit-identical to
+    /// [`Engine::evaluate_auto`].
+    pub fn try_evaluate_auto(
+        &self,
+        q: &BipartiteQuery,
+        tid: &Tid,
+        budget: &Budget,
+    ) -> Result<Routed, BudgetError> {
+        budget.validate()?;
+        Ok(self.evaluate_auto_validated(q, tid, budget))
+    }
+
+    /// The routing core, entered only with a validated budget.
+    fn evaluate_auto_validated(&self, q: &BipartiteQuery, tid: &Tid, budget: &Budget) -> Routed {
         // Normalize at the point of use: a `Budget` built as a struct
         // literal can carry `threads: 0` past the `with_threads` clamp,
         // and a zero must never reach the pool fan-out.
@@ -303,12 +398,25 @@ impl Engine {
         queries: &[(BipartiteQuery, Tid)],
         budget: &Budget,
     ) -> Vec<Routed> {
+        self.try_evaluate_auto_batch(queries, budget)
+            .unwrap_or_else(|e| panic!("invalid budget: {e}"))
+    }
+
+    /// The fallible form of [`Engine::evaluate_auto_batch`]: the budget is
+    /// validated once, up front, so a malformed one rejects the whole
+    /// batch before any work is fanned out.
+    pub fn try_evaluate_auto_batch(
+        &self,
+        queries: &[(BipartiteQuery, Tid)],
+        budget: &Budget,
+    ) -> Result<Vec<Routed>, BudgetError> {
+        budget.validate()?;
         let workers = budget.threads.max(1).min(queries.len().max(1));
         if workers <= 1 {
-            return queries
+            return Ok(queries
                 .iter()
-                .map(|(q, tid)| self.evaluate_auto(q, tid, budget))
-                .collect();
+                .map(|(q, tid)| self.evaluate_auto_validated(q, tid, budget))
+                .collect());
         }
         // Queries are the unit of parallelism here, so each one samples
         // serially — oversubscribing the pool with nested fan-out buys
@@ -333,7 +441,7 @@ impl Engine {
                             break;
                         }
                         let (q, tid) = &queries[i];
-                        local.push((i, self.evaluate_auto(q, tid, per_query)));
+                        local.push((i, self.evaluate_auto_validated(q, tid, per_query)));
                     }
                     let mut slots = slots.lock().expect("batch output lock");
                     for (i, routed) in local {
@@ -342,9 +450,10 @@ impl Engine {
                 });
             }
         });
-        out.into_iter()
+        Ok(out
+            .into_iter()
             .map(|r| r.expect("every query routed"))
-            .collect()
+            .collect())
     }
 }
 
@@ -397,7 +506,8 @@ mod tests {
         let tid = random_block_tid(&mut rng, &q, 2, 2);
         let budget = Budget::default()
             .with_max_circuit_cost(0)
-            .with_samples(2_000);
+            .with_samples(2_000)
+            .expect("positive sample budget");
         let engine = Engine::new();
         let routed = engine.evaluate_auto(&q, &tid, &budget);
         assert_eq!(routed.route, Route::Sampled);
@@ -419,6 +529,59 @@ mod tests {
         // A different seed (almost surely) moves the estimate.
         let moved = Engine::new().evaluate_auto(&q, &tid, &budget.clone().with_seed(1234));
         assert_ne!(routed, moved);
+    }
+
+    #[test]
+    fn budget_builders_reject_out_of_range_parameters() {
+        for bad in [0.0, 1.0, -0.5, 2.0, f64::NAN] {
+            assert!(matches!(
+                Budget::default().with_delta(bad),
+                Err(BudgetError::Delta(_))
+            ));
+            assert!(matches!(
+                Budget::default().with_mode(SampleMode::Adaptive { epsilon: bad }),
+                Err(BudgetError::Epsilon(_))
+            ));
+        }
+        assert_eq!(
+            Budget::default().with_samples(0),
+            Err(BudgetError::ZeroSamples)
+        );
+        let ok = Budget::default()
+            .with_delta(0.01)
+            .and_then(|b| b.with_mode(SampleMode::Adaptive { epsilon: 0.25 }))
+            .unwrap();
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn router_propagates_typed_budget_errors() {
+        // A struct literal smuggles an invalid δ past the builders; the
+        // fallible router reports it instead of panicking, whatever route
+        // the query would have taken.
+        let engine = Engine::new();
+        let bad = Budget {
+            delta: f64::NAN,
+            ..Budget::default()
+        };
+        let q = catalog::h1();
+        let mut rng = StdRng::seed_from_u64(9);
+        let tid = random_block_tid(&mut rng, &q, 2, 2);
+        assert!(matches!(
+            engine.try_evaluate_auto(&q, &tid, &bad),
+            Err(BudgetError::Delta(_))
+        ));
+        assert!(matches!(
+            engine.try_evaluate_auto_batch(std::slice::from_ref(&(q.clone(), tid.clone())), &bad),
+            Err(BudgetError::Delta(_))
+        ));
+        // The valid default budget agrees bit-for-bit with the infallible
+        // entry point.
+        let ok = Budget::default();
+        assert_eq!(
+            engine.try_evaluate_auto(&q, &tid, &ok).unwrap(),
+            engine.evaluate_auto(&q, &tid, &ok)
+        );
     }
 
     #[test]

@@ -59,6 +59,7 @@ proptest! {
         let budget = Budget::default()
             .with_max_circuit_cost(0)
             .with_samples(1_500)
+            .expect("positive sample budget")
             .with_seed(seed ^ 0xD1CE);
         let routed = Engine::new().evaluate_auto(&q, &tid, &budget);
         prop_assert_eq!(routed.route, Route::Sampled);
@@ -80,7 +81,7 @@ proptest! {
         // recorded verdict, and the answer must be a genuine probability.
         let mut rng = StdRng::seed_from_u64(seed);
         let (q, tid) = unsafe_block_preset(&mut rng, 2, 5);
-        let budget = Budget::default().with_samples(200);
+        let budget = Budget::default().with_samples(200).expect("positive sample budget");
         let routed = Engine::new().evaluate_auto(&q, &tid, &budget);
         let cost = routed.cost.expect("unsafe route records its cost estimate");
         if cost.within(budget.max_circuit_cost) {

@@ -39,7 +39,7 @@ proptest! {
         prop_assert_eq!(stats.hits, 1);
         prop_assert_eq!(cached.compiled_count(), 1, "hit must skip compilation");
 
-        let uncached = Engine::with_cache_capacity(0);
+        let uncached = Engine::builder().cache_capacity(0).build();
         let fresh = uncached.compile(&q, &tid);
         prop_assert_eq!(uncached.cache_stats().hits, 0);
 
@@ -76,6 +76,7 @@ proptest! {
         let adaptive = Budget::default()
             .with_max_circuit_cost(0)
             .with_mode(SampleMode::Adaptive { epsilon: 0.05 })
+            .expect("epsilon in (0, 1)")
             .with_seed(seed);
         let routed = Engine::new().evaluate_auto(&q, &tid, &adaptive);
         prop_assert_eq!(routed.route, Route::Sampled);
@@ -131,7 +132,7 @@ fn repeated_query_workload_has_nonzero_cache_hit_rate() {
 #[test]
 fn cache_eviction_respects_capacity() {
     let mut rng = StdRng::seed_from_u64(7);
-    let engine = Engine::with_cache_capacity(2);
+    let engine = Engine::builder().cache_capacity(2).build();
     for _ in 0..3 {
         let q = random_query(&mut rng, 3, 2, SafetyTarget::Unsafe);
         let tid = random_block_tid(&mut rng, &q, 2, 2);

@@ -63,7 +63,8 @@ fn hammered_shared_engine_is_bit_identical_to_serial() {
     let compiled_budget = Budget::default();
     let sampled_budget = Budget::default()
         .with_max_circuit_cost(0)
-        .with_mode(SampleMode::Adaptive { epsilon: 0.1 });
+        .with_mode(SampleMode::Adaptive { epsilon: 0.1 })
+        .expect("epsilon in (0, 1)");
     let budget_of = |i: usize| {
         if i % 3 == 2 {
             &sampled_budget
@@ -215,7 +216,7 @@ proptest! {
         seed in 0u64..10_000,
         capacity in 1usize..6,
     ) {
-        let engine = Engine::with_cache_capacity(capacity);
+        let engine = Engine::builder().cache_capacity(capacity).build();
         let mut rng = StdRng::seed_from_u64(seed);
         let mut lineages = Vec::new();
         for _ in 0..6 {

@@ -1,0 +1,103 @@
+//! Error-path coverage for `query::parser` — the serving layer maps every
+//! [`ParseError`] to a 400 response, so the parser's contract is: typed
+//! error or parsed query, never a panic, on *any* input bytes.
+
+use gfomc_query::parser::{parse_clause, parse_query, ParseError};
+use proptest::prelude::*;
+
+#[test]
+fn empty_and_blank_inputs_are_errors() {
+    for input in ["", "   ", "\t\n", "[]", "[ ]"] {
+        let err = parse_query(input).unwrap_err();
+        assert!(err.position <= input.len(), "{input:?}: {err}");
+    }
+}
+
+#[test]
+fn malformed_clauses_name_the_problem() {
+    let cases: &[(&str, &str)] = &[
+        // Unknown predicate letter.
+        ("R(x0) v Q(x0)", "atom"),
+        // Unary symbols take the matching side's variable.
+        ("R(y0)", "'x' variable"),
+        ("T(x0)", "'y' variable"),
+        // Binary atoms need both variables in order.
+        ("S0(y0,x0)", "'x' variable"),
+        ("S0(x0)", ","),
+        // Unclosed delimiters.
+        ("[R(x0)", "']'"),
+        ("R(x0", "')'"),
+        ("S0(x0,y0", "')'"),
+        // Missing pieces around connectives.
+        ("R(x0) v", "atom"),
+        ("R(x0) &", "atom"),
+        ("& R(x0)", "atom"),
+        ("v R(x0)", "atom"),
+    ];
+    for (input, needle) in cases {
+        let err = parse_query(input).unwrap_err();
+        assert!(
+            err.message.contains(needle),
+            "{input:?}: expected {needle:?} in {:?}",
+            err.message
+        );
+    }
+}
+
+#[test]
+fn trailing_garbage_is_rejected_at_its_position() {
+    for (input, after) in [
+        ("R(x0) extra", 6),
+        ("R(x0) v S0(x0,y0)]", 17),
+        ("[R(x0)] junk", 8),
+        ("S0(x0,y0) & T(y0) &", 18),
+    ] {
+        let err = parse_query(input).unwrap_err();
+        assert!(
+            err.position >= after,
+            "{input:?}: error at {} but garbage starts at {after}",
+            err.position
+        );
+    }
+}
+
+#[test]
+fn clause_parser_shares_the_error_contract() {
+    for input in ["", "R(x0) & T(y0)", "S0(x0,y0) v", "Z(x0)"] {
+        let _: ParseError = parse_clause(input).unwrap_err();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Fuzz-ish: arbitrary bytes (lossily decoded) must yield `Ok` or a
+    /// positioned `Err` — the parser can never panic or index out of
+    /// bounds, whatever a network client throws at it.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let text = String::from_utf8_lossy(&bytes);
+        match parse_query(&text) {
+            Ok(q) => {
+                // Anything that parses must round-trip through Display
+                // (the wire request format relies on this).
+                let again = parse_query(&q.to_string());
+                prop_assert!(again.is_ok(), "round-trip failed for {text:?}");
+            }
+            Err(e) => prop_assert!(e.position <= text.len()),
+        }
+    }
+
+    /// The same contract over inputs biased toward near-valid syntax,
+    /// which reach much deeper into the grammar than uniform bytes.
+    #[test]
+    fn near_grammar_soup_never_panics(tokens in proptest::collection::vec(0usize..12, 0..24)) {
+        let vocab = ["R(x0)", "T(y0)", "S0(x0,y0)", "S1(x0,y1)", " v ", " & ",
+                     "[", "]", "(", ")", ",", "x0"];
+        let text: String = tokens.iter().map(|&t| vocab[t]).collect();
+        match parse_query(&text) {
+            Ok(_) => {}
+            Err(e) => prop_assert!(e.position <= text.len()),
+        }
+    }
+}

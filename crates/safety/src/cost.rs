@@ -98,6 +98,65 @@ impl CircuitCostEstimate {
     }
 }
 
+impl core::fmt::Display for CircuitCostEstimate {
+    /// The stable wire form of a cost estimate, round-tripping through
+    /// [`FromStr`](core::str::FromStr):
+    /// `vars 9 clauses 12 components 1 estimated 420 worst 49152`.
+    /// Every field is a decimal integer, so the round-trip is exact.
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "vars {} clauses {} components {} estimated {} worst {}",
+            self.vars, self.clauses, self.components, self.estimated_nodes, self.worst_case_nodes
+        )
+    }
+}
+
+/// Failure to parse a [`CircuitCostEstimate`] from its wire form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseCostError(pub String);
+
+impl core::fmt::Display for ParseCostError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "malformed cost estimate: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseCostError {}
+
+impl core::str::FromStr for CircuitCostEstimate {
+    type Err = ParseCostError;
+
+    /// Parses the exact [`Display`](core::fmt::Display) form back; field
+    /// order is fixed and all five fields are required.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut words = s.split_whitespace();
+        let mut field = |name: &str| -> Result<u64, ParseCostError> {
+            match (words.next(), words.next()) {
+                (Some(key), Some(value)) if key == name => value
+                    .parse::<u64>()
+                    .map_err(|_| ParseCostError(format!("bad value for '{name}': {value}"))),
+                _ => Err(ParseCostError(format!("expected field '{name}'"))),
+            }
+        };
+        let vars = field("vars")? as usize;
+        let clauses = field("clauses")? as usize;
+        let components = field("components")? as usize;
+        let estimated_nodes = field("estimated")?;
+        let worst_case_nodes = field("worst")?;
+        if words.next().is_some() {
+            return Err(ParseCostError("trailing input".into()));
+        }
+        Ok(CircuitCostEstimate {
+            vars,
+            clauses,
+            components,
+            estimated_nodes,
+            worst_case_nodes,
+        })
+    }
+}
+
 /// Estimates the worst-case Shannon-compilation cost of a monotone CNF.
 ///
 /// Constants cost nothing: `⊤` has no components and estimate 0, `⊥` is a

@@ -22,7 +22,7 @@ pub mod forbidden;
 pub mod lifted;
 pub mod paths;
 
-pub use cost::{circuit_cost_estimate, CircuitCostEstimate};
+pub use cost::{circuit_cost_estimate, CircuitCostEstimate, ParseCostError};
 pub use finality::{
     classify, is_final, is_final_type_i, is_final_type_ii, simplify_to_final, Classification,
 };

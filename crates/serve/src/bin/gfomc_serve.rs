@@ -1,0 +1,88 @@
+//! `gfomc-serve` — run the engine as a network service.
+//!
+//! ```text
+//! gfomc-serve [--addr HOST:PORT] [--cache-capacity N]
+//!             [--max-queue-depth N] [--threads N]
+//! ```
+//!
+//! Prints `listening on <addr>` once the socket is bound (with an
+//! OS-assigned port resolved, so `--addr 127.0.0.1:0` is scriptable),
+//! then serves until killed.
+
+use gfomc_engine::{Engine, DEFAULT_CACHE_CAPACITY, DEFAULT_MAX_QUEUE_DEPTH};
+use gfomc_pool::WorkerPool;
+use gfomc_serve::Server;
+use std::io::Write;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:7070".to_string();
+    let mut cache_capacity = DEFAULT_CACHE_CAPACITY;
+    let mut max_queue_depth = DEFAULT_MAX_QUEUE_DEPTH;
+    let mut threads: Option<usize> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        let parsed = match flag.as_str() {
+            "--addr" => value("--addr").map(|v| addr = v),
+            "--cache-capacity" => value("--cache-capacity").and_then(|v| {
+                v.parse()
+                    .map(|n| cache_capacity = n)
+                    .map_err(|_| format!("bad --cache-capacity '{v}'"))
+            }),
+            "--max-queue-depth" => value("--max-queue-depth").and_then(|v| {
+                v.parse()
+                    .map(|n| max_queue_depth = n)
+                    .map_err(|_| format!("bad --max-queue-depth '{v}'"))
+            }),
+            "--threads" => value("--threads").and_then(|v| {
+                v.parse()
+                    .map(|n| threads = Some(n))
+                    .map_err(|_| format!("bad --threads '{v}'"))
+            }),
+            "--help" | "-h" => {
+                println!(
+                    "usage: gfomc-serve [--addr HOST:PORT] [--cache-capacity N] \
+                     [--max-queue-depth N] [--threads N]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => Err(format!("unknown flag '{other}'")),
+        };
+        if let Err(msg) = parsed {
+            eprintln!("gfomc-serve: {msg}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let mut builder = Engine::builder()
+        .cache_capacity(cache_capacity)
+        .max_queue_depth(max_queue_depth);
+    if let Some(n) = threads {
+        builder = builder.pool(Arc::new(WorkerPool::new(n)));
+    }
+    let engine = Arc::new(builder.build());
+
+    let server = match Server::bind(engine, &addr) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("gfomc-serve: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(bound) => {
+            // Scripts (the CI smoke job among them) wait for this line.
+            println!("listening on {bound}");
+            let _ = std::io::stdout().flush();
+        }
+        Err(e) => {
+            eprintln!("gfomc-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    server.run();
+    ExitCode::SUCCESS
+}

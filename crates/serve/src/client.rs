@@ -1,0 +1,88 @@
+//! Blocking client for the gfomc service — shared by `gfomc-cli` and the
+//! test suite, so both speak exactly the protocol the server implements.
+
+use crate::http::{read_response, write_request, Response};
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A persistent keep-alive connection. Requests written on one
+/// [`Connection`] are answered in order — the connection is the server's
+/// ordering domain.
+pub struct Connection {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Connection {
+    /// Opens a TCP connection to the service.
+    pub fn open(addr: impl ToSocketAddrs) -> io::Result<Connection> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Connection {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Read timeout for responses on this connection. Tests set one so a
+    /// server that wrongly blocks (instead of rejecting) fails fast
+    /// rather than hanging the suite.
+    pub fn set_read_timeout(&self, dur: Option<std::time::Duration>) -> io::Result<()> {
+        self.writer.get_ref().set_read_timeout(dur)
+    }
+
+    /// One request/response round trip on the keep-alive stream.
+    pub fn request(&mut self, method: &str, path: &str, body: &str) -> io::Result<Response> {
+        write_request(&mut self.writer, method, path, body, false)?;
+        read_response(&mut self.reader)
+    }
+
+    /// Writes a request without waiting for the response; pair with
+    /// [`read`](Connection::read). Lets a test pipeline several requests
+    /// and then check the responses come back in request order.
+    pub fn send(&mut self, method: &str, path: &str, body: &str) -> io::Result<()> {
+        write_request(&mut self.writer, method, path, body, false)
+    }
+
+    /// Reads the next pipelined response.
+    pub fn read(&mut self) -> io::Result<Response> {
+        read_response(&mut self.reader)
+    }
+}
+
+/// One-shot client: each call opens a fresh `Connection: close` exchange.
+#[derive(Clone, Debug)]
+pub struct Client {
+    addr: String,
+}
+
+impl Client {
+    /// A client for the service at `addr` (e.g. `127.0.0.1:7070`).
+    pub fn new(addr: impl Into<String>) -> Client {
+        Client { addr: addr.into() }
+    }
+
+    /// The configured address.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// One `POST` exchange on a fresh connection.
+    pub fn post(&self, path: &str, body: &str) -> io::Result<Response> {
+        self.exchange("POST", path, body)
+    }
+
+    /// One `GET` exchange on a fresh connection.
+    pub fn get(&self, path: &str) -> io::Result<Response> {
+        self.exchange("GET", path, "")
+    }
+
+    fn exchange(&self, method: &str, path: &str, body: &str) -> io::Result<Response> {
+        let stream = TcpStream::connect(&self.addr)?;
+        stream.set_nodelay(true).ok();
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut writer = BufWriter::new(stream);
+        write_request(&mut writer, method, path, body, true)?;
+        read_response(&mut reader)
+    }
+}

@@ -1,0 +1,285 @@
+//! A deliberately minimal HTTP/1.1 subset — just enough protocol for the
+//! gfomc wire format to ride on, with zero dependencies.
+//!
+//! Supported: request line + headers + `Content-Length` bodies, keep-alive
+//! (the HTTP/1.1 default) with `Connection: close` honored, and the five
+//! status codes the service speaks (200/400/404/405/429, plus 500 for I/O
+//! trouble). Chunked encoding, continuations, and multi-line headers are
+//! out of scope: both ends of the wire are this crate and `gfomc-cli`.
+
+use std::io::{self, BufRead, Read, Write};
+
+/// Longest accepted request line, header line, or body, in bytes. A
+/// network-facing parser needs a ceiling so a hostile peer cannot make a
+/// connection thread allocate without bound.
+pub const MAX_LINE: usize = 64 * 1024;
+/// Body size ceiling (requests and responses).
+pub const MAX_BODY: usize = 16 * 1024 * 1024;
+
+/// One parsed request: method, path, and the (possibly empty) body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Upper-case method token, e.g. `GET` or `POST`.
+    pub method: String,
+    /// Request target as sent, e.g. `/eval`.
+    pub path: String,
+    /// Decoded `Content-Length` body.
+    pub body: String,
+    /// True when the client asked for `Connection: close`.
+    pub close: bool,
+}
+
+/// One response: status code, optional `Retry-After` seconds, and a body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Response {
+    /// Status code (200, 400, 404, 405, 429, 500).
+    pub status: u16,
+    /// When present, written as a `Retry-After` header — the explicit
+    /// backpressure signal on 429 rejections.
+    pub retry_after: Option<u64>,
+    /// Response body (the `Routed` wire text on 200, an error line
+    /// otherwise).
+    pub body: String,
+}
+
+impl Response {
+    /// A 200 response carrying `body`.
+    pub fn ok(body: impl Into<String>) -> Response {
+        Response {
+            status: 200,
+            retry_after: None,
+            body: body.into(),
+        }
+    }
+
+    /// An error response with `status` and a human-readable reason line.
+    pub fn error(status: u16, reason: impl Into<String>) -> Response {
+        let mut body = reason.into();
+        if !body.ends_with('\n') {
+            body.push('\n');
+        }
+        Response {
+            status,
+            retry_after: None,
+            body,
+        }
+    }
+}
+
+/// The reason phrase for the status codes this service emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        429 => "Too Many Requests",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Reads one CRLF- (or LF-) terminated line, enforcing [`MAX_LINE`].
+/// Returns `None` on clean EOF before any byte.
+fn read_line(r: &mut impl BufRead) -> io::Result<Option<String>> {
+    let mut line = Vec::new();
+    let mut limited = r.take(MAX_LINE as u64 + 1);
+    let n = limited.read_until(b'\n', &mut line)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if line.len() > MAX_LINE {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "header line too long",
+        ));
+    }
+    while line.last() == Some(&b'\n') || line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line)
+        .map(Some)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 header"))
+}
+
+/// Header fields the subset cares about, parsed case-insensitively.
+#[derive(Default)]
+struct Headers {
+    content_length: usize,
+    close: bool,
+    retry_after: Option<u64>,
+}
+
+/// Reads header lines until the blank separator.
+fn read_headers(r: &mut impl BufRead) -> io::Result<Headers> {
+    let mut h = Headers::default();
+    loop {
+        let line = read_line(r)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "eof in headers"))?;
+        if line.is_empty() {
+            return Ok(h);
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "malformed header line",
+            ));
+        };
+        let value = value.trim();
+        match name.to_ascii_lowercase().as_str() {
+            "content-length" => {
+                h.content_length = value.parse().map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
+                })?;
+                if h.content_length > MAX_BODY {
+                    return Err(io::Error::new(io::ErrorKind::InvalidData, "body too large"));
+                }
+            }
+            "connection" => h.close = value.eq_ignore_ascii_case("close"),
+            "retry-after" => h.retry_after = value.parse().ok(),
+            _ => {}
+        }
+    }
+}
+
+/// Reads exactly `len` body bytes as UTF-8.
+fn read_body(r: &mut impl BufRead, len: usize) -> io::Result<String> {
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 body"))
+}
+
+/// Reads one request off a keep-alive connection. `Ok(None)` means the
+/// peer closed cleanly between requests; protocol violations are
+/// `io::ErrorKind::InvalidData` errors the server maps to a 400.
+pub fn read_request(r: &mut impl BufRead) -> io::Result<Option<Request>> {
+    let Some(line) = read_line(r)? else {
+        return Ok(None);
+    };
+    let mut parts = line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) => (m, p, v),
+        _ => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "malformed request line",
+            ))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "unsupported protocol version",
+        ));
+    }
+    let headers = read_headers(r)?;
+    let body = read_body(r, headers.content_length)?;
+    Ok(Some(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        body,
+        close: headers.close,
+    }))
+}
+
+/// Writes one request (client side).
+pub fn write_request(
+    w: &mut impl Write,
+    method: &str,
+    path: &str,
+    body: &str,
+    close: bool,
+) -> io::Result<()> {
+    write!(w, "{method} {path} HTTP/1.1\r\n")?;
+    write!(w, "Content-Length: {}\r\n", body.len())?;
+    if close {
+        write!(w, "Connection: close\r\n")?;
+    }
+    write!(w, "\r\n{body}")?;
+    w.flush()
+}
+
+/// Writes one response (server side).
+pub fn write_response(w: &mut impl Write, resp: &Response) -> io::Result<()> {
+    write!(w, "HTTP/1.1 {} {}\r\n", resp.status, reason(resp.status))?;
+    write!(w, "Content-Length: {}\r\n", resp.body.len())?;
+    write!(w, "Content-Type: text/plain\r\n")?;
+    if let Some(secs) = resp.retry_after {
+        write!(w, "Retry-After: {secs}\r\n")?;
+    }
+    write!(w, "\r\n{}", resp.body)?;
+    w.flush()
+}
+
+/// Reads one response (client side).
+pub fn read_response(r: &mut impl BufRead) -> io::Result<Response> {
+    let line = read_line(r)?
+        .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "connection closed"))?;
+    let status = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed status line"))?;
+    let headers = read_headers(r)?;
+    let body = read_body(r, headers.content_length)?;
+    Ok(Response {
+        status,
+        retry_after: headers.retry_after,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn request_roundtrips() {
+        let mut wire = Vec::new();
+        write_request(&mut wire, "POST", "/eval", "query x\n", false).unwrap();
+        let req = read_request(&mut BufReader::new(&wire[..]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            req,
+            Request {
+                method: "POST".into(),
+                path: "/eval".into(),
+                body: "query x\n".into(),
+                close: false,
+            }
+        );
+        // Clean EOF after the request: keep-alive loop sees None.
+        let mut r = BufReader::new(&wire[..]);
+        read_request(&mut r).unwrap();
+        assert_eq!(read_request(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn response_roundtrips_with_retry_after() {
+        let resp = Response {
+            status: 429,
+            retry_after: Some(1),
+            body: "server at capacity\n".into(),
+        };
+        let mut wire = Vec::new();
+        write_response(&mut wire, &resp).unwrap();
+        let back = read_response(&mut BufReader::new(&wire[..])).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn malformed_inputs_are_errors_not_panics() {
+        for bad in [
+            "GARBAGE\r\n\r\n",
+            "GET /x HTTP/2\r\n\r\n",
+            "GET /x HTTP/1.1\r\nContent-Length: zebra\r\n\r\n",
+            "GET /x HTTP/1.1\r\nContent-Length: 99999999999\r\n\r\n",
+            "GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            "GET /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nab",
+        ] {
+            let err = read_request(&mut BufReader::new(bad.as_bytes()));
+            assert!(err.is_err(), "{bad:?}");
+        }
+    }
+}

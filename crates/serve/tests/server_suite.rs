@@ -1,0 +1,279 @@
+//! End-to-end suite for the serving layer, built around the PR's two
+//! acceptance drills:
+//!
+//! 1. **Bit-identity under concurrency** — many client threads submitting
+//!    mixed exact/approx queries over real sockets receive responses
+//!    byte-identical to serial direct-engine calls, in request order per
+//!    connection;
+//! 2. **Explicit overload** — once the admission bound is hit the server
+//!    answers 429 + `Retry-After` immediately; it never queues silently
+//!    and never hangs (every connection in the suite carries a read
+//!    timeout, so a regression to blocking behavior fails fast).
+
+use gfomc_engine::workload::{random_block_tid, random_query, SafetyTarget};
+use gfomc_engine::{Budget, Engine, EvalRequest, Routed};
+use gfomc_serve::{Client, Connection, Server, ServerHandle};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Duration;
+
+const READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+fn spawn(engine: Engine) -> ServerHandle {
+    Server::bind(Arc::new(engine), "127.0.0.1:0")
+        .expect("bind an ephemeral port")
+        .spawn()
+        .expect("spawn the accept loop")
+}
+
+fn open(handle: &ServerHandle) -> Connection {
+    let conn = Connection::open(handle.addr()).expect("connect");
+    conn.set_read_timeout(Some(READ_TIMEOUT)).unwrap();
+    conn
+}
+
+/// A deterministic mixed workload: safe (lifted), small unsafe
+/// (compiled), and zero-circuit-budget (sampled) requests, each with its
+/// own seed so every answer is independently reproducible.
+fn mixed_requests(seed: u64, n: usize) -> Vec<EvalRequest> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let target = match i % 3 {
+                0 => SafetyTarget::Safe,
+                _ => SafetyTarget::Unsafe,
+            };
+            let q = random_query(&mut rng, 2, 3, target);
+            let tid = random_block_tid(&mut rng, &q, 2, 2);
+            let mut budget = Budget::default().with_seed(rng.gen::<u64>());
+            if i % 3 == 2 {
+                // Zero circuit budget pins the sampled route.
+                budget = budget
+                    .with_max_circuit_cost(0)
+                    .with_samples(256)
+                    .expect("positive sample budget");
+            }
+            EvalRequest::new(q, tid).with_budget(budget)
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_wire_answers_are_bit_identical_to_serial_direct_calls() {
+    let requests = mixed_requests(0xC0FFEE, 12);
+    // Ground truth: one engine, serial, direct — no server involved.
+    let oracle = Engine::new();
+    let expected: Vec<String> = requests
+        .iter()
+        .map(|r| {
+            oracle
+                .evaluate_request(r)
+                .expect("valid budget")
+                .to_string()
+        })
+        .collect();
+
+    let handle = spawn(Engine::new());
+    let workers: Vec<_> = (0..4)
+        .map(|w| {
+            let requests = requests.clone();
+            let expected = expected.clone();
+            let addr = handle.addr();
+            std::thread::spawn(move || {
+                let conn = Connection::open(addr).expect("connect");
+                conn.set_read_timeout(Some(READ_TIMEOUT)).unwrap();
+                let mut conn = conn;
+                // Each worker walks the whole workload in its own order.
+                for i in (0..requests.len()).map(|i| (i + 3 * w) % requests.len()) {
+                    let resp = conn
+                        .request("POST", "/eval", &requests[i].to_string())
+                        .expect("round trip");
+                    assert_eq!(resp.status, 200, "{}", resp.body);
+                    assert_eq!(resp.body, expected[i], "request {i} on worker {w}");
+                    // And the body parses back to a well-formed record.
+                    resp.body.parse::<Routed>().expect("stable response text");
+                }
+            })
+        })
+        .collect();
+    for t in workers {
+        t.join().expect("worker thread");
+    }
+    handle.stop();
+}
+
+#[test]
+fn pipelined_responses_arrive_in_request_order() {
+    let requests = mixed_requests(0xBADC0DE, 6);
+    let oracle = Engine::new();
+    let expected: Vec<String> = requests
+        .iter()
+        .map(|r| {
+            oracle
+                .evaluate_request(r)
+                .expect("valid budget")
+                .to_string()
+        })
+        .collect();
+
+    let handle = spawn(Engine::new());
+    let mut conn = open(&handle);
+    // Write every request before reading any response: the keep-alive
+    // loop must answer them strictly in request order.
+    for req in &requests {
+        conn.send("POST", "/eval", &req.to_string()).expect("send");
+    }
+    for (i, want) in expected.iter().enumerate() {
+        let resp = conn.read().expect("pipelined response");
+        assert_eq!(resp.status, 200);
+        assert_eq!(&resp.body, want, "response {i} out of order");
+    }
+    handle.stop();
+}
+
+#[test]
+fn overload_is_an_explicit_429_with_retry_after_never_a_hang() {
+    // Depth 1: a single held permit saturates the server.
+    let handle = spawn(Engine::builder().max_queue_depth(1).build());
+    let client = Client::new(handle.addr().to_string());
+    let body = mixed_requests(7, 1)[0].to_string();
+
+    let permit = handle.gate().try_admit().expect("take the only slot");
+    let resp = client.post("/eval", &body).expect("round trip");
+    assert_eq!(resp.status, 429, "{}", resp.body);
+    assert_eq!(resp.retry_after, Some(gfomc_serve::RETRY_AFTER_SECS));
+    assert!(resp.body.contains("capacity"), "{}", resp.body);
+
+    // Releasing the permit restores service on the same socket address.
+    drop(permit);
+    let resp = client.post("/eval", &body).expect("round trip");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+
+    let stats = handle.gate().stats();
+    assert_eq!(stats.rejected, 1);
+    assert!(stats.admitted >= 1);
+    handle.stop();
+}
+
+#[test]
+fn zero_depth_server_rejects_every_eval() {
+    let handle = spawn(Engine::builder().max_queue_depth(0).build());
+    let client = Client::new(handle.addr().to_string());
+    let body = mixed_requests(11, 1)[0].to_string();
+    for _ in 0..3 {
+        let resp = client.post("/eval", &body).expect("round trip");
+        assert_eq!(resp.status, 429);
+        assert_eq!(resp.retry_after, Some(gfomc_serve::RETRY_AFTER_SECS));
+    }
+    // Read-only endpoints stay reachable even with the gate shut.
+    assert_eq!(client.get("/status").unwrap().status, 200);
+    handle.stop();
+}
+
+#[test]
+fn malformed_bodies_map_to_400_and_never_kill_the_server() {
+    let handle = spawn(Engine::new());
+    let mut conn = open(&handle);
+    let cases = [
+        "",
+        "query ][\nleft 0\nright 1\n",
+        "query R(x0) v S0(x0,y0) & S0(x0,y0) v T(y0)\nleft 0\nright 1\ndelta 2.0\n",
+        "query R(x0) v S0(x0,y0) & S0(x0,y0) v T(y0)\nleft 0\nright 1\ntuple R(u9) 1/2\n",
+        "utter nonsense\nmore nonsense\n",
+    ];
+    for bad in cases {
+        let resp = conn.request("POST", "/eval", bad).expect("round trip");
+        assert_eq!(resp.status, 400, "{bad:?} -> {}", resp.body);
+    }
+    // Fuzz-ish: random bytes (valid UTF-8 by construction) over the same
+    // keep-alive connection. Any panic would sever it.
+    let mut rng = StdRng::seed_from_u64(0xF422);
+    for _ in 0..50 {
+        let len = rng.gen_range(0..200usize);
+        let body: String = (0..len)
+            .map(|_| char::from(rng.gen_range(32u8..127)))
+            .collect();
+        let resp = conn.request("POST", "/eval", &body).expect("round trip");
+        assert_eq!(resp.status, 400, "{body:?}");
+    }
+    // The connection and the server both survived: a good request works.
+    let good = mixed_requests(23, 1)[0].to_string();
+    let resp = conn.request("POST", "/eval", &good).expect("round trip");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    handle.stop();
+}
+
+#[test]
+fn introspection_endpoints_report_tenants_routes_and_errors() {
+    let handle = spawn(Engine::new());
+    let client = Client::new(handle.addr().to_string());
+
+    // One tenant-labeled request, one anonymous.
+    let reqs = mixed_requests(0xAB, 2);
+    let labeled = reqs[0].clone().with_tenant("acme");
+    assert_eq!(
+        client.post("/eval", &labeled.to_string()).unwrap().status,
+        200
+    );
+    assert_eq!(
+        client.post("/eval", &reqs[1].to_string()).unwrap().status,
+        200
+    );
+
+    let routes = client.get("/routes").unwrap();
+    assert_eq!(routes.status, 200);
+    assert!(routes.body.starts_with("total lifted "), "{}", routes.body);
+    assert!(
+        routes.body.contains("tenant acme lifted "),
+        "{}",
+        routes.body
+    );
+
+    let status = client.get("/status").unwrap();
+    for key in [
+        "queue_depth ",
+        "queue_high_water ",
+        "queue_max_depth ",
+        "admitted ",
+        "rejected ",
+        "pool_threads ",
+    ] {
+        assert!(
+            status.body.contains(key),
+            "missing {key} in {}",
+            status.body
+        );
+    }
+
+    let cache = client.get("/cache").unwrap();
+    for key in ["hits ", "misses ", "capacity "] {
+        assert!(cache.body.contains(key), "missing {key} in {}", cache.body);
+    }
+
+    assert_eq!(client.get("/nowhere").unwrap().status, 404);
+    assert_eq!(client.get("/eval").unwrap().status, 405);
+    assert_eq!(client.post("/status", "").unwrap().status, 405);
+    handle.stop();
+}
+
+#[test]
+fn shared_engine_caches_across_connections() {
+    // Two clients submitting the same compiled query: the second ride
+    // hits the shared compilation cache.
+    let handle = spawn(Engine::new());
+    let mut reqs = mixed_requests(0x5EED5, 2);
+    // Force both requests to be the same unsafe (compiled) instance.
+    reqs[1] = reqs[0].clone();
+    let unsafe_req = mixed_requests(0xC0, 2).remove(1); // i%3==1 -> unsafe, default budget
+    for _ in 0..2 {
+        let client = Client::new(handle.addr().to_string());
+        let resp = client.post("/eval", &unsafe_req.to_string()).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body);
+    }
+    let stats = handle.engine().cache_stats();
+    assert!(
+        stats.hits >= 1,
+        "second submission should hit the cache: {stats:?}"
+    );
+    handle.stop();
+}

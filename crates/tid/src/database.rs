@@ -123,6 +123,14 @@ impl Tid {
         self.probs.iter()
     }
 
+    /// The probability of unlisted tuples (0 or 1 by construction) —
+    /// together with [`Tid::left_domain`], [`Tid::right_domain`], and
+    /// [`Tid::explicit_tuples`] this is the full observable state of the
+    /// database, which is what a wire serialization must carry.
+    pub fn default_prob(&self) -> &Rational {
+        &self.default_prob
+    }
+
     /// The tuples whose probability is strictly between 0 and 1 — the
     /// "random variables" of the database.
     pub fn uncertain_tuples(&self) -> Vec<Tuple> {

@@ -38,7 +38,9 @@ fn show(label: &str, routed: &Routed, elapsed: std::time::Duration) {
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(42);
-    let budget = Budget::default().with_samples(20_000);
+    let budget = Budget::default()
+        .with_samples(20_000)
+        .expect("positive sample budget");
     let engine = Engine::new();
 
     // ------------------------------------------------------------------

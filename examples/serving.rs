@@ -1,0 +1,104 @@
+//! The engine as a network service, end to end in one process.
+//!
+//! This example walks the whole serving stack the `gfomc-serve` and
+//! `gfomc-cli` crates add:
+//!
+//! 1. one shared [`Engine`] behind a loopback HTTP server, with an
+//!    admission gate sized by `max_queue_depth`;
+//! 2. the serializable [`EvalRequest`] — the *same type* the Rust API
+//!    uses — shipped over the socket as text and answered with the
+//!    verbatim [`Routed`] serialization;
+//! 3. the bit-identity guarantee: the wire answer is byte-for-byte the
+//!    direct `evaluate_auto` answer, exact and sampled routes alike;
+//! 4. explicit backpressure: saturate the gate and the server answers
+//!    429 + `Retry-After` immediately instead of queueing.
+
+use gfomc_arith::Rational;
+use gfomc_engine::{Budget, Engine, EvalRequest, Routed};
+use gfomc_query::catalog;
+use gfomc_serve::{Client, Connection, Server};
+use gfomc_tid::{Tid, Tuple};
+use std::sync::Arc;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. One engine, one server, an OS-assigned loopback port.
+    // ------------------------------------------------------------------
+    let engine = Arc::new(Engine::builder().max_queue_depth(4).build());
+    let server = Server::bind(Arc::clone(&engine), "127.0.0.1:0").expect("bind");
+    let handle = server.spawn().expect("spawn");
+    println!("serving on {}", handle.addr());
+
+    // ------------------------------------------------------------------
+    // 2. A request is data: query + database + budget, all in one
+    //    serializable value with a stable text form.
+    // ------------------------------------------------------------------
+    let mut tid = Tid::all_present([0, 1], [1000, 1001]);
+    tid.set_prob(Tuple::R(0), Rational::one_half());
+    tid.set_prob(Tuple::S(0, 0, 1000), Rational::from_ints(3, 8));
+    tid.set_prob(Tuple::T(1000), Rational::one_half());
+    let exact = EvalRequest::new(catalog::h1(), tid).with_tenant("example");
+    println!("--- request body ---\n{exact}");
+
+    let mut conn = Connection::open(handle.addr()).expect("connect");
+    let resp = conn
+        .request("POST", "/eval", &exact.to_string())
+        .expect("round trip");
+    assert_eq!(resp.status, 200);
+    println!("--- response body ---\n{}", resp.body);
+
+    // ------------------------------------------------------------------
+    // 3. Bit-identity: the wire text IS the direct answer's Display —
+    //    and it parses back to the same `Routed` value.
+    // ------------------------------------------------------------------
+    let direct = engine.evaluate_request(&exact).expect("valid budget");
+    assert_eq!(resp.body, direct.to_string());
+    assert_eq!(resp.body.parse::<Routed>().unwrap(), direct);
+    println!("wire == direct: bit-identical ({} route)", direct.route);
+
+    // The same holds on the sampled route (zero circuit budget, seeded).
+    let sampled = exact.clone().with_budget(
+        Budget::default()
+            .with_max_circuit_cost(0)
+            .with_samples(2_000)
+            .expect("positive sample budget")
+            .with_seed(0xD15C),
+    );
+    let resp = conn
+        .request("POST", "/eval", &sampled.to_string())
+        .expect("round trip");
+    let direct = engine.evaluate_request(&sampled).expect("valid budget");
+    assert_eq!(resp.body, direct.to_string());
+    println!("sampled route too: {}", resp.body.lines().last().unwrap());
+
+    // ------------------------------------------------------------------
+    // 4. Explicit backpressure: hold every permit, and the next request
+    //    is refused immediately — a 429 with Retry-After, not a hang.
+    // ------------------------------------------------------------------
+    let gate = handle.gate();
+    let permits: Vec<_> = std::iter::from_fn(|| gate.try_admit()).collect();
+    println!("holding {} permits; gate saturated", permits.len());
+    let client = Client::new(handle.addr().to_string());
+    let refused = client
+        .post("/eval", &exact.to_string())
+        .expect("round trip");
+    assert_eq!(refused.status, 429);
+    println!(
+        "overload -> {} (retry after {}s): {}",
+        refused.status,
+        refused.retry_after.unwrap(),
+        refused.body.trim()
+    );
+    drop(permits);
+
+    // ------------------------------------------------------------------
+    // Introspection: the counters the CLI's status/routes/cache print.
+    // ------------------------------------------------------------------
+    let routes = client.get("/routes").expect("round trip");
+    println!("--- /routes ---\n{}", routes.body.trim_end());
+    let status = client.get("/status").expect("round trip");
+    println!("--- /status ---\n{}", status.body.trim_end());
+
+    handle.stop();
+    println!("server stopped");
+}
