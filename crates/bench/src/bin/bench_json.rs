@@ -1,7 +1,7 @@
 //! CI perf-tracking entry point: runs a fixed, small benchmark suite and
 //! writes per-bench wall-times as JSON (default `BENCH.json`; pass a path
 //! as the first argument to change it). A frozen per-PR snapshot (same
-//! schema; default `BENCH_pr5.json`, `--snapshot <path>` to override) is
+//! schema; default `BENCH_pr8.json`, `--snapshot <path>` to override) is
 //! written alongside, so the series accumulates one comparable file per
 //! PR.
 //!
@@ -9,8 +9,18 @@
 //! Every record is stamped with the git SHA it was measured at, the bench
 //! name, the repetition count behind the median, and — where relevant —
 //! the Monte-Carlo sample budget and thread count, so entries are
-//! comparable across PRs (schema `gfomc-bench-v5`). Schema v5 adds the
-//! serving layer on top of v4:
+//! comparable across PRs (schema `gfomc-bench-v6`). Schema v6 adds the
+//! observability layer on top of v5:
+//!
+//! * `route_latency_ns` — per-route p50/p95/p99 request latency (and the
+//!   underlying count), read from an instrumented engine's
+//!   `engine_request_nanos` histograms after a fixed request drill across
+//!   the three routes;
+//! * `telemetry` — the conservation pair behind the `--check` invariant:
+//!   requests issued vs the summed latency-histogram count (observation
+//!   is passive and lossless, so the two must be equal).
+//!
+//! Schema v5 added the serving layer on top of v4:
 //!
 //! * `serve_rtt_us` — median microseconds for one exact `/eval` round
 //!   trip over a real loopback socket against an in-process
@@ -40,9 +50,10 @@
 //! the repeated-query cache hit rate is nonzero, thread counts cannot
 //! move the estimate, the flat pass is bit-identical to the tree
 //! evaluator, every interval certificate agrees with the exact
-//! comparison, and — new in v5 — the `/eval` wire answer is byte-for-byte
-//! the direct `evaluate_auto` answer and overload rejects explicitly):
-//! those are machine-independent invariants, safe to gate CI on.
+//! comparison, the `/eval` wire answer is byte-for-byte the direct
+//! `evaluate_auto` answer and overload rejects explicitly, and — new in
+//! v6 — the latency histograms conserve the request count): those are
+//! machine-independent invariants, safe to gate CI on.
 
 use gfomc_approx::{lineage_sampler, AdaptiveConfig};
 use gfomc_arith::Rational;
@@ -122,7 +133,7 @@ fn main() {
     // The frozen per-PR snapshot. The default carries the current PR's id
     // and is bumped each PR (PR 2 wrote BENCH_pr2.json the same way);
     // pass `--snapshot <path>` to pin it explicitly.
-    let mut snapshot_path = "BENCH_pr7.json".to_string();
+    let mut snapshot_path = "BENCH_pr8.json".to_string();
     let mut check = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -574,6 +585,86 @@ fn main() {
     );
     handle.stop();
 
+    // ------------------------------------------------------------------
+    // Observability (schema v6): a fixed request drill across the three
+    // routes on one instrumented engine, then the per-route latency
+    // quantiles straight out of its `engine_request_nanos` histograms.
+    // The `--check` invariant is conservation: observation is passive and
+    // lossless, so the summed histogram count must equal the requests
+    // issued exactly.
+    // ------------------------------------------------------------------
+    let obs_engine = Engine::new();
+    let obs_reps = 5usize;
+    let route_workloads = [
+        ("lifted", &safe, &big, &budget),
+        ("compiled", &cq, &ctid, &budget),
+        ("sampled", &uq, &utid, &adaptive_budget),
+    ];
+    for (_, q, tid, b) in &route_workloads {
+        for _ in 0..obs_reps {
+            let req = EvalRequest::new((*q).clone(), (*tid).clone()).with_budget((*b).clone());
+            obs_engine.evaluate_request(&req).expect("valid budget");
+        }
+    }
+    let issued = (route_workloads.len() * obs_reps) as u64;
+    let latency_snaps = obs_engine
+        .registry()
+        .histograms_named("engine_request_nanos");
+    let observed: u64 = latency_snaps.iter().map(|(_, snap)| snap.count).sum();
+    let mut route_latency: Vec<(&str, u64, u64, u64, u64)> = Vec::new();
+    for (route, _, _, _) in &route_workloads {
+        let snap = latency_snaps.iter().find_map(|(labels, snap)| {
+            labels
+                .iter()
+                .any(|(k, v)| k == "route" && v == route)
+                .then_some(snap)
+        });
+        match snap {
+            Some(snap) => {
+                println!(
+                    "{:<44} p50 {}ns / p95 {}ns / p99 {}ns ({} reqs)",
+                    format!("route_latency_ns ({route})"),
+                    snap.p50(),
+                    snap.p95(),
+                    snap.p99(),
+                    snap.count
+                );
+                route_latency.push((route, snap.p50(), snap.p95(), snap.p99(), snap.count));
+            }
+            None => {
+                failures.push(format!(
+                    "route {route} drew no latency histogram despite {obs_reps} requests"
+                ));
+                route_latency.push((route, 0, 0, 0, 0));
+            }
+        }
+    }
+    println!(
+        "{:<44} {observed} observed / {issued} issued",
+        "telemetry_conservation (histogram vs issued)"
+    );
+    if observed != issued {
+        failures.push(format!(
+            "latency histograms counted {observed} requests but {issued} were issued"
+        ));
+    }
+    if obs_engine
+        .registry()
+        .counter_value("engine_requests_total", &[])
+        != issued
+    {
+        failures.push(format!(
+            "engine_requests_total diverged from the {issued} requests issued"
+        ));
+    }
+    let route_latency_json: String = route_latency
+        .iter()
+        .map(|(route, p50, p95, p99, count)| {
+            format!("\"{route}\": {{\"p50\": {p50}, \"p95\": {p95}, \"p99\": {p99}, \"count\": {count}}}")
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+
     let json: String = {
         let fields: Vec<String> = entries
             .iter()
@@ -595,7 +686,7 @@ fn main() {
         format!(
             concat!(
                 "{{\n",
-                "  \"schema\": \"gfomc-bench-v5\",\n",
+                "  \"schema\": \"gfomc-bench-v6\",\n",
                 "  \"unit\": \"seconds\",\n",
                 "  \"git_sha\": \"{sha}\",\n",
                 "  \"threads\": {threads},\n",
@@ -610,6 +701,8 @@ fn main() {
                 "  \"serve_rtt_us\": {rtt_us:.2},\n",
                 "  \"serve_queue\": {{\"high_water\": {qhigh}, \"max_depth\": {qmax}, ",
                 "\"admitted\": {qadm}, \"rejected\": {qrej}}},\n",
+                "  \"route_latency_ns\": {{{route_latency}}},\n",
+                "  \"telemetry\": {{\"requests\": {issued}, \"histogram_count\": {observed}}},\n",
                 "  \"benches\": [\n{fields}\n  ]\n",
                 "}}\n"
             ),
@@ -632,13 +725,16 @@ fn main() {
             qmax = serve_queue.max_depth,
             qadm = serve_queue.admitted,
             qrej = serve_queue.rejected,
+            route_latency = route_latency_json,
+            issued = issued,
+            observed = observed,
             fields = fields.join(",\n")
         )
     };
     std::fs::write(&out_path, &json).expect("write bench JSON");
     println!("wrote {out_path} (sha {sha})");
     // Per-PR snapshot next to the rolling series: the perf trajectory
-    // accumulates one frozen schema-v5 file per PR, and CI uploads both
+    // accumulates one frozen schema-v6 file per PR, and CI uploads both
     // as artifacts.
     if out_path != snapshot_path {
         std::fs::write(&snapshot_path, &json).expect("write bench snapshot");

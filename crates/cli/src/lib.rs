@@ -1,11 +1,15 @@
 //! # gfomc-cli
 //!
-//! Command-line client for the gfomc service. Five subcommands:
+//! Command-line client for the gfomc service. Seven subcommands:
 //!
 //! * `submit` — POST an [`EvalRequest`] body to `/eval` and print the
 //!   [`Routed`] response text;
 //! * `status` / `routes` / `cache` — print the matching GET endpoint's
 //!   counters verbatim;
+//! * `metrics` — print `/metrics` (Prometheus text exposition of the
+//!   engine registry) verbatim;
+//! * `slow` — print `/slow` (the slow-query ring buffer's traces)
+//!   verbatim;
 //! * `check` — submit a body over the wire **and** route the same request
 //!   through a direct in-process [`Engine`], then assert the two answers
 //!   are bit-identical. This is the end-to-end determinism drill the CI
@@ -29,7 +33,7 @@ pub const EXIT_SERVER: i32 = 2;
 /// Exit code vocabulary: `check` found a wire/direct answer mismatch.
 pub const EXIT_MISMATCH: i32 = 3;
 
-const USAGE: &str = "usage: gfomc-cli <submit|status|routes|cache|check> \
+const USAGE: &str = "usage: gfomc-cli <submit|status|routes|cache|metrics|slow|check> \
                      [--addr HOST:PORT] [--file PATH]\n\
                      submit/check read the request body from --file or stdin";
 
@@ -105,6 +109,8 @@ fn run_inner(
         "status" => get(&client, "/status", out),
         "routes" => get(&client, "/routes", out),
         "cache" => get(&client, "/cache", out),
+        "metrics" => get(&client, "/metrics", out),
+        "slow" => get(&client, "/slow", out),
         "check" => {
             let body = request_body(&file, stdin)?;
             check(&client, &body, out)
@@ -131,7 +137,8 @@ fn submit(client: &Client, body: &str, out: &mut dyn Write) -> io::Result<i32> {
     Ok(EXIT_SERVER)
 }
 
-/// `status` / `routes` / `cache`: print the endpoint body verbatim.
+/// `status` / `routes` / `cache` / `metrics` / `slow`: print the
+/// endpoint body verbatim.
 fn get(client: &Client, path: &str, out: &mut dyn Write) -> io::Result<i32> {
     let resp = client.get(path)?;
     write!(out, "{}", resp.body)?;

@@ -115,3 +115,27 @@ fn check_rejects_locally_unparseable_bodies_before_the_wire() {
     assert!(out.contains("does not parse locally"), "{out}");
     handle.stop();
 }
+
+#[test]
+fn metrics_and_slow_print_the_observability_endpoints() {
+    let handle = spawn(Engine::builder().slow_threshold_nanos(0).build());
+    let (code, _) = cli(&handle, &["submit"], &exact_request().to_string());
+    assert_eq!(code, EXIT_OK);
+
+    let (code, out) = cli(&handle, &["metrics"], "");
+    assert_eq!(code, EXIT_OK);
+    assert!(
+        out.contains("# TYPE engine_requests_total counter"),
+        "{out}"
+    );
+    assert!(
+        out.contains("engine_request_nanos_count{route=\"compiled\"} 1"),
+        "{out}"
+    );
+
+    let (code, out) = cli(&handle, &["slow"], "");
+    assert_eq!(code, EXIT_OK);
+    assert!(out.starts_with("slowlog count 1 "), "{out}");
+    assert!(out.contains("route compiled"), "{out}");
+    handle.stop();
+}

@@ -35,6 +35,7 @@
 //! ```text
 //! query  [R(x0) v S0(x0,y0)] & [S0(x0,y0) v T(y0)]
 //! tenant acme                  # optional tenant label
+//! trace  on                    # attach the phase trace to the response
 //! left   0 1                   # left domain U
 //! right  1000 1001             # right domain V
 //! default 1                    # unlisted-tuple probability (0 or 1; default 1)
@@ -52,11 +53,13 @@ use crate::router::{AutoResult, Budget, BudgetError, Route, Routed, SampleMode};
 use crate::Engine;
 use gfomc_approx::ConfidenceInterval;
 use gfomc_arith::Rational;
+use gfomc_obs::Trace;
 use gfomc_query::{parser::parse_query, BipartiteQuery};
 use gfomc_safety::CircuitCostEstimate;
 use gfomc_tid::{Tid, Tuple};
 use std::fmt;
 use std::str::FromStr;
+use std::time::Instant;
 
 // ---------------------------------------------------------------------
 // Route / AutoResult / Routed: the stable response serialization.
@@ -194,13 +197,22 @@ impl FromStr for AutoResult {
 impl fmt::Display for Routed {
     /// The wire response body: a `route` line, an optional `cost` line
     /// (absent exactly when the lifted path skipped lineage grounding),
-    /// and a `result` line carrying the [`AutoResult`] serialization.
+    /// a `result` line carrying the [`AutoResult`] serialization, and —
+    /// only when the request opted in — the phase trace, each of its
+    /// lines prefixed `trace ` so the response grammar stays
+    /// line-oriented and unambiguous.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "route {}", self.route)?;
         if let Some(cost) = &self.cost {
             writeln!(f, "cost {cost}")?;
         }
-        writeln!(f, "result {}", self.result)
+        writeln!(f, "result {}", self.result)?;
+        if let Some(trace) = &self.trace {
+            for line in trace.to_string().lines() {
+                writeln!(f, "trace {line}")?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -211,6 +223,7 @@ impl FromStr for Routed {
         let mut route: Option<Route> = None;
         let mut cost: Option<CircuitCostEstimate> = None;
         let mut result: Option<AutoResult> = None;
+        let mut trace_lines = String::new();
         for line in s.lines() {
             let line = line.trim();
             if line.is_empty() {
@@ -237,6 +250,10 @@ impl FromStr for Routed {
                         return Err(dup("result"));
                     }
                 }
+                "trace" => {
+                    trace_lines.push_str(rest);
+                    trace_lines.push('\n');
+                }
                 other => {
                     return Err(ResponseParseError(format!(
                         "unknown response line '{other}'"
@@ -244,10 +261,20 @@ impl FromStr for Routed {
                 }
             }
         }
+        let trace = if trace_lines.is_empty() {
+            None
+        } else {
+            Some(
+                trace_lines
+                    .parse::<Trace>()
+                    .map_err(|e| ResponseParseError(e.to_string()))?,
+            )
+        };
         Ok(Routed {
             route: route.ok_or_else(|| ResponseParseError("missing 'route' line".into()))?,
             result: result.ok_or_else(|| ResponseParseError("missing 'result' line".into()))?,
             cost,
+            trace,
         })
     }
 }
@@ -282,16 +309,22 @@ pub struct EvalRequest {
     /// ([`Engine::tenant_route_counts`]). Labels are free-form words
     /// (no whitespace).
     pub tenant: Option<String>,
+    /// When `true`, the response carries the request's phase trace
+    /// ([`Routed::trace`]; the `trace on` wire line). Purely additive:
+    /// the result value is bit-identical either way.
+    pub trace: bool,
 }
 
 impl EvalRequest {
-    /// A request with the default budget and no tenant label.
+    /// A request with the default budget, no tenant label, and tracing
+    /// off.
     pub fn new(query: BipartiteQuery, tid: Tid) -> Self {
         EvalRequest {
             query,
             tid,
             budget: Budget::default(),
             tenant: None,
+            trace: false,
         }
     }
 
@@ -305,6 +338,12 @@ impl EvalRequest {
     /// parser, so labels must be single words.
     pub fn with_tenant(mut self, tenant: impl Into<String>) -> Self {
         self.tenant = Some(tenant.into());
+        self
+    }
+
+    /// Builder-style opt-in to a phase trace in the response.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
         self
     }
 }
@@ -389,6 +428,9 @@ impl fmt::Display for EvalRequest {
         if let Some(tenant) = &self.tenant {
             writeln!(f, "tenant {tenant}")?;
         }
+        if self.trace {
+            writeln!(f, "trace on")?;
+        }
         write!(f, "left")?;
         for u in self.tid.left_domain() {
             write!(f, " {u}")?;
@@ -422,6 +464,7 @@ impl FromStr for EvalRequest {
         let malformed = |m: String| RequestParseError::Malformed(m);
         let mut query: Option<BipartiteQuery> = None;
         let mut tenant: Option<String> = None;
+        let mut trace: Option<bool> = None;
         let mut left: Option<Vec<u32>> = None;
         let mut right: Option<Vec<u32>> = None;
         let mut default: Option<Rational> = None;
@@ -455,6 +498,14 @@ impl FromStr for EvalRequest {
                         return Err(at("tenant must be one non-empty word"));
                     }
                     tenant = Some(rest.to_string());
+                }
+                "trace" => {
+                    set_once(trace.is_some())?;
+                    trace = Some(match rest {
+                        "on" => true,
+                        "off" => false,
+                        _ => return Err(at("trace must be 'on' or 'off'")),
+                    });
                 }
                 "left" | "right" => {
                     let domain: Result<Vec<u32>, _> = rest
@@ -574,6 +625,7 @@ impl FromStr for EvalRequest {
             tid,
             budget,
             tenant,
+            trace: trace.unwrap_or(false),
         })
     }
 }
@@ -607,13 +659,51 @@ impl std::error::Error for EvalError {}
 impl Engine {
     /// Routes one [`EvalRequest`] — the typed front door shared by the
     /// server, the CLI, and in-process callers. Identical to
-    /// [`Engine::try_evaluate_auto`] on the request's parts, plus
-    /// per-tenant route accounting when the request carries a tenant
-    /// label.
+    /// [`Engine::try_evaluate_auto`] on the request's parts, plus the
+    /// per-request observability the serving layer reads back out:
+    /// per-tenant route accounting, the per-route / per-tenant
+    /// request-latency histograms in [`Engine::registry`], the
+    /// slow-query ring buffer, and — when the request opted in — the
+    /// phase trace attached to the returned record. All of it is
+    /// passive: the result value is bit-identical to
+    /// [`Engine::try_evaluate_auto`].
     pub fn evaluate_request(&self, req: &EvalRequest) -> Result<Routed, BudgetError> {
-        let routed = self.try_evaluate_auto(&req.query, &req.tid, &req.budget)?;
+        self.evaluate_request_recorded(req, 0)
+    }
+
+    /// [`Engine::evaluate_request`] with the wire-parse time already
+    /// spent on this request, so the recorded trace and latency
+    /// histograms cover the full parse → route → evaluate pipeline.
+    pub(crate) fn evaluate_request_recorded(
+        &self,
+        req: &EvalRequest,
+        parse_nanos: u64,
+    ) -> Result<Routed, BudgetError> {
+        req.budget.validate()?;
+        let start = Instant::now();
+        let mut tr = Trace::new();
+        if parse_nanos > 0 {
+            tr.push_span("parse", parse_nanos);
+        }
+        let mut routed = self.evaluate_auto_core(&req.query, &req.tid, &req.budget, &mut tr);
         if let Some(tenant) = &req.tenant {
             self.count_tenant_route(tenant, routed.route);
+        }
+        tr.total_nanos = parse_nanos + start.elapsed().as_nanos() as u64;
+        self.requests.inc();
+        let registry = self.registry();
+        let route_label = routed.route.to_string();
+        registry
+            .histogram("engine_request_nanos", &[("route", &route_label)])
+            .record(tr.total_nanos);
+        if let Some(tenant) = &req.tenant {
+            registry
+                .histogram("engine_tenant_request_nanos", &[("tenant", tenant)])
+                .record(tr.total_nanos);
+        }
+        self.slow_log().record(&tr);
+        if req.trace {
+            routed.trace = Some(tr);
         }
         Ok(routed)
     }
@@ -623,8 +713,12 @@ impl Engine {
     /// server sends back. Every failure is a typed [`EvalError`] — never a
     /// panic — so a network handler can map it to a 400-class response.
     pub fn evaluate_wire(&self, body: &str) -> Result<String, EvalError> {
+        let parse_start = Instant::now();
         let req: EvalRequest = body.parse().map_err(EvalError::Parse)?;
-        let routed = self.evaluate_request(&req).map_err(EvalError::Budget)?;
+        let parse_nanos = parse_start.elapsed().as_nanos() as u64;
+        let routed = self
+            .evaluate_request_recorded(&req, parse_nanos)
+            .map_err(EvalError::Budget)?;
         Ok(routed.to_string())
     }
 }
@@ -694,6 +788,11 @@ mod tests {
             bad_prob.parse::<EvalRequest>(),
             Err(RequestParseError::Malformed(m)) if m.contains("probability")
         ));
+        let bad_trace = "query R(x0) v S0(x0,y0) & S0(x0,y0) v T(y0)\nleft 0\nright 1\ntrace maybe";
+        assert!(matches!(
+            bad_trace.parse::<EvalRequest>(),
+            Err(RequestParseError::Malformed(m)) if m.contains("trace")
+        ));
     }
 
     #[test]
@@ -750,6 +849,76 @@ mod tests {
     }
 
     #[test]
+    fn traced_request_roundtrips_and_response_carries_the_trace() {
+        // The `trace on` key survives the request round-trip.
+        let req = small_request().with_trace();
+        let back: EvalRequest = req.to_string().parse().unwrap();
+        assert_eq!(back, req);
+        assert!(back.trace);
+        // The traced response carries a populated trace whose text form
+        // round-trips, and the value is bit-identical to the untraced
+        // response of a fresh engine.
+        let engine = Engine::new();
+        let traced = engine.evaluate_request(&req).unwrap();
+        let trace = traced.trace.as_ref().expect("trace requested");
+        assert_eq!(trace.route.as_deref(), Some("compiled"));
+        assert_eq!(trace.cache_hit, Some(false));
+        assert!(trace.gates.is_some());
+        assert!(trace.span("route").is_some());
+        assert!(trace.span("compile").is_some());
+        assert!(trace.span("evaluate").is_some());
+        assert!(trace.total_nanos > 0);
+        assert_eq!(traced.to_string().parse::<Routed>().unwrap(), traced);
+        let plain = Engine::new().evaluate_request(&small_request()).unwrap();
+        assert!(plain.trace.is_none());
+        assert_eq!(plain.result, traced.result);
+        // A second identical request hits the compilation cache.
+        let again = engine.evaluate_request(&req).unwrap();
+        let trace = again.trace.as_ref().unwrap();
+        assert_eq!(trace.cache_hit, Some(true));
+        assert!(trace.span("cache").is_some());
+        assert_eq!(again.result, traced.result);
+    }
+
+    #[test]
+    fn request_metrics_land_in_the_engine_registry() {
+        let engine = Engine::new();
+        let req = small_request().with_tenant("acme");
+        engine.evaluate_request(&req).unwrap();
+        engine.evaluate_request(&req).unwrap();
+        let registry = engine.registry();
+        assert_eq!(registry.counter_value("engine_requests_total", &[]), 2);
+        assert_eq!(
+            registry.counter_value("engine_route_total", &[("route", "compiled")]),
+            2
+        );
+        let by_route = registry
+            .histogram_snapshot("engine_request_nanos", &[("route", "compiled")])
+            .expect("compiled-route histogram exists");
+        assert_eq!(by_route.count, 2);
+        let by_tenant = registry
+            .histogram_snapshot("engine_tenant_request_nanos", &[("tenant", "acme")])
+            .expect("tenant histogram exists");
+        assert_eq!(by_tenant.count, 2);
+    }
+
+    #[test]
+    fn zero_threshold_slow_log_records_every_request() {
+        let engine = Engine::builder()
+            .slow_threshold_nanos(0)
+            .slow_capacity(4)
+            .build();
+        for _ in 0..6 {
+            engine.evaluate_request(&small_request()).unwrap();
+        }
+        // Ring semantics: capacity bounds retention, not recording.
+        assert_eq!(engine.slow_log().len(), 4);
+        let render = engine.slow_log().render();
+        assert!(render.starts_with("slowlog count 4"), "{render}");
+        assert!(render.contains("route compiled"), "{render}");
+    }
+
+    #[test]
     fn response_parse_rejects_malformed_bodies() {
         for bad in [
             "",
@@ -760,6 +929,9 @@ mod tests {
             "route lifted\nresult approx 1/2 ci 3/4 1/4 delta 0.05 samples 8\n",
             "route lifted\nresult exact 1/2 extra\n",
             "route lifted\nroute lifted\nresult exact 1/2\n",
+            // Trace lines without the mandatory total, or malformed.
+            "route lifted\nresult exact 1/2\ntrace span route 10\n",
+            "route lifted\nresult exact 1/2\ntrace garbage 1\ntrace total 10\n",
         ] {
             assert!(bad.parse::<Routed>().is_err(), "{bad:?}");
         }

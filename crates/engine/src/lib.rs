@@ -52,15 +52,21 @@ pub mod workload;
 pub use api::{EvalError, EvalRequest, EvalResponse, RequestParseError, ResponseParseError};
 pub use router::{AutoResult, Budget, BudgetError, Route, RouteCounts, Routed, SampleMode};
 
+// The observability vocabulary is part of the engine's public surface:
+// `Engine::registry()` hands out the `Registry`, traced responses carry a
+// `Trace`, and the slow-query ring buffer is a `SlowLog`.
+pub use gfomc_obs::{HistogramSnapshot, Registry, SlowLog, Trace};
+
 use gfomc_arith::{Interval, Rational};
 use gfomc_logic::{Circuit, Cnf, CnfId, CnfInterner, EvalArena, FlatCircuit, WeightsFromFn};
+use gfomc_obs::Counter;
 use gfomc_pool::WorkerPool;
 use gfomc_query::BipartiteQuery;
 use gfomc_tid::{lineage, Lineage, Tid, Tuple, VarTable};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Default number of compiled circuits the engine keeps hot.
@@ -69,6 +75,14 @@ pub const DEFAULT_CACHE_CAPACITY: usize = 64;
 /// Default bound on concurrently admitted serving requests (the
 /// [`EngineBuilder::max_queue_depth`] knob read by `gfomc-serve`).
 pub const DEFAULT_MAX_QUEUE_DEPTH: usize = 64;
+
+/// Default slow-query threshold: requests at or above 1 ms end-to-end are
+/// recorded in the [`SlowLog`] ([`EngineBuilder::slow_threshold_nanos`]).
+pub const DEFAULT_SLOW_THRESHOLD_NANOS: u64 = 1_000_000;
+
+/// Default capacity of the slow-query ring buffer
+/// ([`EngineBuilder::slow_capacity`]).
+pub const DEFAULT_SLOW_CAPACITY: usize = 64;
 
 /// Maximum number of independently locked cache shards (fewer when the
 /// capacity is smaller, so the `entries <= capacity` bound stays exact).
@@ -165,12 +179,22 @@ struct CacheShard {
 /// giant still ages out eventually).
 #[derive(Debug)]
 pub struct Engine {
-    compiled: AtomicUsize,
-    nodes: AtomicUsize,
-    decisions: AtomicUsize,
-    routes_lifted: AtomicUsize,
-    routes_compiled: AtomicUsize,
-    routes_sampled: AtomicUsize,
+    /// The engine's metric namespace: every counter below is a handle
+    /// into this registry, so `/metrics` and the typed getters
+    /// ([`Engine::cache_stats`], [`Engine::route_counts`]) read the same
+    /// cells and can never drift apart.
+    registry: Arc<Registry>,
+    /// Slow-request ring buffer fed by
+    /// [`Engine::evaluate_request`](crate::api) (full phase traces of the
+    /// slowest requests; see [`EngineBuilder::slow_threshold_nanos`]).
+    slow_log: Arc<SlowLog>,
+    pub(crate) requests: Arc<Counter>,
+    compiled: Arc<Counter>,
+    nodes: Arc<Counter>,
+    decisions: Arc<Counter>,
+    routes_lifted: Arc<Counter>,
+    routes_compiled: Arc<Counter>,
+    routes_sampled: Arc<Counter>,
     /// Per-tenant routing tallies, keyed by the tenant label of the
     /// [`EvalRequest`](crate::EvalRequest) that carried the query (the
     /// serving layer's multi-tenant accounting; empty until a labeled
@@ -179,10 +203,10 @@ pub struct Engine {
     shards: Box<[Mutex<CacheShard>]>,
     cache_capacity: usize,
     cache_stamp: AtomicU64,
-    cache_hits: AtomicUsize,
-    cache_misses: AtomicUsize,
-    cache_evictions: AtomicUsize,
-    cache_rejections: AtomicUsize,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    cache_evictions: Arc<Counter>,
+    cache_rejections: Arc<Counter>,
     /// Serving knob carried by the engine so server, CLI, and benches all
     /// read one source of truth: how many admitted-but-unfinished requests
     /// a front-end may hold before it must reject explicitly.
@@ -213,6 +237,8 @@ pub struct EngineBuilder {
     cache_capacity: usize,
     pool: Option<Arc<WorkerPool>>,
     max_queue_depth: usize,
+    slow_threshold_nanos: u64,
+    slow_capacity: usize,
 }
 
 impl Default for EngineBuilder {
@@ -221,6 +247,8 @@ impl Default for EngineBuilder {
             cache_capacity: DEFAULT_CACHE_CAPACITY,
             pool: None,
             max_queue_depth: DEFAULT_MAX_QUEUE_DEPTH,
+            slow_threshold_nanos: DEFAULT_SLOW_THRESHOLD_NANOS,
+            slow_capacity: DEFAULT_SLOW_CAPACITY,
         }
     }
 }
@@ -249,6 +277,21 @@ impl EngineBuilder {
         self
     }
 
+    /// End-to-end duration (nanoseconds) at or above which a request's
+    /// full phase trace is kept in the slow-query ring buffer
+    /// ([`Engine::slow_log`]). 0 records every request.
+    pub fn slow_threshold_nanos(mut self, nanos: u64) -> Self {
+        self.slow_threshold_nanos = nanos;
+        self
+    }
+
+    /// Capacity of the slow-query ring buffer (0 disables slow-query
+    /// recording entirely).
+    pub fn slow_capacity(mut self, capacity: usize) -> Self {
+        self.slow_capacity = capacity;
+        self
+    }
+
     /// Builds the engine with zeroed statistics.
     pub fn build(self) -> Engine {
         let capacity = self.cache_capacity;
@@ -273,25 +316,31 @@ impl EngineBuilder {
                 })
             })
             .collect();
+        let registry = Arc::new(Registry::new());
+        let counter = |name: &str| registry.counter(name, &[]);
+        let route = |name: &str| registry.counter("engine_route_total", &[("route", name)]);
         Engine {
-            compiled: AtomicUsize::new(0),
-            nodes: AtomicUsize::new(0),
-            decisions: AtomicUsize::new(0),
-            routes_lifted: AtomicUsize::new(0),
-            routes_compiled: AtomicUsize::new(0),
-            routes_sampled: AtomicUsize::new(0),
+            requests: counter("engine_requests_total"),
+            compiled: counter("engine_compiled_circuits_total"),
+            nodes: counter("engine_circuit_gates_total"),
+            decisions: counter("engine_circuit_decisions_total"),
+            routes_lifted: route("lifted"),
+            routes_compiled: route("compiled"),
+            routes_sampled: route("sampled"),
             tenant_routes: Mutex::new(HashMap::new()),
             shards,
             cache_capacity: capacity,
             cache_stamp: AtomicU64::new(0),
-            cache_hits: AtomicUsize::new(0),
-            cache_misses: AtomicUsize::new(0),
-            cache_evictions: AtomicUsize::new(0),
-            cache_rejections: AtomicUsize::new(0),
+            cache_hits: counter("engine_cache_hits_total"),
+            cache_misses: counter("engine_cache_misses_total"),
+            cache_evictions: counter("engine_cache_evictions_total"),
+            cache_rejections: counter("engine_cache_rejections_total"),
             max_queue_depth: self.max_queue_depth,
             pool: self
                 .pool
                 .unwrap_or_else(|| Arc::clone(WorkerPool::global())),
+            slow_log: Arc::new(SlowLog::new(self.slow_threshold_nanos, self.slow_capacity)),
+            registry,
         }
     }
 }
@@ -370,11 +419,21 @@ impl Engine {
     /// and the router ([`Engine::evaluate_auto`]), which grounds the
     /// lineage itself to estimate its cost before committing to a circuit.
     pub(crate) fn compile_lineage(&self, lin: Lineage) -> Compiled {
-        let circuit = self.compile_cnf(&lin.cnf);
-        Compiled {
-            circuit,
-            vars: lin.vars,
-        }
+        self.compile_lineage_traced(lin).0
+    }
+
+    /// [`Engine::compile_lineage`] plus the cache outcome: `true` iff the
+    /// circuit was already resident — the bit the router's phase trace
+    /// reports as `cache hit`/`cache miss`.
+    pub(crate) fn compile_lineage_traced(&self, lin: Lineage) -> (Compiled, bool) {
+        let (circuit, hit) = self.compile_cnf(&lin.cnf);
+        (
+            Compiled {
+                circuit,
+                vars: lin.vars,
+            },
+            hit,
+        )
     }
 
     /// The shard a canonical CNF belongs to.
@@ -399,21 +458,22 @@ impl Engine {
 
     /// The cache-aware compilation core: interns the canonical CNF in its
     /// shard and either returns the resident circuit or compiles, admits,
-    /// and possibly evicts under the cost-aware policy.
-    fn compile_cnf(&self, cnf: &Cnf) -> Arc<FlatCircuit> {
+    /// and possibly evicts under the cost-aware policy. The flag is `true`
+    /// iff the circuit was already resident (a cache hit).
+    fn compile_cnf(&self, cnf: &Cnf) -> (Arc<FlatCircuit>, bool) {
         if self.cache_capacity == 0 {
-            self.cache_misses.fetch_add(1, Ordering::Relaxed);
-            return self.compile_fresh(cnf);
+            self.cache_misses.inc();
+            return (self.compile_fresh(cnf), false);
         }
         let mut shard = Engine::lock_shard(self.shard_of(cnf));
         let id = shard.interner.intern(cnf);
         let stamp = self.cache_stamp.fetch_add(1, Ordering::Relaxed) + 1;
         if let Some(entry) = shard.entries.get_mut(&id) {
             entry.priority = stamp.saturating_add(entry.cost);
-            self.cache_hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(&entry.circuit);
+            self.cache_hits.inc();
+            return (Arc::clone(&entry.circuit), true);
         }
-        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        self.cache_misses.inc();
         // Compile while holding the shard lock: concurrent callers of the
         // *same* lineage wait for one compilation instead of duplicating
         // it, and callers of distinct lineages collide only when their
@@ -445,12 +505,12 @@ impl Engine {
             shard.entries.remove(&victim);
             shard.interner.forget(victim);
             if victim == id {
-                self.cache_rejections.fetch_add(1, Ordering::Relaxed);
+                self.cache_rejections.inc();
             } else {
-                self.cache_evictions.fetch_add(1, Ordering::Relaxed);
+                self.cache_evictions.inc();
             }
         }
-        circuit
+        (circuit, false)
     }
 
     /// Uncached compilation plus instrumentation: the Shannon/component
@@ -459,28 +519,26 @@ impl Engine {
     /// preserved 1:1) and the tree is dropped.
     fn compile_fresh(&self, cnf: &Cnf) -> Arc<FlatCircuit> {
         let circuit = Circuit::compile(cnf).flatten();
-        self.compiled.fetch_add(1, Ordering::Relaxed);
-        self.nodes
-            .fetch_add(circuit.gate_count(), Ordering::Relaxed);
-        self.decisions
-            .fetch_add(circuit.decision_count(), Ordering::Relaxed);
+        self.compiled.inc();
+        self.nodes.add(circuit.gate_count() as u64);
+        self.decisions.add(circuit.decision_count() as u64);
         Arc::new(circuit)
     }
 
     /// Number of lineages actually compiled by this engine (cache hits
     /// are not compilations).
     pub fn compiled_count(&self) -> usize {
-        self.compiled.load(Ordering::Relaxed)
+        self.compiled.get() as usize
     }
 
     /// Total circuit gates produced across all compilations.
     pub fn total_nodes(&self) -> usize {
-        self.nodes.load(Ordering::Relaxed)
+        self.nodes.get() as usize
     }
 
     /// Total Shannon-split gates produced across all compilations.
     pub fn total_decisions(&self) -> usize {
-        self.decisions.load(Ordering::Relaxed)
+        self.decisions.get() as usize
     }
 
     /// Compilation-cache counters, surfaced next to
@@ -489,16 +547,16 @@ impl Engine {
     /// traffic they are mutually consistent only once the traffic quiesces.
     pub fn cache_stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.cache_hits.load(Ordering::Relaxed),
-            misses: self.cache_misses.load(Ordering::Relaxed),
+            hits: self.cache_hits.get() as usize,
+            misses: self.cache_misses.get() as usize,
             entries: self
                 .shards
                 .iter()
                 .map(|s| Engine::lock_shard(s).entries.len())
                 .sum(),
             capacity: self.cache_capacity,
-            evictions: self.cache_evictions.load(Ordering::Relaxed),
-            rejections: self.cache_rejections.load(Ordering::Relaxed),
+            evictions: self.cache_evictions.get() as usize,
+            rejections: self.cache_rejections.get() as usize,
         }
     }
 
@@ -509,16 +567,63 @@ impl Engine {
             router::Route::Compiled => &self.routes_compiled,
             router::Route::Sampled => &self.routes_sampled,
         };
-        counter.fetch_add(1, Ordering::Relaxed);
+        counter.inc();
     }
 
     /// Routing decisions made by this engine so far.
     pub fn route_counts(&self) -> RouteCounts {
         RouteCounts {
-            lifted: self.routes_lifted.load(Ordering::Relaxed),
-            compiled: self.routes_compiled.load(Ordering::Relaxed),
-            sampled: self.routes_sampled.load(Ordering::Relaxed),
+            lifted: self.routes_lifted.get() as usize,
+            compiled: self.routes_compiled.get() as usize,
+            sampled: self.routes_sampled.get() as usize,
         }
+    }
+
+    /// The engine's metrics registry: every counter the typed getters
+    /// report lives here, plus the per-route / per-tenant request-latency
+    /// histograms recorded by
+    /// [`Engine::evaluate_request`](crate::api). Render it with
+    /// [`Registry::render_prometheus`] (the `/metrics` endpoint) or
+    /// [`Registry::render_plain`] (the `/status` endpoint).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The slow-query ring buffer: full phase traces of requests whose
+    /// end-to-end time met [`EngineBuilder::slow_threshold_nanos`].
+    pub fn slow_log(&self) -> &Arc<SlowLog> {
+        &self.slow_log
+    }
+
+    /// Publishes the point-in-time state the counters cannot carry —
+    /// cache occupancy, worker-pool counters, and the process-wide
+    /// sampler / interval-fallback tallies — as registry gauges. Called
+    /// by the serving layer just before rendering `/metrics` or
+    /// `/status`, so scrapes see fresh values without the engine paying
+    /// for gauge upkeep on the request path.
+    pub fn refresh_gauges(&self) {
+        let cache = self.cache_stats();
+        self.registry
+            .set_gauge("engine_cache_entries", &[], cache.entries as u64);
+        self.registry
+            .set_gauge("engine_cache_capacity", &[], cache.capacity as u64);
+        let pool = self.pool.stats();
+        self.registry
+            .set_gauge("pool_threads", &[], pool.threads as u64);
+        self.registry.set_gauge("pool_jobs", &[], pool.jobs);
+        self.registry.set_gauge("pool_steals", &[], pool.steals);
+        self.registry
+            .set_gauge("pool_broadcasts", &[], pool.broadcasts);
+        self.registry.set_gauge(
+            "sampler_samples_drawn",
+            &[],
+            gfomc_approx::samples_drawn_total(),
+        );
+        self.registry.set_gauge(
+            "flat_interval_fallbacks",
+            &[],
+            gfomc_logic::interval_fallbacks_total(),
+        );
     }
 
     /// Bumps the routing tally of one tenant — called by

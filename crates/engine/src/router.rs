@@ -34,12 +34,14 @@ use crate::Engine;
 use gfomc_approx::{AdaptiveConfig, CnfSampler, ConfidenceInterval, Estimate};
 use gfomc_arith::Rational;
 use gfomc_logic::EvalArena;
+use gfomc_obs::Trace;
 use gfomc_query::BipartiteQuery;
 use gfomc_safety::{circuit_cost_estimate, is_safe, lifted_probability, CircuitCostEstimate};
 use gfomc_tid::{lineage, Tid};
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 thread_local! {
     /// Per-thread evaluation arena for the compiled route: repeated
@@ -286,6 +288,12 @@ pub struct Routed {
     /// The lineage cost estimate — `None` on the lifted path, which never
     /// grounds a lineage.
     pub cost: Option<CircuitCostEstimate>,
+    /// The request's phase trace — `Some` only when the caller opted in
+    /// ([`EvalRequest::with_trace`](crate::EvalRequest::with_trace)).
+    /// Observation is passive: `result` is bit-identical whether or not a
+    /// trace was recorded, and trace-carrying responses still round-trip
+    /// through the wire grammar.
+    pub trace: Option<Trace>,
 }
 
 /// Running tally of routing decisions, per [`Engine`].
@@ -331,31 +339,70 @@ impl Engine {
         Ok(self.evaluate_auto_validated(q, tid, budget))
     }
 
-    /// The routing core, entered only with a validated budget.
+    /// The routing core, entered only with a validated budget. The phase
+    /// trace it records is discarded here; the request front door
+    /// ([`Engine::evaluate_request`](crate::api)) keeps it.
     fn evaluate_auto_validated(&self, q: &BipartiteQuery, tid: &Tid, budget: &Budget) -> Routed {
+        self.evaluate_auto_core(q, tid, budget, &mut Trace::new())
+    }
+
+    /// The traced routing core: routes exactly as
+    /// [`Engine::evaluate_auto`] and records the phase timings and
+    /// routing facts into `tr` along the way. Tracing is **passive** —
+    /// clocks are read between phases, never inside the arithmetic, so
+    /// the returned [`Routed`] is bit-identical with any `tr`. The
+    /// returned record carries `trace: None`; attaching the trace is the
+    /// caller's opt-in decision.
+    pub(crate) fn evaluate_auto_core(
+        &self,
+        q: &BipartiteQuery,
+        tid: &Tid,
+        budget: &Budget,
+        tr: &mut Trace,
+    ) -> Routed {
         // Normalize at the point of use: a `Budget` built as a struct
         // literal can carry `threads: 0` past the `with_threads` clamp,
         // and a zero must never reach the pool fan-out.
         let threads = budget.threads.max(1);
+        let mut mark = Instant::now();
+        // Reads the clock, closes the current phase, and opens the next.
+        let mut span = |tr: &mut Trace, name: &str| {
+            let now = Instant::now();
+            tr.push_span(name, now.duration_since(mark).as_nanos() as u64);
+            mark = now;
+        };
         if is_safe(q) {
+            span(tr, "route");
             let p = lifted_probability(q, tid).expect("safe query must lift");
+            span(tr, "evaluate");
+            tr.route = Some(Route::Lifted.to_string());
             self.count_route(Route::Lifted);
             return Routed {
                 result: AutoResult::Exact(p),
                 route: Route::Lifted,
                 cost: None,
+                trace: None,
             };
         }
         let lin = lineage(q, tid);
         let cost = circuit_cost_estimate(&lin.cnf);
+        span(tr, "route");
+        tr.gates = Some(cost.estimated_nodes);
         if cost.within(budget.max_circuit_cost) {
-            let compiled = self.compile_lineage(lin);
+            let (compiled, hit) = self.compile_lineage_traced(lin);
+            span(tr, if hit { "cache" } else { "compile" });
+            tr.cache_hit = Some(hit);
             self.count_route(Route::Compiled);
+            let fallbacks_before = gfomc_logic::interval_fallbacks_thread();
             let p = ROUTE_ARENA.with(|arena| compiled.evaluate_db_with(&mut arena.borrow_mut()));
+            span(tr, "evaluate");
+            tr.fallbacks = Some(gfomc_logic::interval_fallbacks_thread() - fallbacks_before);
+            tr.route = Some(Route::Compiled.to_string());
             return Routed {
                 result: AutoResult::Exact(p),
                 route: Route::Compiled,
                 cost: Some(cost),
+                trace: None,
             };
         }
         let sampler = CnfSampler::new(&lin.cnf, lin.vars.weights());
@@ -370,14 +417,20 @@ impl Engine {
             SampleMode::Adaptive { epsilon } => {
                 let cfg =
                     AdaptiveConfig::new(epsilon, budget.delta, budget.seed).with_threads(threads);
-                sampler.estimate_adaptive_on(self.pool(), &cfg).estimate
+                let adaptive = sampler.estimate_adaptive_on(self.pool(), &cfg);
+                tr.rounds = Some(u64::from(adaptive.rounds));
+                adaptive.estimate
             }
         };
+        span(tr, "sample");
+        tr.samples = Some(est.samples);
+        tr.route = Some(Route::Sampled.to_string());
         self.count_route(Route::Sampled);
         Routed {
             result: est.into(),
             route: Route::Sampled,
             cost: Some(cost),
+            trace: None,
         }
     }
 

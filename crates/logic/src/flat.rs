@@ -38,9 +38,34 @@ use crate::cnf::Var;
 use crate::wmc::WeightFn;
 use gfomc_arith::{Certifies, Interval, Rational};
 use gfomc_pool::WorkerPool;
+use std::cell::Cell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Process-wide count of interval-evaluation fallbacks to exact
+/// arithmetic in [`FlatCircuit::le_exact`] — a telemetry counter: it
+/// observes the decision, never influences it.
+static INTERVAL_FALLBACKS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Per-thread slice of [`INTERVAL_FALLBACKS`]. The compiled route
+    /// evaluates on the request's own thread, so a before/after read of
+    /// this cell attributes fallbacks to one request exactly.
+    static INTERVAL_FALLBACKS_THREAD: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Total [`FlatCircuit::le_exact`] interval→exact fallbacks across the
+/// process (monotone; exported to the engine's `/metrics` gauges).
+pub fn interval_fallbacks_total() -> u64 {
+    INTERVAL_FALLBACKS.load(Ordering::Relaxed)
+}
+
+/// This thread's share of [`interval_fallbacks_total`] — read it before
+/// and after an evaluation to attribute fallbacks to that evaluation.
+pub fn interval_fallbacks_thread() -> u64 {
+    INTERVAL_FALLBACKS_THREAD.with(Cell::get)
+}
 
 /// Gate opcode of a [`FlatCircuit`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -363,6 +388,8 @@ impl FlatCircuit {
         match self.proves_le(w, t, arena) {
             Certifies::Proven(b) => (b, false),
             Certifies::Unknown => {
+                INTERVAL_FALLBACKS.fetch_add(1, Ordering::Relaxed);
+                INTERVAL_FALLBACKS_THREAD.with(|c| c.set(c.get() + 1));
                 arena.overlay.clear();
                 let exact = self.eval_exact_at(self.root, &arena.slot_weights, &mut arena.overlay);
                 (&exact <= t, true)

@@ -31,7 +31,7 @@ pub mod wmc;
 pub use circuit::{Circuit, Compiler, EvalArena, Node, NodeId, Valuation};
 pub use cnf::{Clause, Cnf, Var};
 pub use dnf::Dnf;
-pub use flat::{FlatCircuit, Op};
+pub use flat::{interval_fallbacks_thread, interval_fallbacks_total, FlatCircuit, Op};
 pub use intern::{CnfId, CnfInterner};
 pub use wmc::{
     count_models, wmc, wmc_brute_force, ModelCounter, UniformWeight, WeightFn, WeightsFromFn,

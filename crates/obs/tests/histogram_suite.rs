@@ -1,0 +1,129 @@
+//! Property suite for the histogram core — the algebra the fleet-wide
+//! latency views depend on:
+//!
+//! * **Conservation**: after any sequence of records, `count` equals the
+//!   bucket sum exactly and `sum` equals the value sum exactly.
+//! * **Merge algebra**: snapshot merging is associative and commutative
+//!   (per-thread and per-shard histograms combine into one view in any
+//!   order) and conserves count and sum.
+//! * **Monotone bounds**: bucket bounds strictly increase and tile the
+//!   whole `u64` line with no gap and no overlap.
+//! * **Percentile-within-bucket**: every quantile readout lands in the
+//!   same bucket as the true order statistic of the recorded values.
+
+use gfomc_obs::{
+    bucket_index, bucket_lower_bound, bucket_upper_bound, Histogram, HistogramSnapshot, BUCKETS,
+};
+use proptest::prelude::*;
+
+/// Records every value into a fresh histogram.
+fn histogram_of(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+/// Value generator spanning every magnitude: small counts, mid-range
+/// latencies, and near-overflow outliers all hit distinct buckets.
+fn value() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        0u64..16,
+        1u64..100_000,
+        1u64..(1 << 40),
+        Just(u64::MAX),
+        any::<u64>(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn count_and_sum_are_conserved(values in proptest::collection::vec(value(), 0..200)) {
+        let snap = histogram_of(&values);
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(snap.buckets.iter().sum::<u64>(), snap.count);
+        // Wrapping sum mirrors the histogram's modular accumulator, so
+        // the law holds even for near-MAX outlier mixes.
+        let expect_sum = values.iter().fold(0u64, |acc, &v| acc.wrapping_add(v));
+        prop_assert_eq!(snap.sum, expect_sum);
+    }
+
+    #[test]
+    fn merge_commutes_and_conserves(
+        a in proptest::collection::vec(value(), 0..100),
+        b in proptest::collection::vec(value(), 0..100),
+    ) {
+        let (sa, sb) = (histogram_of(&a), histogram_of(&b));
+        let merged = sa.merge(&sb);
+        prop_assert_eq!(merged, sb.merge(&sa));
+        prop_assert_eq!(merged.count, sa.count + sb.count);
+        prop_assert_eq!(merged.sum, sa.sum.wrapping_add(sb.sum));
+        // Merging two streams equals recording their concatenation.
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        prop_assert_eq!(merged, histogram_of(&all));
+    }
+
+    #[test]
+    fn merge_associates(
+        a in proptest::collection::vec(value(), 0..60),
+        b in proptest::collection::vec(value(), 0..60),
+        c in proptest::collection::vec(value(), 0..60),
+    ) {
+        let (sa, sb, sc) = (histogram_of(&a), histogram_of(&b), histogram_of(&c));
+        prop_assert_eq!(sa.merge(&sb).merge(&sc), sa.merge(&sb.merge(&sc)));
+    }
+
+    #[test]
+    fn every_value_lands_between_its_bucket_bounds(v in value()) {
+        let i = bucket_index(v);
+        prop_assert!(i < BUCKETS);
+        prop_assert!(bucket_lower_bound(i) <= v);
+        prop_assert!(v <= bucket_upper_bound(i));
+    }
+
+    #[test]
+    fn quantile_lands_in_the_order_statistic_bucket(
+        values in proptest::collection::vec(value(), 1..200),
+        q_permille in 1u64..1000,
+    ) {
+        let q = q_permille as f64 / 1000.0;
+        let snap = histogram_of(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        // The rank the quantile definition targets, 1-based.
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let order_statistic = sorted[rank - 1];
+        let got = snap.quantile(q);
+        prop_assert_eq!(
+            bucket_index(got),
+            bucket_index(order_statistic),
+            "q={} rank={} stat={} got={}",
+            q,
+            rank,
+            order_statistic,
+            got
+        );
+        // And the readout is the bucket's inclusive upper bound, so it
+        // never understates the order statistic.
+        prop_assert!(got >= order_statistic);
+    }
+}
+
+#[test]
+fn bucket_bounds_are_strictly_monotone_and_tile_u64() {
+    for i in 1..BUCKETS {
+        assert!(bucket_upper_bound(i) > bucket_upper_bound(i - 1), "{i}");
+        assert!(bucket_lower_bound(i) > bucket_lower_bound(i - 1), "{i}");
+        assert_eq!(
+            bucket_lower_bound(i),
+            bucket_upper_bound(i - 1) + 1,
+            "no gap, no overlap at {i}"
+        );
+    }
+    assert_eq!(bucket_lower_bound(0), 0);
+    assert_eq!(bucket_upper_bound(BUCKETS - 1), u64::MAX);
+}

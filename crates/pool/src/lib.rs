@@ -51,9 +51,37 @@
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::thread::JoinHandle;
+
+/// Lifetime totals of a pool's scheduling activity — incremented with
+/// relaxed atomics on the job-completion path, so keeping them costs one
+/// add per job, never a lock.
+#[derive(Debug, Default)]
+struct PoolCounters {
+    /// Scope jobs run to completion (by workers and stealing callers).
+    jobs: AtomicU64,
+    /// The subset of `jobs` a scope owner stole back and ran inline.
+    steals: AtomicU64,
+    /// [`WorkerPool::broadcast`] calls (including inline `workers <= 1`).
+    broadcasts: AtomicU64,
+}
+
+/// Point-in-time snapshot of a pool's scheduling counters — the pool's
+/// contribution to `/status` and `/metrics`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Persistent worker threads ([`WorkerPool::threads`]).
+    pub threads: usize,
+    /// Scope jobs run to completion over the pool's lifetime.
+    pub jobs: u64,
+    /// Jobs a waiting scope owner stole back and ran inline instead of
+    /// idling — nonzero steals mean callers outpace the workers.
+    pub steals: u64,
+    /// [`WorkerPool::broadcast`] fan-outs issued.
+    pub broadcasts: u64,
+}
 
 /// A lifetime-erased scope job. Erasure is sound because a scope never
 /// returns (even by unwind) before every one of its jobs has run to
@@ -80,10 +108,12 @@ struct ScopeShared {
     done: Condvar,
     /// First panic payload raised by a job, replayed at scope exit.
     panic: Mutex<Option<Box<dyn std::any::Any + Send + 'static>>>,
+    /// The owning pool's counters, bumped as this scope's jobs complete.
+    counters: Arc<PoolCounters>,
 }
 
 impl ScopeShared {
-    fn new() -> Arc<Self> {
+    fn new(counters: Arc<PoolCounters>) -> Arc<Self> {
         Arc::new(ScopeShared {
             state: Mutex::new(ScopeState {
                 jobs: VecDeque::new(),
@@ -91,13 +121,15 @@ impl ScopeShared {
             }),
             done: Condvar::new(),
             panic: Mutex::new(None),
+            counters,
         })
     }
 
     /// Pops and runs one queued job of this scope, if any is still queued.
     /// Returns whether a job ran. A job panic is captured (first payload
-    /// wins) and the pending count is decremented either way.
-    fn run_one(&self) -> bool {
+    /// wins) and the pending count is decremented either way. `stolen`
+    /// marks a scope owner running its own job inline (vs a pool worker).
+    fn run_one(&self, stolen: bool) -> bool {
         let job = lock(&self.state).jobs.pop_front();
         let Some(job) = job else {
             return false;
@@ -107,6 +139,10 @@ impl ScopeShared {
             if slot.is_none() {
                 *slot = Some(payload);
             }
+        }
+        self.counters.jobs.fetch_add(1, Ordering::Relaxed);
+        if stolen {
+            self.counters.steals.fetch_add(1, Ordering::Relaxed);
         }
         let mut st = lock(&self.state);
         st.pending -= 1;
@@ -138,6 +174,7 @@ struct PoolShared {
 pub struct WorkerPool {
     shared: Arc<PoolShared>,
     workers: Vec<JoinHandle<()>>,
+    counters: Arc<PoolCounters>,
 }
 
 impl std::fmt::Debug for PoolShared {
@@ -168,7 +205,11 @@ impl WorkerPool {
                     .expect("spawn pool worker")
             })
             .collect();
-        WorkerPool { shared, workers }
+        WorkerPool {
+            shared,
+            workers,
+            counters: Arc::new(PoolCounters::default()),
+        }
     }
 
     /// The process-wide shared pool, created on first use with one worker
@@ -189,6 +230,18 @@ impl WorkerPool {
         self.workers.len()
     }
 
+    /// Point-in-time snapshot of the pool's scheduling counters. Totals
+    /// are exact once traffic quiesces; mid-traffic reads may observe a
+    /// job's `jobs` bump before its `steals` bump.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            threads: self.workers.len(),
+            jobs: self.counters.jobs.load(Ordering::Relaxed),
+            steals: self.counters.steals.load(Ordering::Relaxed),
+            broadcasts: self.counters.broadcasts.load(Ordering::Relaxed),
+        }
+    }
+
     /// Runs `f` with a [`PoolScope`] through which jobs borrowing local
     /// state (`'env`) can be spawned onto the pool. Does not return —
     /// **even by unwind** — until every spawned job has run to completion;
@@ -202,7 +255,7 @@ impl WorkerPool {
     where
         F: FnOnce(&PoolScope<'_, 'env>) -> R,
     {
-        let shared = ScopeShared::new();
+        let shared = ScopeShared::new(Arc::clone(&self.counters));
         let result = {
             // The guard waits on drop, so the borrow checker's promise —
             // jobs never outlive `'env` — holds even if `f` unwinds.
@@ -229,6 +282,7 @@ impl WorkerPool {
     where
         F: Fn(usize) + Sync,
     {
+        self.counters.broadcasts.fetch_add(1, Ordering::Relaxed);
         if workers <= 1 {
             f(0);
             return;
@@ -260,7 +314,7 @@ struct WaitGuard<'a>(&'a ScopeShared);
 impl Drop for WaitGuard<'_> {
     fn drop(&mut self) {
         loop {
-            if self.0.run_one() {
+            if self.0.run_one(true) {
                 continue;
             }
             let mut st = lock(&self.0.state);
@@ -350,7 +404,7 @@ fn worker_loop(pool: &PoolShared) {
         };
         match ticket {
             Some(scope) => {
-                scope.run_one();
+                scope.run_one(false);
             }
             None => return,
         }
@@ -468,6 +522,39 @@ mod tests {
         let b = WorkerPool::global();
         assert!(Arc::ptr_eq(a, b));
         assert!(a.threads() >= 1);
+    }
+
+    #[test]
+    fn stats_count_jobs_steals_and_broadcasts() {
+        let pool = WorkerPool::new(2);
+        assert_eq!(
+            pool.stats(),
+            PoolStats {
+                threads: 2,
+                ..PoolStats::default()
+            }
+        );
+        pool.broadcast(4, |_| {});
+        pool.scope(|s| {
+            for _ in 0..5 {
+                s.spawn(|| {});
+            }
+        });
+        let stats = pool.stats();
+        // broadcast(4) spawns 3 pool jobs (worker 0 is the caller).
+        assert_eq!(stats.jobs, 3 + 5, "{stats:?}");
+        assert_eq!(stats.broadcasts, 1);
+        assert!(stats.steals <= stats.jobs);
+
+        // On a zero-thread pool every job is a caller steal.
+        let inline = WorkerPool::new(0);
+        inline.scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {});
+            }
+        });
+        let stats = inline.stats();
+        assert_eq!((stats.jobs, stats.steals), (4, 4), "{stats:?}");
     }
 
     #[test]

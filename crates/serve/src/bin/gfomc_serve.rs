@@ -3,13 +3,16 @@
 //! ```text
 //! gfomc-serve [--addr HOST:PORT] [--cache-capacity N]
 //!             [--max-queue-depth N] [--threads N]
+//!             [--slow-threshold-us MICROS]
 //! ```
 //!
 //! Prints `listening on <addr>` once the socket is bound (with an
 //! OS-assigned port resolved, so `--addr 127.0.0.1:0` is scriptable),
 //! then serves until killed.
 
-use gfomc_engine::{Engine, DEFAULT_CACHE_CAPACITY, DEFAULT_MAX_QUEUE_DEPTH};
+use gfomc_engine::{
+    Engine, DEFAULT_CACHE_CAPACITY, DEFAULT_MAX_QUEUE_DEPTH, DEFAULT_SLOW_THRESHOLD_NANOS,
+};
 use gfomc_pool::WorkerPool;
 use gfomc_serve::Server;
 use std::io::Write;
@@ -21,6 +24,7 @@ fn main() -> ExitCode {
     let mut cache_capacity = DEFAULT_CACHE_CAPACITY;
     let mut max_queue_depth = DEFAULT_MAX_QUEUE_DEPTH;
     let mut threads: Option<usize> = None;
+    let mut slow_threshold_nanos = DEFAULT_SLOW_THRESHOLD_NANOS;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -42,10 +46,15 @@ fn main() -> ExitCode {
                     .map(|n| threads = Some(n))
                     .map_err(|_| format!("bad --threads '{v}'"))
             }),
+            "--slow-threshold-us" => value("--slow-threshold-us").and_then(|v| {
+                v.parse::<u64>()
+                    .map(|us| slow_threshold_nanos = us.saturating_mul(1_000))
+                    .map_err(|_| format!("bad --slow-threshold-us '{v}'"))
+            }),
             "--help" | "-h" => {
                 println!(
                     "usage: gfomc-serve [--addr HOST:PORT] [--cache-capacity N] \
-                     [--max-queue-depth N] [--threads N]"
+                     [--max-queue-depth N] [--threads N] [--slow-threshold-us MICROS]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -59,7 +68,8 @@ fn main() -> ExitCode {
 
     let mut builder = Engine::builder()
         .cache_capacity(cache_capacity)
-        .max_queue_depth(max_queue_depth);
+        .max_queue_depth(max_queue_depth)
+        .slow_threshold_nanos(slow_threshold_nanos);
     if let Some(n) = threads {
         builder = builder.pool(Arc::new(WorkerPool::new(n)));
     }

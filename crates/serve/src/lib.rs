@@ -27,8 +27,16 @@
 //! |--------|-----------|-------------------------------------------------------|
 //! | POST   | `/eval`   | Route one [`EvalRequest`] body; 200 → [`Routed`](gfomc_engine::Routed) text, 400 → parse/budget error, 429 → at capacity |
 //! | GET    | `/status` | Gate, pool, and cache counters as `key value` lines    |
+//! | GET    | `/metrics`| Prometheus text exposition of the engine registry      |
+//! | GET    | `/slow`   | Slow-query ring buffer: full traces of the slowest requests |
 //! | GET    | `/routes` | Global and per-tenant route counts                     |
 //! | GET    | `/cache`  | Compilation-cache statistics                           |
+//!
+//! `/status` and `/metrics` render the **same** engine
+//! [`Registry`](gfomc_engine::Registry) (plain `key value` lines vs
+//! Prometheus exposition), so a key present in one can never drift from
+//! the other. The gate publishes its counters into that registry right
+//! before each render.
 
 pub mod client;
 pub mod http;
@@ -306,10 +314,12 @@ fn route_request(engine: &Engine, gate: &Arc<AdmissionGate>, req: &Request) -> R
         ("POST", "/eval") => match gate.try_admit() {
             None => {
                 let stats = gate.stats();
+                // Human-readable first line, then machine-readable
+                // `key value` lines a backoff policy can parse.
                 let mut resp = Response::error(
                     429,
                     format!(
-                        "server at capacity: {} of {} requests in flight",
+                        "server at capacity\nin_flight {}\nmax_depth {}",
                         stats.in_flight, stats.max_depth
                     ),
                 );
@@ -322,32 +332,48 @@ fn route_request(engine: &Engine, gate: &Arc<AdmissionGate>, req: &Request) -> R
             },
         },
         ("GET", "/status") => Response::ok(status_body(engine, gate)),
+        ("GET", "/metrics") => Response::ok(metrics_body(engine, gate)),
+        ("GET", "/slow") => Response::ok(engine.slow_log().render()),
         ("GET", "/routes") => Response::ok(routes_body(engine)),
         ("GET", "/cache") => Response::ok(cache_body(engine)),
-        ("GET", "/eval") | ("POST", "/status") | ("POST", "/routes") | ("POST", "/cache") => {
+        ("GET", "/eval")
+        | ("POST", "/status")
+        | ("POST", "/metrics")
+        | ("POST", "/slow")
+        | ("POST", "/routes")
+        | ("POST", "/cache") => {
             Response::error(405, format!("{} not allowed on {}", req.method, req.path))
         }
         _ => Response::error(404, format!("no such endpoint: {}", req.path)),
     }
 }
 
-/// `/status`: gate, pool, and engine counters as `key value` lines.
-fn status_body(engine: &Engine, gate: &Arc<AdmissionGate>) -> String {
+/// Publishes the gate's counters into the engine registry and refreshes
+/// the engine-side gauges (cache occupancy, pool counters, process-wide
+/// sampler/fallback tallies), so `/status` and `/metrics` both render
+/// from one freshly synced key space.
+fn sync_gauges(engine: &Engine, gate: &Arc<AdmissionGate>) {
     let g = gate.stats();
-    let c = engine.cache_stats();
-    format!(
-        "queue_depth {}\nqueue_high_water {}\nqueue_max_depth {}\n\
-         admitted {}\nrejected {}\npool_threads {}\n\
-         compiled_circuits {}\ncache_entries {}\n",
-        g.in_flight,
-        g.high_water,
-        g.max_depth,
-        g.admitted,
-        g.rejected,
-        engine.pool().threads(),
-        engine.compiled_count(),
-        c.entries,
-    )
+    let registry = engine.registry();
+    registry.set_gauge("gate_queue_depth", &[], g.in_flight as u64);
+    registry.set_gauge("gate_queue_high_water", &[], g.high_water as u64);
+    registry.set_gauge("gate_queue_max_depth", &[], g.max_depth as u64);
+    registry.set_gauge("gate_admitted", &[], g.admitted as u64);
+    registry.set_gauge("gate_rejected", &[], g.rejected as u64);
+    engine.refresh_gauges();
+}
+
+/// `/status`: every registry metric as plain `key value` lines (with
+/// `_count`/`_p50`/`_p95`/`_p99` derivations for histograms).
+fn status_body(engine: &Engine, gate: &Arc<AdmissionGate>) -> String {
+    sync_gauges(engine, gate);
+    engine.registry().render_plain()
+}
+
+/// `/metrics`: the same registry in Prometheus text exposition.
+fn metrics_body(engine: &Engine, gate: &Arc<AdmissionGate>) -> String {
+    sync_gauges(engine, gate);
+    engine.registry().render_prometheus()
 }
 
 /// `/routes`: the global route tallies, then one line per tenant.

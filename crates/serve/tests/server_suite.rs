@@ -277,3 +277,127 @@ fn shared_engine_caches_across_connections() {
     );
     handle.stop();
 }
+
+#[test]
+fn metrics_and_slow_expose_the_request_telemetry() {
+    // Zero slow threshold: every request lands in the slow log.
+    let handle = spawn(Engine::builder().slow_threshold_nanos(0).build());
+    let client = Client::new(handle.addr().to_string());
+
+    let reqs = mixed_requests(0x0B5E, 3); // lifted, compiled, sampled
+    for req in &reqs {
+        let resp = client.post("/eval", &req.to_string()).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body);
+    }
+
+    let metrics = client.get("/metrics").unwrap();
+    assert_eq!(metrics.status, 200);
+    let body = &metrics.body;
+    // Exposition is well-formed line by line: either a `# TYPE` header
+    // or `name{labels} value`.
+    for line in body.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut words = rest.split_whitespace();
+            assert!(words.next().is_some(), "unnamed family: {line}");
+            assert!(
+                matches!(words.next(), Some("counter" | "gauge" | "histogram")),
+                "bad family type: {line}"
+            );
+        } else {
+            let (name, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(!name.is_empty(), "{line}");
+            assert!(value.parse::<u64>().is_ok(), "non-numeric sample: {line}");
+        }
+    }
+    // The three requests produced nonzero per-route histograms whose
+    // total count equals the requests sent.
+    assert!(
+        body.contains("# TYPE engine_request_nanos histogram"),
+        "{body}"
+    );
+    for route in ["lifted", "compiled", "sampled"] {
+        assert!(
+            body.contains(&format!(
+                "engine_request_nanos_count{{route=\"{route}\"}} 1"
+            )),
+            "missing {route} histogram in {body}"
+        );
+    }
+    assert!(body.contains("engine_requests_total 3"), "{body}");
+    // Gate and pool gauges ride along.
+    assert!(body.contains("gate_queue_max_depth"), "{body}");
+    assert!(body.contains("pool_threads"), "{body}");
+
+    // `/status` renders the same registry: every plain key is a metric
+    // family (or histogram derivation) of the exposition.
+    let status = client.get("/status").unwrap().body;
+    for line in status.lines() {
+        let (name, _) = line.rsplit_once(' ').expect("key value line");
+        let family = name
+            .split('{')
+            .next()
+            .unwrap()
+            .trim_end_matches(|c: char| c.is_ascii_digit())
+            .trim_end_matches("_p")
+            .trim_end_matches("_count")
+            .trim_end_matches("_sum");
+        assert!(
+            body.contains(family),
+            "status key {name} missing from /metrics"
+        );
+    }
+
+    // The slow log holds all three traces.
+    let slow = client.get("/slow").unwrap();
+    assert_eq!(slow.status, 200);
+    assert!(slow.body.starts_with("slowlog count 3 "), "{}", slow.body);
+    for route in ["lifted", "compiled", "sampled"] {
+        assert!(
+            slow.body.contains(&format!("route {route}")),
+            "{}",
+            slow.body
+        );
+    }
+    assert!(slow.body.contains("span route "), "{}", slow.body);
+    assert!(slow.body.contains("total "), "{}", slow.body);
+
+    assert_eq!(client.post("/metrics", "").unwrap().status, 405);
+    assert_eq!(client.post("/slow", "").unwrap().status, 405);
+    handle.stop();
+}
+
+#[test]
+fn capacity_rejections_carry_machine_readable_depth() {
+    let handle = spawn(Engine::builder().max_queue_depth(1).build());
+    let client = Client::new(handle.addr().to_string());
+    let body = mixed_requests(21, 1)[0].to_string();
+
+    let _permit = handle.gate().try_admit().expect("take the only slot");
+    let resp = client.post("/eval", &body).expect("round trip");
+    assert_eq!(resp.status, 429);
+    assert!(resp.body.contains("capacity"), "{}", resp.body);
+    assert!(resp.body.contains("in_flight 1"), "{}", resp.body);
+    assert!(resp.body.contains("max_depth 1"), "{}", resp.body);
+
+    // The rejection is visible in the registry the next scrape.
+    let metrics = client.get("/metrics").unwrap().body;
+    assert!(metrics.contains("gate_rejected 1"), "{metrics}");
+    handle.stop();
+}
+
+#[test]
+fn traced_wire_responses_round_trip_with_phases() {
+    let handle = spawn(Engine::new());
+    let client = Client::new(handle.addr().to_string());
+    let req = mixed_requests(0x7ACE, 2).remove(1).with_trace(); // unsafe -> compiled
+    let resp = client.post("/eval", &req.to_string()).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let routed: Routed = resp.body.parse().expect("traced response parses");
+    let trace = routed.trace.expect("trace requested");
+    // The wire path always records the parse phase.
+    assert!(trace.span("parse").is_some(), "{trace}");
+    assert!(trace.span("route").is_some(), "{trace}");
+    assert!(trace.total_nanos > 0);
+    assert_eq!(trace.route.as_deref(), Some("compiled"));
+    handle.stop();
+}
