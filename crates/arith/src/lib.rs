@@ -6,6 +6,10 @@
 //! * [`Integer`] — signed big integers (sign + magnitude);
 //! * [`Rational`] — rationals in lowest terms, the universal probability and
 //!   coefficient type of the workspace;
+//! * [`Rat64`] — machine-word rationals, the small-limb fast path behind
+//!   `Rational` add/mul/sub and the flat evaluator's batch lanes: ops run
+//!   in `i128`/`u128` registers and spill to bignum on overflow,
+//!   bit-identically;
 //! * [`QuadExt`] — elements of a real quadratic field `Q(√d)`, used for the
 //!   exact eigenvalue computations of the paper's transfer matrices;
 //! * [`Interval`] — outward-rounded `f64` enclosures of exact rationals,
@@ -24,12 +28,14 @@ pub mod integer;
 pub mod interval;
 pub mod natural;
 pub mod quadratic;
+pub mod rat64;
 pub mod rational;
 
 pub use integer::{Integer, Sign};
 pub use interval::{Certifies, Interval};
 pub use natural::Natural;
 pub use quadratic::QuadExt;
+pub use rat64::{small_path_thread_stats, Rat64};
 pub use rational::Rational;
 
 #[cfg(test)]
@@ -47,6 +53,42 @@ mod proptests {
 
     fn arb_rational() -> impl Strategy<Value = Rational> {
         (any::<i32>(), 1..10_000i64).prop_map(|(n, d)| Rational::from_ints(n as i64, d))
+    }
+
+    /// Operands engineered to straddle the [`Rat64`] fast path: limb
+    /// boundaries, `±1/2^60`, `u64::MAX`-adjacent numerators, plus
+    /// uniform noise. Built via `Rational::new`, so each operand is
+    /// canonical before the op under test runs.
+    fn arb_smallpath_rational() -> impl Strategy<Value = Rational> {
+        let num = prop_oneof![
+            Just(0i64),
+            Just(1),
+            Just(-1),
+            Just(i64::MAX),
+            Just(i64::MIN + 1),
+            Just((1i64 << 62) + 1),
+            Just((1i64 << 32) - 1),
+            Just(1i64 << 32),
+            Just(i64::MAX - 1),
+            any::<i64>(),
+        ];
+        let den = prop_oneof![
+            Just(1u64),
+            Just(2),
+            Just(1u64 << 60),
+            Just((1u64 << 60) - 1),
+            Just(1u64 << 32),
+            Just((1u64 << 32) + 1),
+            Just(u64::MAX),
+            Just(u64::MAX - 1),
+            any::<u64>().prop_map(|d| d | 1),
+        ];
+        (num, den).prop_map(|(n, d)| {
+            Rational::new(
+                Integer::from(n),
+                Integer::from_sign_magnitude(Sign::Positive, Natural::from(d)),
+            )
+        })
     }
 
     proptest! {
@@ -144,6 +186,61 @@ mod proptests {
             prop_assert_eq!(a < b, &a + &c < &b + &c);
         }
 
+        // ------------------------------------------------------------------
+        // Small-limb fast path ≡ bignum path, bit-identically: the public
+        // ops (which take the Rat64 road when operands fit machine words)
+        // must equal the crate-internal bignum reference on every operand
+        // pair, including the adversarial boundary values.
+        // ------------------------------------------------------------------
+
+        #[test]
+        fn rational_add_small_path_matches_bignum(
+            a in arb_smallpath_rational(), b in arb_smallpath_rational(),
+        ) {
+            prop_assert_eq!(&a + &b, a.add_big(&b));
+        }
+
+        #[test]
+        fn rational_sub_small_path_matches_bignum(
+            a in arb_smallpath_rational(), b in arb_smallpath_rational(),
+        ) {
+            prop_assert_eq!(&a - &b, a.add_big(&-&b));
+        }
+
+        #[test]
+        fn rational_mul_small_path_matches_bignum(
+            a in arb_smallpath_rational(), b in arb_smallpath_rational(),
+        ) {
+            prop_assert_eq!(&a * &b, a.mul_big(&b));
+        }
+
+        #[test]
+        fn rat64_ops_match_bignum_when_defined(
+            a in arb_smallpath_rational(), b in arb_smallpath_rational(),
+        ) {
+            if let (Some(x), Some(y)) = (a.to_rat64(), b.to_rat64()) {
+                if let Some(s) = x.checked_add(y) {
+                    prop_assert_eq!(Rational::from(s), a.add_big(&b));
+                }
+                if let Some(d) = x.checked_sub(y) {
+                    prop_assert_eq!(Rational::from(d), a.add_big(&-&b));
+                }
+                if let Some(p) = x.checked_mul(y) {
+                    prop_assert_eq!(Rational::from(p), a.mul_big(&b));
+                }
+                if let Some(c) = x.complement() {
+                    prop_assert_eq!(Rational::from(c), Rational::one().add_big(&-&a));
+                }
+            }
+        }
+
+        #[test]
+        fn rational_roundtrips_through_rat64(a in arb_smallpath_rational()) {
+            if let Some(small) = a.to_rat64() {
+                prop_assert_eq!(Rational::from(small), a);
+            }
+        }
+
         #[test]
         fn quadext_field_laws(
             a1 in arb_rational(), b1 in arb_rational(),
@@ -181,5 +278,38 @@ mod proptests {
                 prop_assert_eq!(x.signum(), if approx > 0.0 { 1 } else { -1 });
             }
         }
+    }
+
+    /// Overflow-crossing regression: a computation that starts on the
+    /// small path, spills to bignum mid-way (two-limb denominator), then
+    /// reduces back into machine words — every leg must stay exact and
+    /// canonical.
+    #[test]
+    fn rational_overflow_crossing_round_trip() {
+        let tiny_a = Rational::from_ints(1, 2).pow(62); // 1/2^62
+        let tiny_b = Rational::one() / Rational::from_ints((1 << 62) - 1, 1);
+        // Small + small whose exact sum needs a ~124-bit denominator.
+        let spilled = &tiny_a + &tiny_b;
+        assert_eq!(spilled.to_rat64(), None, "sum must spill past one limb");
+        let reference = tiny_a.add_big(&tiny_b);
+        assert_eq!(spilled, reference);
+        // Multiplying the spilled value by its own denominator crosses
+        // back: the product is the integer (2^62 - 1) + 2^62 = 2^63 - 1,
+        // the spill's numerator — a one-limb value again.
+        let denom_int = Rational::from(Integer::from_sign_magnitude(
+            Sign::Positive,
+            spilled.denom().clone(),
+        ));
+        let back = &spilled * &denom_int;
+        assert_eq!(
+            back,
+            Rational::from(Integer::from_sign_magnitude(
+                Sign::Positive,
+                spilled.numer().magnitude().clone(),
+            ))
+        );
+        assert!(back.to_rat64().is_some(), "product must re-fit one limb");
+        // And the whole loop agrees with the bignum-only reference.
+        assert_eq!(back, spilled.mul_big(&denom_int));
     }
 }

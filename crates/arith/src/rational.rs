@@ -2,6 +2,7 @@
 
 use crate::integer::{Integer, Sign};
 use crate::natural::Natural;
+use crate::rat64::{self, Rat64};
 use std::cmp::Ordering;
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
@@ -140,14 +141,76 @@ impl Rational {
         self.numer.to_f64() / self.denom.to_f64()
     }
 
+    /// This value as a machine-word rational, if numerator and denominator
+    /// both fit one limb. The [`Rat64`] inherits the lowest-terms
+    /// invariant, so no re-reduction happens in either direction.
+    pub fn to_rat64(&self) -> Option<Rat64> {
+        let n = self.numer.to_i64()?;
+        let d = self.denom.to_u64()?;
+        Some(Rat64::from_reduced(n, d))
+    }
+
+    /// Builds a rational from parts **already in lowest terms** with
+    /// `den > 0` — the return road from [`Rat64`] results, which maintain
+    /// exactly this invariant. Crate-internal: external callers go through
+    /// [`Rational::new`], which reduces.
+    pub(crate) fn from_reduced_parts(num: i64, den: u64) -> Rational {
+        Rational {
+            numer: Integer::from(num),
+            denom: Natural::from(den),
+        }
+    }
+
     fn add_rat(&self, other: &Rational) -> Rational {
+        // Small-limb fast path: both operands fit machine words, and the
+        // op itself reports overflow instead of wrapping. Bit-identical to
+        // the bignum path (both canonicalize to lowest terms).
+        match (self.to_rat64(), other.to_rat64()) {
+            (Some(a), Some(b)) => {
+                if let Some(r) = a.checked_add(b) {
+                    return r.into();
+                }
+            }
+            _ => rat64::record_miss(),
+        }
+        self.add_big(other)
+    }
+
+    /// The bignum addition path (also the reference the property suite
+    /// pins the fast path against).
+    pub(crate) fn add_big(&self, other: &Rational) -> Rational {
         // n1/d1 + n2/d2 = (n1*d2 + n2*d1) / (d1*d2); `new` re-reduces.
         let d1 = Integer::from(self.denom.clone());
         let d2 = Integer::from(other.denom.clone());
         Rational::new(&self.numer * &d2 + &other.numer * &d1, d1 * d2)
     }
 
+    fn sub_rat(&self, other: &Rational) -> Rational {
+        match (self.to_rat64(), other.to_rat64()) {
+            (Some(a), Some(b)) => {
+                if let Some(r) = a.checked_sub(b) {
+                    return r.into();
+                }
+            }
+            _ => rat64::record_miss(),
+        }
+        self.add_big(&(-other))
+    }
+
     fn mul_rat(&self, other: &Rational) -> Rational {
+        match (self.to_rat64(), other.to_rat64()) {
+            (Some(a), Some(b)) => {
+                if let Some(r) = a.checked_mul(b) {
+                    return r.into();
+                }
+            }
+            _ => rat64::record_miss(),
+        }
+        self.mul_big(other)
+    }
+
+    /// The bignum multiplication path (fast-path reference).
+    pub(crate) fn mul_big(&self, other: &Rational) -> Rational {
         Rational::new(
             &self.numer * &other.numer,
             Integer::from(&self.denom * &other.denom),
@@ -242,7 +305,7 @@ forward_binop!(Mul, mul, mul_rat);
 impl Sub<&Rational> for &Rational {
     type Output = Rational;
     fn sub(self, rhs: &Rational) -> Rational {
-        self.add_rat(&(-rhs))
+        self.sub_rat(rhs)
     }
 }
 impl Sub<Rational> for Rational {

@@ -9,8 +9,20 @@
 //! Every record is stamped with the git SHA it was measured at, the bench
 //! name, the repetition count behind the median, and — where relevant —
 //! the Monte-Carlo sample budget and thread count, so entries are
-//! comparable across PRs (schema `gfomc-bench-v6`). Schema v6 adds the
-//! observability layer on top of v5:
+//! comparable across PRs (schema `gfomc-bench-v7`). Schema v7 adds the
+//! batch-evaluation layer on top of v6:
+//!
+//! * `batch_eval_per_weighting_ns` — amortized cost of one weighting when
+//!   the 12-weighting workload runs through the batch kernel (one
+//!   topological walk, all lanes at once) instead of a serial loop;
+//! * `rational_small_path_hit_rate` — fraction of `Rational` ops during
+//!   the flat exact passes that stayed on the single-limb `Rat64` fast
+//!   path (no bignum allocation);
+//! * `threshold_certify_rate` — fraction of the k/16 threshold sweep the
+//!   interval lane certified outright (the complement of
+//!   `interval_fallback_rate`).
+//!
+//! Schema v6 added the observability layer on top of v5:
 //!
 //! * `route_latency_ns` — per-route p50/p95/p99 request latency (and the
 //!   underlying count), read from an instrumented engine's
@@ -51,16 +63,23 @@
 //! move the estimate, the flat pass is bit-identical to the tree
 //! evaluator, every interval certificate agrees with the exact
 //! comparison, the `/eval` wire answer is byte-for-byte the direct
-//! `evaluate_auto` answer and overload rejects explicitly, and — new in
-//! v6 — the latency histograms conserve the request count): those are
-//! machine-independent invariants, safe to gate CI on.
+//! `evaluate_auto` answer and overload rejects explicitly, the latency
+//! histograms conserve the request count, and — new in v7 — the batch
+//! kernel is bit-identical to the serial `evaluate` loop, the `Rat64`
+//! small path agrees with bignum arithmetic under a distributive
+//! cross-check, and threshold-routed `evaluate_auto` verdicts match the
+//! exact comparison): those are machine-independent invariants, safe to
+//! gate CI on. One timing gate is the exception, by design: `--check`
+//! also fails if `flat_vs_tree_speedup` drops below 1.0 — the flat core
+//! exists to beat the tree it replaced, so a slower flat pass is a
+//! regression even on a noisy runner.
 
 use gfomc_approx::{lineage_sampler, AdaptiveConfig};
-use gfomc_arith::Rational;
+use gfomc_arith::{small_path_thread_stats, Rational};
 use gfomc_bench::uniform_db;
 use gfomc_core::{reduce_p2cnf, OracleMode, P2Cnf};
 use gfomc_engine::workload::{random_block_tid, random_weightings, unsafe_block_preset};
-use gfomc_engine::{Budget, Engine, EvalRequest, SampleMode, TupleWeights};
+use gfomc_engine::{AutoResult, Budget, Engine, EvalRequest, SampleMode, TupleWeights};
 use gfomc_logic::{wmc, Circuit, Clause, Cnf, UniformWeight, Var};
 use gfomc_query::{catalog, BipartiteQuery};
 use gfomc_safety::lifted_probability;
@@ -133,7 +152,7 @@ fn main() {
     // The frozen per-PR snapshot. The default carries the current PR's id
     // and is bumped each PR (PR 2 wrote BENCH_pr2.json the same way);
     // pass `--snapshot <path>` to pin it explicitly.
-    let mut snapshot_path = "BENCH_pr8.json".to_string();
+    let mut snapshot_path = "BENCH_pr9.json".to_string();
     let mut check = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -215,6 +234,58 @@ fn main() {
         "engine_speedup (independent/compiled)"
     );
 
+    // ------------------------------------------------------------------
+    // The batch kernel (schema v7): the same 12 weightings priced as 12
+    // lanes of one topological walk. The `--check` invariant is
+    // bit-identity with the serial per-weighting `evaluate` loop — the
+    // lanes share the gate traversal but never each other's arithmetic.
+    // ------------------------------------------------------------------
+    let compiled_h1 = Engine::new().compile(&q, &tid);
+    let batch_secs = time_median(reps, || {
+        std::hint::black_box(compiled_h1.evaluate_batch(&weightings));
+    });
+    record("engine_eval_batch_h1_3x3_12w", batch_secs, None, None);
+    let batch_eval_per_weighting_ns = batch_secs * 1e9 / weightings.len().max(1) as f64;
+    println!(
+        "{:<44} {batch_eval_per_weighting_ns:.1}ns over {} lanes",
+        "batch_eval_per_weighting_ns (batch kernel)",
+        weightings.len()
+    );
+    let serial_loop: Vec<Rational> = weightings.iter().map(|w| compiled_h1.evaluate(w)).collect();
+    if compiled_h1.evaluate_batch(&weightings) != serial_loop {
+        failures.push("batch kernel diverged from the serial evaluate loop".to_string());
+    }
+
+    // Small-path ≡ bignum distributive cross-check: for small operands
+    // `a`, `b` the sums/products land on the `Rat64` fast path, while the
+    // same values scaled by 2^100 are forced onto the bignum path.
+    // Distributivity makes the two routes comparable without touching
+    // arith internals: `aB + bB = (a+b)B` and `(aB)(bB) = (ab)B²`.
+    let big = Rational::from_ints(2, 1).pow(100);
+    let small_ops = [
+        (1i64, 3i64),
+        (-7, 8),
+        (i64::MAX / 2, i64::MAX / 2 + 1),
+        (-(i64::MAX / 3), 7),
+        (1, i64::MAX),
+    ];
+    for &(n1, d1) in &small_ops {
+        for &(n2, d2) in &small_ops {
+            let a = Rational::from_ints(n1, d1);
+            let b = Rational::from_ints(n2, d2);
+            let (ab, bb) = (&a * &big, &b * &big);
+            if &ab + &bb != &(&a + &b) * &big {
+                failures.push(format!("small-path add diverged from bignum at {a} + {b}"));
+            }
+            if &ab - &bb != &(&a - &b) * &big {
+                failures.push(format!("small-path sub diverged from bignum at {a} - {b}"));
+            }
+            if &ab * &bb != &(&a * &b) * &(&big * &big) {
+                failures.push(format!("small-path mul diverged from bignum at {a} * {b}"));
+            }
+        }
+    }
+
     // One full Cook reduction through the factorized oracle.
     let phi = P2Cnf::new(3, vec![(0, 1), (1, 2), (0, 2)]);
     record(
@@ -290,10 +361,19 @@ fn main() {
             "flat forward pass diverged from the tree evaluator: {flat_exact} vs {tree_exact}"
         ));
     }
+    let (hits_before, total_before) = small_path_thread_stats();
     let flat_secs = time_median(reps, || {
         std::hint::black_box(flat.eval_exact(clin.vars.weights()));
     });
+    let (hits_after, total_after) = small_path_thread_stats();
     record("flat_eval_exact_unsafe_3x3", flat_secs, None, None);
+    let small_hits = hits_after - hits_before;
+    let small_total = total_after - total_before;
+    let rational_small_path_hit_rate = small_hits as f64 / small_total.max(1) as f64;
+    println!(
+        "{:<44} {rational_small_path_hit_rate:.4} ({small_hits}/{small_total} ops)",
+        "rational_small_path_hit_rate (flat pass)"
+    );
     let tree_secs = time_median(reps, || {
         std::hint::black_box(tree.evaluate(clin.vars.weights()));
     });
@@ -313,6 +393,15 @@ fn main() {
         "{:<44} {flat_vs_tree_speedup:.2}x",
         "flat_vs_tree_speedup (same lineage)"
     );
+    // The one timing-based gate (see the module docs): the flat core
+    // regressing below the tree evaluator it replaced is a perf bug, not
+    // runner noise — PR 9 holds a >2x margin on a single CPU.
+    if flat_vs_tree_speedup < 1.0 {
+        failures.push(format!(
+            "flat_vs_tree_speedup fell below 1.0: {flat_vs_tree_speedup:.2}x \
+             (flat {flat_secs:.6}s vs tree {tree_secs:.6}s)"
+        ));
+    }
     let compiled_preset = Engine::new().compile(&cq, &ctid);
     let mut fallbacks = 0usize;
     let mut sweep = 0usize;
@@ -346,6 +435,36 @@ fn main() {
         "{:<44} {interval_fallback_rate:.4} ({fallbacks}/{sweep} thresholds)",
         "interval_fallback_rate (k/16 sweep)"
     );
+    let threshold_certify_rate = (sweep - fallbacks) as f64 / sweep as f64;
+    println!(
+        "{:<44} {threshold_certify_rate:.4} ({}/{sweep} thresholds)",
+        "threshold_certify_rate (k/16 sweep)",
+        sweep - fallbacks
+    );
+    // Threshold-aware routing end to end: the same sweep through
+    // `evaluate_auto` with a threshold budget must come back `Certified`
+    // with verdicts matching the exact comparison.
+    for k in 0..=16i64 {
+        let t = Rational::from_ints(k, 16);
+        let tb = budget
+            .clone()
+            .with_threshold(t.clone())
+            .expect("k/16 is a probability");
+        match warm.evaluate_auto(&cq, &ctid, &tb).result {
+            AutoResult::Certified { le, threshold } => {
+                if le != (flat_exact <= t) || threshold != t {
+                    failures.push(format!(
+                        "threshold-routed verdict wrong at {k}/16: le={le}, threshold={threshold}"
+                    ));
+                }
+            }
+            other => {
+                failures.push(format!(
+                    "threshold budget did not certify at {k}/16: got {other:?}"
+                ));
+            }
+        }
+    }
 
     // Route 3: sampled. The refined cost bound actually proves the 5×5
     // preset affordable now, so the sampled-route timings pin the route
@@ -686,7 +805,7 @@ fn main() {
         format!(
             concat!(
                 "{{\n",
-                "  \"schema\": \"gfomc-bench-v6\",\n",
+                "  \"schema\": \"gfomc-bench-v7\",\n",
                 "  \"unit\": \"seconds\",\n",
                 "  \"git_sha\": \"{sha}\",\n",
                 "  \"threads\": {threads},\n",
@@ -696,6 +815,9 @@ fn main() {
                 "  \"per_gate_eval_ns\": {gate_ns:.2},\n",
                 "  \"flat_vs_tree_speedup\": {flat_speedup:.4},\n",
                 "  \"interval_fallback_rate\": {fallback:.4},\n",
+                "  \"batch_eval_per_weighting_ns\": {batch_ns:.2},\n",
+                "  \"rational_small_path_hit_rate\": {small_rate:.4},\n",
+                "  \"threshold_certify_rate\": {certify_rate:.4},\n",
                 "  \"cache\": {{\"hits\": {hits}, \"misses\": {misses}, \"hit_rate\": {rate:.4}}},\n",
                 "  \"adaptive\": {{\"samples\": {asamples}, \"fixed_budget\": {klm}, \"converged\": {conv}}},\n",
                 "  \"serve_rtt_us\": {rtt_us:.2},\n",
@@ -714,6 +836,9 @@ fn main() {
             gate_ns = per_gate_eval_ns,
             flat_speedup = flat_vs_tree_speedup,
             fallback = interval_fallback_rate,
+            batch_ns = batch_eval_per_weighting_ns,
+            small_rate = rational_small_path_hit_rate,
+            certify_rate = threshold_certify_rate,
             hits = cache.hits,
             misses = cache.misses,
             rate = cache.hit_rate(),
@@ -734,7 +859,7 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write bench JSON");
     println!("wrote {out_path} (sha {sha})");
     // Per-PR snapshot next to the rolling series: the perf trajectory
-    // accumulates one frozen schema-v6 file per PR, and CI uploads both
+    // accumulates one frozen schema-v7 file per PR, and CI uploads both
     // as artifacts.
     if out_path != snapshot_path {
         std::fs::write(&snapshot_path, &json).expect("write bench snapshot");

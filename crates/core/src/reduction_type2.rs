@@ -147,16 +147,20 @@ pub fn mobius_formula_probability(
                 .collect()
         })
         .collect();
-    // All cells are compiled; flatten the frozen pool once so the (u, v)
-    // sweep below prices every cell through the dense forward loop.
+    // All cells are compiled; flatten the frozen pool once, then price it
+    // under *every* (u, v) cell's probabilities in one batch-kernel pass —
+    // each Möbius cell is one lane of the gate walk.
     let flat = compiler.finish_flat();
-    let mut valuations: HashMap<(u32, u32), Valuation> = HashMap::new();
-    for u in 0..nu {
-        for v in 0..nv {
-            let w = WeightsFromFn(|var: Var| prob(var.0, u, v));
-            valuations.insert((u, v), flat.evaluate_all(&w));
-        }
-    }
+    let cells: Vec<(u32, u32)> = (0..nu).flat_map(|u| (0..nv).map(move |v| (u, v))).collect();
+    let lanes: Vec<_> = cells
+        .iter()
+        .map(|&(u, v)| WeightsFromFn(move |var: Var| prob(var.0, u, v)))
+        .collect();
+    let valuations: HashMap<(u32, u32), Valuation> = cells
+        .iter()
+        .copied()
+        .zip(flat.evaluate_all_batch(&lanes))
+        .collect();
     let y = |u: u32, v: u32, ai: usize, bi: usize| -> Rational {
         valuations[&(u, v)].value(roots[ai][bi]).clone()
     };

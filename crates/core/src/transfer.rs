@@ -19,9 +19,11 @@ use gfomc_query::BipartiteQuery;
 use gfomc_tid::{lineage, Tuple};
 
 /// Computes `A(p)` for a Type-I query: the block lineage of `B_p(u,v)` is
-/// compiled **once**, then the four endpoint settings of Eq. (20) are four
-/// evaluations of the same circuit with `R(u)`, `R(v)` forced to 0/1 (the
-/// Shannon gates degenerate to the forced branch arithmetically).
+/// compiled **once**, then the four endpoint settings of Eq. (20) become
+/// four *lanes* of one batch-kernel pass over the flattened circuit —
+/// `z00, z01, z10, z11` priced in a single topological walk, with `R(u)`,
+/// `R(v)` forced to 0/1 per lane (the Shannon gates degenerate to the
+/// forced branch arithmetically).
 pub fn transfer_matrix(q: &BipartiteQuery, p: usize) -> Matrix<Rational> {
     let mut alloc = ConstAlloc::new(2, 0);
     let tid = path_block(q, 0, 1, p, &mut alloc);
@@ -35,30 +37,36 @@ pub fn transfer_matrix(q: &BipartiteQuery, p: usize) -> Matrix<Rational> {
         .lookup(&Tuple::R(1))
         .expect("R(v) must appear in a Type-I block lineage");
     let weights = lin.vars.weights();
-    let circuit = Circuit::compile(&lin.cnf);
-    let z = |a: bool, b: bool| {
-        let endpoint = |on: bool| {
-            if on {
-                Rational::one()
-            } else {
-                Rational::zero()
-            }
-        };
-        let w = WeightsFromFn(|v: Var| {
-            if v == var_u {
-                endpoint(a)
-            } else if v == var_v {
-                endpoint(b)
-            } else {
-                weights[&v].clone()
-            }
-        });
-        circuit.evaluate(&w)
+    let flat = Circuit::compile(&lin.cnf).flatten();
+    let endpoint = |on: bool| {
+        if on {
+            Rational::one()
+        } else {
+            Rational::zero()
+        }
     };
-    let z00 = z(false, false);
-    let z01 = z(false, true);
-    let z10 = z(true, false);
-    let z11 = z(true, true);
+    // Lane order (a, b) = row-major: z00, z01, z10, z11.
+    let lanes: Vec<_> = [(false, false), (false, true), (true, false), (true, true)]
+        .map(|(a, b)| {
+            WeightsFromFn(move |v: Var| {
+                if v == var_u {
+                    endpoint(a)
+                } else if v == var_v {
+                    endpoint(b)
+                } else {
+                    weights[&v].clone()
+                }
+            })
+        })
+        .into_iter()
+        .collect();
+    let mut z = flat.evaluate_batch(&lanes).into_iter();
+    let (z00, z01, z10, z11) = (
+        z.next().unwrap(),
+        z.next().unwrap(),
+        z.next().unwrap(),
+        z.next().unwrap(),
+    );
     Matrix::from_rows(vec![vec![z00, z01], vec![z10, z11]])
 }
 

@@ -47,6 +47,7 @@
 //! seed   24301
 //! threads 2
 //! mode   adaptive 0.05         # or: mode fixed
+//! threshold 1/2                # optional: answer "Pr ≤ 1/2?" instead of Pr
 //! ```
 
 use crate::router::{AutoResult, Budget, BudgetError, Route, Routed, SampleMode};
@@ -102,8 +103,9 @@ impl FromStr for Route {
 }
 
 impl fmt::Display for AutoResult {
-    /// One line: `exact <rational>`, or
-    /// `approx <rational> ci <lo> <hi> delta <f64> samples <n>`.
+    /// One line: `exact <rational>`,
+    /// `approx <rational> ci <lo> <hi> delta <f64> samples <n>`, or
+    /// `certified <le|gt> <threshold>` (`le` means `Pr ≤ threshold`).
     ///
     /// Rationals print as `numer/denom` in lowest terms (integers without
     /// the `/denom`), so parsing back is **bit-identical** — including the
@@ -122,6 +124,9 @@ impl fmt::Display for AutoResult {
                 "approx {estimate} ci {} {} delta {} samples {samples}",
                 ci.lo, ci.hi, ci.delta
             ),
+            AutoResult::Certified { le, threshold } => {
+                write!(f, "certified {} {threshold}", if *le { "le" } else { "gt" })
+            }
         }
     }
 }
@@ -181,9 +186,22 @@ impl FromStr for AutoResult {
                     samples,
                 }
             }
+            Some("certified") => {
+                let le = match words.next() {
+                    Some("le") => true,
+                    Some("gt") => false,
+                    other => {
+                        return Err(ResponseParseError(format!(
+                            "expected 'le' or 'gt', got {other:?}"
+                        )))
+                    }
+                };
+                let threshold = token(&mut words, "threshold", parse_prob)?;
+                AutoResult::Certified { le, threshold }
+            }
             other => {
                 return Err(ResponseParseError(format!(
-                    "expected 'exact' or 'approx', got {other:?}"
+                    "expected 'exact', 'approx', or 'certified', got {other:?}"
                 )))
             }
         };
@@ -451,9 +469,13 @@ impl fmt::Display for EvalRequest {
         writeln!(f, "seed {}", self.budget.seed)?;
         writeln!(f, "threads {}", self.budget.threads)?;
         match self.budget.mode {
-            SampleMode::Fixed => writeln!(f, "mode fixed"),
-            SampleMode::Adaptive { epsilon } => writeln!(f, "mode adaptive {epsilon}"),
+            SampleMode::Fixed => writeln!(f, "mode fixed")?,
+            SampleMode::Adaptive { epsilon } => writeln!(f, "mode adaptive {epsilon}")?,
         }
+        if let Some(t) = &self.budget.threshold {
+            writeln!(f, "threshold {t}")?;
+        }
+        Ok(())
     }
 }
 
@@ -568,6 +590,14 @@ impl FromStr for EvalRequest {
                         .parse()
                         .map_err(|_| at(&format!("bad thread count '{rest}'")))?;
                     budget = budget.with_threads(t.max(1));
+                }
+                "threshold" => {
+                    set_once(budget.threshold.is_some())?;
+                    let t = Rational::from_decimal(rest)
+                        .ok_or_else(|| at(&format!("bad threshold '{rest}'")))?;
+                    // Out-of-range thresholds come back as the typed
+                    // BudgetError (the server's 400), never a panic.
+                    budget = budget.with_threshold(t)?;
                 }
                 "mode" => {
                     let mut words = rest.split_whitespace();
@@ -793,6 +823,86 @@ mod tests {
             bad_trace.parse::<EvalRequest>(),
             Err(RequestParseError::Malformed(m)) if m.contains("trace")
         ));
+    }
+
+    #[test]
+    fn threshold_request_roundtrips_and_certifies_over_the_wire() {
+        // The `threshold` key survives the request round-trip.
+        let req = small_request().with_budget(
+            Budget::default()
+                .with_threshold(Rational::from_ints(3, 4))
+                .unwrap(),
+        );
+        let back: EvalRequest = req.to_string().parse().unwrap();
+        assert_eq!(back, req);
+        // The wire pipeline answers with a certified verdict that is
+        // byte-identical to comparing the direct exact evaluation.
+        let engine = Engine::new();
+        let wire = engine.evaluate_wire(&req.to_string()).unwrap();
+        let routed: Routed = wire.parse().unwrap();
+        assert_eq!(routed.route, Route::Compiled);
+        let exact = Engine::new()
+            .evaluate_auto(&req.query, &req.tid, &Budget::default())
+            .result;
+        let AutoResult::Exact(p) = exact else {
+            panic!("baseline must be exact");
+        };
+        assert_eq!(
+            routed.result,
+            AutoResult::Certified {
+                le: p <= Rational::from_ints(3, 4),
+                threshold: Rational::from_ints(3, 4)
+            }
+        );
+        assert_eq!(routed.to_string().parse::<Routed>().unwrap(), routed);
+    }
+
+    #[test]
+    fn threshold_parse_errors_are_typed_never_panics() {
+        let base = "query R(x0) v S0(x0,y0) & S0(x0,y0) v T(y0)\nleft 0\nright 1";
+        // Out of [0, 1]: the typed budget error (the server's 400).
+        assert!(matches!(
+            format!("{base}\nthreshold 3/2").parse::<EvalRequest>(),
+            Err(RequestParseError::Budget(BudgetError::Threshold))
+        ));
+        // Unparseable: malformed, pointing at the line.
+        assert!(matches!(
+            format!("{base}\nthreshold abc").parse::<EvalRequest>(),
+            Err(RequestParseError::Malformed(m)) if m.contains("threshold")
+        ));
+        // Duplicate: set-once like every other budget key.
+        assert!(matches!(
+            format!("{base}\nthreshold 1/2\nthreshold 1/3").parse::<EvalRequest>(),
+            Err(RequestParseError::Malformed(m)) if m.contains("duplicate")
+        ));
+        // And over the wire the pipeline returns Err, never panics.
+        let engine = Engine::new();
+        assert!(engine
+            .evaluate_wire(&format!("{base}\nthreshold 3/2"))
+            .is_err());
+        assert!(engine
+            .evaluate_wire(&format!("{base}\nthreshold abc"))
+            .is_err());
+    }
+
+    #[test]
+    fn certified_result_roundtrips_and_rejects_malformed() {
+        for (le, t) in [(true, Rational::one_half()), (false, Rational::zero())] {
+            let r = AutoResult::Certified {
+                le,
+                threshold: t.clone(),
+            };
+            assert_eq!(r.to_string().parse::<AutoResult>().unwrap(), r);
+        }
+        for bad in [
+            "certified",
+            "certified maybe 1/2",
+            "certified le",
+            "certified le 3/2",
+            "certified le 1/2 extra",
+        ] {
+            assert!(bad.parse::<AutoResult>().is_err(), "{bad:?}");
+        }
     }
 
     #[test]

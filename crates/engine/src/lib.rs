@@ -743,14 +743,40 @@ impl Compiled {
     }
 
     /// The batched form: one compiled circuit priced under every assignment
-    /// in `weights`, sharing one values arena. Output order matches input
-    /// order.
+    /// in `weights` through the many-weightings-per-gate batch kernel
+    /// ([`FlatCircuit::eval_batch_exact_with`]) — one topological walk per
+    /// lane chunk instead of one per weighting. Output order matches input
+    /// order and stays bit-identical to a serial [`Compiled::evaluate`]
+    /// loop.
     pub fn evaluate_batch(&self, weights: &[TupleWeights]) -> Vec<Rational> {
         let mut arena = EvalArena::with_capacity(self.circuit.gate_count());
-        weights
-            .iter()
-            .map(|w| self.evaluate_with(w, &mut arena))
-            .collect()
+        let resolved: Vec<_> = weights.iter().map(|w| self.weight_fn(w)).collect();
+        self.circuit.eval_batch_exact_with(&resolved, &mut arena)
+    }
+
+    /// Decides `Pr ≤ t` under every assignment in `weights`: one interval
+    /// batch pass, then exact re-pricing for only the undecided lanes.
+    /// Returns `(answer, fell_back_to_exact)` per assignment, each answer
+    /// agreeing exactly with comparing [`Compiled::evaluate`] against `t`.
+    pub fn certify_le_batch(&self, weights: &[TupleWeights], t: &Rational) -> Vec<(bool, bool)> {
+        let mut arena = EvalArena::new();
+        let resolved: Vec<_> = weights.iter().map(|w| self.weight_fn(w)).collect();
+        self.circuit.le_exact_batch(&resolved, t, &mut arena)
+    }
+
+    /// The override-aware weight function of one assignment: each uncertain
+    /// tuple takes its override if present, its database probability
+    /// otherwise.
+    fn weight_fn<'a>(
+        &'a self,
+        weights: &'a TupleWeights,
+    ) -> WeightsFromFn<impl Fn(gfomc_logic::Var) -> Rational + 'a> {
+        WeightsFromFn(move |v| {
+            weights
+                .get(&self.vars.tuple_of(v))
+                .cloned()
+                .unwrap_or_else(|| self.vars.weights()[&v].clone())
+        })
     }
 
     /// [`Compiled::evaluate_batch`] fanned across `threads` workers of the
@@ -776,16 +802,7 @@ impl Compiled {
         weights: &[TupleWeights],
         workers: usize,
     ) -> Vec<Rational> {
-        let resolved: Vec<_> = weights
-            .iter()
-            .map(|w| {
-                WeightsFromFn(move |v| {
-                    w.get(&self.vars.tuple_of(v))
-                        .cloned()
-                        .unwrap_or_else(|| self.vars.weights()[&v].clone())
-                })
-            })
-            .collect();
+        let resolved: Vec<_> = weights.iter().map(|w| self.weight_fn(w)).collect();
         self.circuit.evaluate_batch_on(pool, &resolved, workers)
     }
 

@@ -69,6 +69,10 @@ pub enum BudgetError {
     Epsilon(f64),
     /// A fixed-mode sample budget of zero.
     ZeroSamples,
+    /// A certification threshold outside `[0, 1]` — thresholds compare
+    /// against probabilities, so anything else is certifiable vacuously
+    /// and almost certainly a client bug.
+    Threshold,
 }
 
 impl std::fmt::Display for BudgetError {
@@ -81,6 +85,9 @@ impl std::fmt::Display for BudgetError {
                 write!(f, "epsilon must lie strictly inside (0, 1), got {v}")
             }
             BudgetError::ZeroSamples => write!(f, "fixed sample budget must be positive"),
+            BudgetError::Threshold => {
+                write!(f, "certification threshold must lie inside [0, 1]")
+            }
         }
     }
 }
@@ -132,6 +139,15 @@ pub struct Budget {
     /// OS threads for the sampled path (1 = serial). Thread count never
     /// changes the estimate — only the wall-clock.
     pub threads: usize,
+    /// Optional certification threshold: when set, the exact routes
+    /// answer the **decision** `Pr ≤ t?` instead of materializing the
+    /// probability — the compiled route decides it on the interval lane
+    /// first ([`crate::Compiled::certify_le_db`]), escalating to exact
+    /// arithmetic only when the enclosure straddles `t`, and the result
+    /// comes back as [`AutoResult::Certified`]. The sampled route ignores
+    /// the threshold (a sampler cannot *certify* a comparison) and
+    /// returns its usual estimate.
+    pub threshold: Option<Rational>,
 }
 
 impl Default for Budget {
@@ -145,6 +161,7 @@ impl Default for Budget {
             seed: 0x5EED,
             mode: SampleMode::Adaptive { epsilon: 0.05 },
             threads: 1,
+            threshold: None,
         }
     }
 }
@@ -200,6 +217,18 @@ impl Budget {
         self
     }
 
+    /// Builder-style certification threshold: the exact routes will answer
+    /// `Pr ≤ threshold?` as an [`AutoResult::Certified`] verdict. A
+    /// threshold outside `[0, 1]` is rejected with
+    /// [`BudgetError::Threshold`].
+    pub fn with_threshold(mut self, threshold: Rational) -> Result<Self, BudgetError> {
+        if !threshold.is_probability() {
+            return Err(BudgetError::Threshold);
+        }
+        self.threshold = Some(threshold);
+        Ok(self)
+    }
+
     /// Re-checks every validated invariant — the struct-literal escape
     /// hatch. A `Budget` built through the `with_*` builders always
     /// passes; one assembled field-by-field may not, and the router
@@ -207,6 +236,11 @@ impl Budget {
     /// error the builders return.
     pub fn validate(&self) -> Result<(), BudgetError> {
         unit_open(self.delta, BudgetError::Delta)?;
+        if let Some(t) = &self.threshold {
+            if !t.is_probability() {
+                return Err(BudgetError::Threshold);
+            }
+        }
         match self.mode {
             SampleMode::Fixed if self.samples == 0 => Err(BudgetError::ZeroSamples),
             SampleMode::Adaptive { epsilon } => {
@@ -244,20 +278,36 @@ pub enum AutoResult {
         /// Number of Monte-Carlo samples drawn.
         samples: u64,
     },
+    /// A certified decision `Pr ≤ threshold` from a threshold-carrying
+    /// budget ([`Budget::with_threshold`]) on an exact route. The verdict
+    /// always agrees with comparing the exact probability against the
+    /// threshold, but the probability itself may never have been
+    /// materialized — the compiled route answers on the interval lane
+    /// whenever the enclosure decides.
+    Certified {
+        /// `true` iff `Pr ≤ threshold`.
+        le: bool,
+        /// The threshold the verdict compares against.
+        threshold: Rational,
+    },
 }
 
 impl AutoResult {
-    /// The point value: the exact probability or the sampler estimate.
+    /// The point value: the exact probability, the sampler estimate, or —
+    /// for a certified verdict, which never materializes the probability —
+    /// the threshold the verdict compares against.
     pub fn point(&self) -> &Rational {
         match self {
             AutoResult::Exact(p) => p,
             AutoResult::Approx { estimate, .. } => estimate,
+            AutoResult::Certified { threshold, .. } => threshold,
         }
     }
 
-    /// True iff the result is exact.
+    /// True iff the result is exact (certified verdicts are: the answer
+    /// bit always agrees with the exact comparison).
     pub fn is_exact(&self) -> bool {
-        matches!(self, AutoResult::Exact(_))
+        matches!(self, AutoResult::Exact(_) | AutoResult::Certified { .. })
     }
 }
 
@@ -377,8 +427,17 @@ impl Engine {
             span(tr, "evaluate");
             tr.route = Some(Route::Lifted.to_string());
             self.count_route(Route::Lifted);
+            // The lifted evaluator materializes the exact probability
+            // anyway, so a threshold verdict here is a plain comparison.
+            let result = match &budget.threshold {
+                Some(t) => AutoResult::Certified {
+                    le: &p <= t,
+                    threshold: t.clone(),
+                },
+                None => AutoResult::Exact(p),
+            };
             return Routed {
-                result: AutoResult::Exact(p),
+                result,
                 route: Route::Lifted,
                 cost: None,
                 trace: None,
@@ -394,12 +453,26 @@ impl Engine {
             tr.cache_hit = Some(hit);
             self.count_route(Route::Compiled);
             let fallbacks_before = gfomc_logic::interval_fallbacks_thread();
-            let p = ROUTE_ARENA.with(|arena| compiled.evaluate_db_with(&mut arena.borrow_mut()));
+            // With a threshold, the decision is answered on the interval
+            // lane first — the exact pass runs only when the enclosure
+            // straddles `t` (visible as a fallback in the trace).
+            let result = match &budget.threshold {
+                Some(t) => {
+                    let (le, _fell_back) = compiled.certify_le_db(t);
+                    AutoResult::Certified {
+                        le,
+                        threshold: t.clone(),
+                    }
+                }
+                None => AutoResult::Exact(
+                    ROUTE_ARENA.with(|arena| compiled.evaluate_db_with(&mut arena.borrow_mut())),
+                ),
+            };
             span(tr, "evaluate");
             tr.fallbacks = Some(gfomc_logic::interval_fallbacks_thread() - fallbacks_before);
             tr.route = Some(Route::Compiled.to_string());
             return Routed {
-                result: AutoResult::Exact(p),
+                result,
                 route: Route::Compiled,
                 cost: Some(cost),
                 trace: None,
@@ -635,6 +708,93 @@ mod tests {
             engine.try_evaluate_auto(&q, &tid, &ok).unwrap(),
             engine.evaluate_auto(&q, &tid, &ok)
         );
+    }
+
+    #[test]
+    fn threshold_budget_certifies_on_the_compiled_route() {
+        // Unsafe preset: the threshold query must take the compiled route
+        // and answer on the interval-certify lane, with verdicts
+        // byte-identical to comparing the exact probability.
+        let q = catalog::h1();
+        let mut rng = StdRng::seed_from_u64(7);
+        let tid = random_block_tid(&mut rng, &q, 2, 2);
+        let exact = probability(&q, &tid);
+        let engine = Engine::new();
+        let sweep: Vec<Rational> = (0..=8).map(|k| Rational::from_ints(k, 8)).collect();
+        for t in &sweep {
+            let budget = Budget::default().with_threshold(t.clone()).unwrap();
+            let routed = engine.evaluate_auto(&q, &tid, &budget);
+            assert_eq!(routed.route, Route::Compiled);
+            assert!(routed.result.is_exact());
+            let AutoResult::Certified { le, threshold } = &routed.result else {
+                panic!("expected a certified verdict, got {routed:?}");
+            };
+            assert_eq!(threshold, t);
+            assert_eq!(*le, &exact <= t, "verdict at t = {t} vs exact {exact}");
+        }
+        // A threshold equal to the exact value forces the interval lane to
+        // fall back — the verdict must still be the exact comparison.
+        let budget = Budget::default().with_threshold(exact.clone()).unwrap();
+        let routed = engine.evaluate_auto(&q, &tid, &budget);
+        assert_eq!(
+            routed.result,
+            AutoResult::Certified {
+                le: true,
+                threshold: exact
+            }
+        );
+    }
+
+    #[test]
+    fn threshold_budget_certifies_on_the_lifted_route() {
+        let q = catalog::safe_three_components();
+        let mut rng = StdRng::seed_from_u64(8);
+        let tid = random_block_tid(&mut rng, &q, 3, 3);
+        let exact = lifted_probability(&q, &tid).unwrap();
+        let engine = Engine::new();
+        for t in [Rational::zero(), Rational::one_half(), Rational::one()] {
+            let budget = Budget::default().with_threshold(t.clone()).unwrap();
+            let routed = engine.evaluate_auto(&q, &tid, &budget);
+            assert_eq!(routed.route, Route::Lifted);
+            assert_eq!(
+                routed.result,
+                AutoResult::Certified {
+                    le: exact <= t,
+                    threshold: t
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn threshold_is_ignored_on_the_sampled_route() {
+        // A sampler cannot certify a comparison, so an over-budget unsafe
+        // query returns its usual estimate even with a threshold set.
+        let q = catalog::h1();
+        let mut rng = StdRng::seed_from_u64(11);
+        let tid = random_block_tid(&mut rng, &q, 2, 2);
+        let budget = Budget::default()
+            .with_max_circuit_cost(0)
+            .with_samples(512)
+            .unwrap()
+            .with_threshold(Rational::one_half())
+            .unwrap();
+        let routed = Engine::new().evaluate_auto(&q, &tid, &budget);
+        assert_eq!(routed.route, Route::Sampled);
+        assert!(matches!(routed.result, AutoResult::Approx { .. }));
+    }
+
+    #[test]
+    fn threshold_builder_rejects_out_of_range_values() {
+        assert_eq!(
+            Budget::default().with_threshold(Rational::from_ints(3, 2)),
+            Err(BudgetError::Threshold)
+        );
+        let smuggled = Budget {
+            threshold: Some(Rational::from_ints(-1, 2)),
+            ..Budget::default()
+        };
+        assert_eq!(smuggled.validate(), Err(BudgetError::Threshold));
     }
 
     #[test]

@@ -376,7 +376,15 @@ impl Circuit {
 ///   weight function at every leaf and decision;
 /// * `overlay` — a sparse exact overlay for
 ///   [`crate::flat::FlatCircuit::eval_exact_at`], re-pricing only the
-///   gates a certification actually needs.
+///   gates a certification actually needs;
+/// * `slots` / `cells` — the hybrid machine-word lane of the flat exact
+///   pass: per-slot weights with precomputed complements and `Rat64`
+///   forms, and one hybrid value per gate (machine words until an op
+///   overflows, exact bignum after);
+/// * `lane_cells` / `lane_intervals` — the `values[gate][lane]` matrices
+///   of the batch kernels ([`crate::flat::FlatCircuit::eval_batch_exact_with`] /
+///   [`crate::flat::FlatCircuit::eval_batch_interval_with`]), gate-major
+///   so one topological walk prices every weighting of the batch.
 #[derive(Clone, Debug, Default)]
 pub struct EvalArena {
     pub(crate) values: Vec<Rational>,
@@ -384,6 +392,10 @@ pub struct EvalArena {
     pub(crate) slot_weights: Vec<Rational>,
     pub(crate) slot_intervals: Vec<Interval>,
     pub(crate) overlay: Vec<Option<Rational>>,
+    pub(crate) slots: Vec<crate::flat::SlotW>,
+    pub(crate) cells: Vec<crate::flat::LaneVal>,
+    pub(crate) lane_cells: Vec<crate::flat::LaneVal>,
+    pub(crate) lane_intervals: Vec<Interval>,
 }
 
 impl EvalArena {

@@ -36,12 +36,111 @@
 use crate::circuit::{Circuit, Compiler, EvalArena, Node, Valuation};
 use crate::cnf::Var;
 use crate::wmc::WeightFn;
-use gfomc_arith::{Certifies, Interval, Rational};
+use gfomc_arith::{Certifies, Interval, Rat64, Rational};
 use gfomc_pool::WorkerPool;
 use std::cell::Cell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Cap on `gates × lanes` hybrid cells held live by one batch-kernel
+/// call; batches wider than `MAX_BATCH_CELLS / gate_count` lanes are
+/// priced in consecutive chunks (exact arithmetic, so chunking cannot
+/// change any value).
+const MAX_BATCH_CELLS: usize = 1 << 18;
+
+/// One gate value of the hybrid exact pass: machine words while every
+/// intermediate fits ([`Rat64`]), exact bignum from the first overflow on.
+/// Both forms are in lowest terms, so materializing a lane via
+/// [`LaneVal::to_rational`] is bit-identical to an all-bignum evaluation.
+#[derive(Clone, Debug)]
+pub(crate) enum LaneVal {
+    /// Machine-word value (the common case: no heap traffic at all).
+    S(Rat64),
+    /// Spilled to exact bignum.
+    B(Rational),
+}
+
+impl LaneVal {
+    #[inline]
+    fn is_zero(&self) -> bool {
+        match self {
+            LaneVal::S(r) => r.is_zero(),
+            LaneVal::B(r) => r.is_zero(),
+        }
+    }
+
+    /// The exact value, materialized (canonical lowest terms either way).
+    #[inline]
+    fn to_rational(&self) -> Rational {
+        match self {
+            LaneVal::S(r) => Rational::from(*r),
+            LaneVal::B(r) => r.clone(),
+        }
+    }
+}
+
+/// One distinct variable's weight, resolved once per weighting: the exact
+/// probability, its complement (computed once here instead of once per
+/// decision gate), and their machine-word forms when they fit.
+#[derive(Clone, Debug)]
+pub(crate) struct SlotW {
+    p: Rational,
+    pc: Rational,
+    ps: Option<Rat64>,
+    pcs: Option<Rat64>,
+}
+
+impl SlotW {
+    fn new(p: Rational) -> SlotW {
+        let pc = p.complement();
+        SlotW {
+            ps: p.to_rat64(),
+            pcs: pc.to_rat64(),
+            p,
+            pc,
+        }
+    }
+
+    /// The leaf value `w(v)` as a lane.
+    #[inline]
+    fn leaf(&self) -> LaneVal {
+        match self.ps {
+            Some(r) => LaneVal::S(r),
+            None => LaneVal::B(self.p.clone()),
+        }
+    }
+}
+
+/// `a · b` on hybrid lanes: machine words unless an operand already
+/// spilled or the product overflows.
+#[inline]
+fn mul_lane(a: &LaneVal, b: &LaneVal) -> LaneVal {
+    match (a, b) {
+        (LaneVal::S(x), LaneVal::S(y)) => match x.checked_mul(*y) {
+            Some(r) => LaneVal::S(r),
+            None => LaneVal::B(&Rational::from(*x) * &Rational::from(*y)),
+        },
+        (a, b) => LaneVal::B(&a.to_rational() * &b.to_rational()),
+    }
+}
+
+/// The Shannon gate `w·hi + (1 − w)·lo` on hybrid lanes.
+#[inline]
+fn decision_lane(s: &SlotW, hi: &LaneVal, lo: &LaneVal) -> LaneVal {
+    if let (Some(p), Some(pc), LaneVal::S(h), LaneVal::S(l)) = (s.ps, s.pcs, hi, lo) {
+        if let Some(t1) = p.checked_mul(*h) {
+            if let Some(t2) = pc.checked_mul(*l) {
+                if let Some(r) = t1.checked_add(t2) {
+                    return LaneVal::S(r);
+                }
+            }
+        }
+    }
+    let hi = hi.to_rational();
+    let lo = lo.to_rational();
+    LaneVal::B(&(&s.p * &hi) + &(&s.pc * &lo))
+}
 
 /// Process-wide count of interval-evaluation fallbacks to exact
 /// arithmetic in [`FlatCircuit::le_exact`] — a telemetry counter: it
@@ -205,19 +304,35 @@ impl FlatCircuit {
         }
     }
 
-    /// The exact forward pass: one value per gate into `values`.
-    fn eval_exact_into(&self, w: &[Rational], values: &mut Vec<Rational>) {
-        values.clear();
-        values.reserve(self.ops.len());
+    /// Resolves `w` into one [`SlotW`] per distinct variable: weight,
+    /// complement (once per variable, not once per decision gate), and
+    /// their machine-word forms.
+    fn resolve_slots<W: WeightFn>(&self, w: &W, out: &mut Vec<SlotW>) {
+        out.clear();
+        out.reserve(self.vars.len());
+        for &v in &self.vars {
+            let p = w.weight(v);
+            assert!(p.is_probability(), "weight out of [0,1] for {v:?}");
+            out.push(SlotW::new(p));
+        }
+    }
+
+    /// The hybrid exact forward pass: one [`LaneVal`] per gate. Values
+    /// stay in machine words ([`Rat64`]) until an op overflows, then spill
+    /// to bignum — either way exact and in lowest terms, so the pass is
+    /// bit-identical to an all-bignum evaluation.
+    fn eval_cells_into(&self, slots: &[SlotW], cells: &mut Vec<LaneVal>) {
+        cells.clear();
+        cells.reserve(self.ops.len());
         for g in 0..self.ops.len() {
             let val = match self.ops[g] {
-                Op::True => Rational::one(),
-                Op::False => Rational::zero(),
-                Op::Leaf => w[self.var_slot[g] as usize].clone(),
+                Op::True => LaneVal::S(Rat64::ONE),
+                Op::False => LaneVal::S(Rat64::ZERO),
+                Op::Leaf => slots[self.var_slot[g] as usize].leaf(),
                 Op::Product => {
-                    let mut acc = Rational::one();
+                    let mut acc = LaneVal::S(Rat64::ONE);
                     for &k in self.kids(g) {
-                        acc = &acc * &values[k as usize];
+                        acc = mul_lane(&acc, &cells[k as usize]);
                         if acc.is_zero() {
                             break;
                         }
@@ -225,15 +340,24 @@ impl FlatCircuit {
                     acc
                 }
                 Op::Decision => {
-                    let p = &w[self.var_slot[g] as usize];
+                    let s = &slots[self.var_slot[g] as usize];
                     let kids = self.kids(g);
-                    let hi = &values[kids[0] as usize];
-                    let lo = &values[kids[1] as usize];
-                    &(p * hi) + &(&p.complement() * lo)
+                    decision_lane(s, &cells[kids[0] as usize], &cells[kids[1] as usize])
                 }
             };
-            values.push(val);
+            cells.push(val);
         }
+    }
+
+    /// The exact forward pass: one value per gate into `values`. `w` must
+    /// be slot-resolved weights ([`FlatCircuit::resolve_weights`]).
+    fn eval_exact_into(&self, w: &[Rational], values: &mut Vec<Rational>) {
+        let slots: Vec<SlotW> = w.iter().map(|p| SlotW::new(p.clone())).collect();
+        let mut cells = Vec::new();
+        self.eval_cells_into(&slots, &mut cells);
+        values.clear();
+        values.reserve(cells.len());
+        values.extend(cells.iter().map(LaneVal::to_rational));
     }
 
     /// The interval forward pass: one certified enclosure per gate.
@@ -269,11 +393,14 @@ impl FlatCircuit {
     }
 
     /// `Pr(F, w)` exactly, reusing the arena's slabs across weightings.
-    /// Bit-identical to [`Circuit::evaluate_with`] on the tree form.
+    /// Bit-identical to [`Circuit::evaluate_with`] on the tree form; only
+    /// the root value is materialized as a [`Rational`] — interior gates
+    /// stay in the hybrid machine-word lane.
     pub fn eval_exact_with<W: WeightFn>(&self, w: &W, arena: &mut EvalArena) -> Rational {
-        self.resolve_weights(w, &mut arena.slot_weights);
-        self.eval_exact_into(&arena.slot_weights, &mut arena.values);
-        arena.values[self.root as usize].clone()
+        self.resolve_slots(w, &mut arena.slots);
+        let (slots, cells) = (&arena.slots, &mut arena.cells);
+        self.eval_cells_into(slots, cells);
+        cells[self.root as usize].to_rational()
     }
 
     /// `Pr(F, w)` exactly, with a throwaway arena.
@@ -410,19 +537,228 @@ impl FlatCircuit {
         }
     }
 
-    /// Exact batch evaluation, one arena reused across the whole batch.
-    /// Output order matches input order.
-    pub fn evaluate_batch<W: WeightFn>(&self, weights: &[W]) -> Vec<Rational> {
-        let mut arena = EvalArena::with_capacity(self.gate_count());
-        weights
-            .iter()
-            .map(|w| self.eval_exact_with(w, &mut arena))
+    /// Lanes per batch-kernel call: enough to amortize the topological
+    /// walk, bounded so `gates × lanes` hybrid cells stay in cache-ish
+    /// memory even for huge pools.
+    fn batch_chunk_lanes(&self) -> usize {
+        (MAX_BATCH_CELLS / self.gate_count().max(1)).max(1)
+    }
+
+    /// The batch forward pass: fills `arena.lane_cells` with a gate-major
+    /// `values[gate][lane]` hybrid matrix — **one** walk of `ops` /
+    /// `children` prices all `ws.len()` weightings, so the topological
+    /// scan and children decoding amortize across the batch.
+    fn eval_batch_cells<W: WeightFn>(&self, ws: &[W], arena: &mut EvalArena) {
+        let k = ws.len();
+        let nslots = self.vars.len().max(1);
+        // Lane-major slot table: lane `l`'s weights at `l*nslots..`.
+        let mut slots: Vec<SlotW> = Vec::with_capacity(k * nslots);
+        for w in ws {
+            for &v in &self.vars {
+                let p = w.weight(v);
+                assert!(p.is_probability(), "weight out of [0,1] for {v:?}");
+                slots.push(SlotW::new(p));
+            }
+            if self.vars.is_empty() {
+                slots.push(SlotW::new(Rational::one()));
+            }
+        }
+        let cells = &mut arena.lane_cells;
+        cells.clear();
+        cells.resize(self.ops.len() * k, LaneVal::S(Rat64::ZERO));
+        for g in 0..self.ops.len() {
+            let row = g * k;
+            // Children precede parents, so rows before `row` are final.
+            let (done, rest) = cells.split_at_mut(row);
+            let cur = &mut rest[..k];
+            match self.ops[g] {
+                // `False` rows keep the ZERO fill.
+                Op::False => {}
+                Op::True => cur.fill(LaneVal::S(Rat64::ONE)),
+                Op::Leaf => {
+                    let slot = self.var_slot[g] as usize;
+                    for (l, cell) in cur.iter_mut().enumerate() {
+                        *cell = slots[l * nslots + slot].leaf();
+                    }
+                }
+                Op::Product => {
+                    cur.fill(LaneVal::S(Rat64::ONE));
+                    for &kid in self.kids(g) {
+                        let krow = &done[kid as usize * k..kid as usize * k + k];
+                        for (cell, kv) in cur.iter_mut().zip(krow) {
+                            if !cell.is_zero() {
+                                *cell = mul_lane(cell, kv);
+                            }
+                        }
+                    }
+                }
+                Op::Decision => {
+                    let slot = self.var_slot[g] as usize;
+                    let kids = self.kids(g);
+                    let hrow = &done[kids[0] as usize * k..kids[0] as usize * k + k];
+                    let lrow = &done[kids[1] as usize * k..kids[1] as usize * k + k];
+                    for (l, cell) in cur.iter_mut().enumerate() {
+                        *cell = decision_lane(&slots[l * nslots + slot], &hrow[l], &lrow[l]);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Exact root values for a whole batch of weightings in **one**
+    /// topological walk (the many-weightings-per-gate-visit kernel).
+    /// Output order matches input order; every value is bit-identical to
+    /// the serial [`FlatCircuit::eval_exact_with`] loop.
+    pub fn eval_batch_exact_with<W: WeightFn>(
+        &self,
+        ws: &[W],
+        arena: &mut EvalArena,
+    ) -> Vec<Rational> {
+        let mut out = Vec::with_capacity(ws.len());
+        for chunk in ws.chunks(self.batch_chunk_lanes()) {
+            self.eval_batch_cells(chunk, arena);
+            let row = self.root as usize * chunk.len();
+            out.extend(
+                arena.lane_cells[row..row + chunk.len()]
+                    .iter()
+                    .map(LaneVal::to_rational),
+            );
+        }
+        out
+    }
+
+    /// Certified root enclosures for a whole batch of weightings in one
+    /// topological walk — the interval-first lane of the batch kernel
+    /// (plain `Copy` doubles, no heap traffic at all).
+    pub fn eval_batch_interval_with<W: WeightFn>(
+        &self,
+        ws: &[W],
+        arena: &mut EvalArena,
+    ) -> Vec<Interval> {
+        let mut out = Vec::with_capacity(ws.len());
+        for ws in ws.chunks(self.batch_chunk_lanes()) {
+            let k = ws.len();
+            let nslots = self.vars.len().max(1);
+            let mut slots: Vec<Interval> = Vec::with_capacity(k * nslots);
+            for w in ws {
+                for &v in &self.vars {
+                    let p = w.weight(v);
+                    assert!(p.is_probability(), "weight out of [0,1] for {v:?}");
+                    slots.push(Interval::from_probability(&p));
+                }
+                if self.vars.is_empty() {
+                    slots.push(Interval::ONE);
+                }
+            }
+            let ivs = &mut arena.lane_intervals;
+            ivs.clear();
+            ivs.resize(self.ops.len() * k, Interval::ZERO);
+            for g in 0..self.ops.len() {
+                let row = g * k;
+                let (done, rest) = ivs.split_at_mut(row);
+                let cur = &mut rest[..k];
+                match self.ops[g] {
+                    Op::False => {}
+                    Op::True => cur.fill(Interval::ONE),
+                    Op::Leaf => {
+                        let slot = self.var_slot[g] as usize;
+                        for (l, iv) in cur.iter_mut().enumerate() {
+                            *iv = slots[l * nslots + slot];
+                        }
+                    }
+                    Op::Product => {
+                        cur.fill(Interval::ONE);
+                        for &kid in self.kids(g) {
+                            let krow = &done[kid as usize * k..kid as usize * k + k];
+                            for (iv, kv) in cur.iter_mut().zip(krow) {
+                                *iv = iv.mul(kv).clamp_unit();
+                            }
+                        }
+                    }
+                    Op::Decision => {
+                        let slot = self.var_slot[g] as usize;
+                        let kids = self.kids(g);
+                        let hrow = &done[kids[0] as usize * k..kids[0] as usize * k + k];
+                        let lrow = &done[kids[1] as usize * k..kids[1] as usize * k + k];
+                        for (l, iv) in cur.iter_mut().enumerate() {
+                            let p = &slots[l * nslots + slot];
+                            *iv = p
+                                .mul(&hrow[l])
+                                .add(&p.one_minus().mul(&lrow[l]))
+                                .clamp_unit();
+                        }
+                    }
+                }
+            }
+            let row = self.root as usize * k;
+            out.extend_from_slice(&ivs[row..row + k]);
+        }
+        out
+    }
+
+    /// Definite answers for `Pr(F, wᵢ) ≤ t` across a batch: one interval
+    /// batch pass first, then an exact re-pricing of the root's cone for
+    /// **only** the lanes whose enclosure straddles `t`. Returns
+    /// `(answer, fell_back_to_exact)` per lane, bit-identical to a serial
+    /// [`FlatCircuit::le_exact`] loop.
+    pub fn le_exact_batch<W: WeightFn>(
+        &self,
+        ws: &[W],
+        t: &Rational,
+        arena: &mut EvalArena,
+    ) -> Vec<(bool, bool)> {
+        let ivs = self.eval_batch_interval_with(ws, arena);
+        let mut scratch = Vec::new();
+        ws.iter()
+            .zip(ivs)
+            .map(|(w, iv)| match iv.proves_le_rational(t) {
+                Certifies::Proven(b) => (b, false),
+                Certifies::Unknown => {
+                    INTERVAL_FALLBACKS.fetch_add(1, Ordering::Relaxed);
+                    INTERVAL_FALLBACKS_THREAD.with(|c| c.set(c.get() + 1));
+                    self.resolve_weights(w, &mut scratch);
+                    arena.overlay.clear();
+                    let exact = self.eval_exact_at(self.root, &scratch, &mut arena.overlay);
+                    (&exact <= t, true)
+                }
+            })
             .collect()
     }
 
+    /// Evaluates **every** gate exactly under each weighting of the batch
+    /// in one topological walk — the batched [`FlatCircuit::evaluate_all`]
+    /// behind the lifted inclusion–exclusion pool and the Type-II Möbius
+    /// cells: one multi-rooted pool, `k` weightings, every root priced.
+    pub fn evaluate_all_batch<W: WeightFn>(&self, ws: &[W]) -> Vec<Valuation> {
+        let mut out = Vec::with_capacity(ws.len());
+        let mut arena = EvalArena::new();
+        for chunk in ws.chunks(self.batch_chunk_lanes()) {
+            self.eval_batch_cells(chunk, &mut arena);
+            let k = chunk.len();
+            for l in 0..k {
+                out.push(Valuation {
+                    values: (0..self.ops.len())
+                        .map(|g| arena.lane_cells[g * k + l].to_rational())
+                        .collect(),
+                });
+            }
+        }
+        out
+    }
+
+    /// Exact batch evaluation through the batch kernel: one gate walk per
+    /// cell-budget-sized chunk of weightings (`MAX_BATCH_CELLS`).
+    /// Output order matches input order and every value is bit-identical
+    /// to a serial per-weighting evaluation.
+    pub fn evaluate_batch<W: WeightFn>(&self, weights: &[W]) -> Vec<Rational> {
+        let mut arena = EvalArena::with_capacity(self.gate_count());
+        self.eval_batch_exact_with(weights, &mut arena)
+    }
+
     /// [`FlatCircuit::evaluate_batch`] fanned across `workers` logical
-    /// workers of a [`WorkerPool`]. Workers claim batch indices from a
-    /// shared cursor, each with a worker-local arena; exact rational
+    /// workers of a [`WorkerPool`]. Workers claim **lane chunks** (not
+    /// single weightings) from a shared cursor and price each chunk with
+    /// the batch kernel, each through a worker-local arena; exact rational
     /// arithmetic makes the output identical to the serial batch for every
     /// worker count.
     pub fn evaluate_batch_on<W: WeightFn + Sync>(
@@ -435,22 +771,33 @@ impl FlatCircuit {
         if workers == 1 {
             return self.evaluate_batch(weights);
         }
+        // Chunks small enough that every worker gets some, large enough to
+        // amortize the per-chunk gate walk.
+        let chunk = self
+            .batch_chunk_lanes()
+            .min(weights.len().div_ceil(workers))
+            .max(1);
+        let nchunks = weights.len().div_ceil(chunk);
         let cursor = AtomicUsize::new(0);
         let mut out: Vec<Option<Rational>> = vec![None; weights.len()];
         let slots = Mutex::new(&mut out);
         pool.broadcast(workers, |_| {
             let mut arena = EvalArena::with_capacity(self.gate_count());
-            let mut local: Vec<(usize, Rational)> = Vec::new();
+            let mut local: Vec<(usize, Vec<Rational>)> = Vec::new();
             loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= weights.len() {
+                let c = cursor.fetch_add(1, Ordering::Relaxed);
+                if c >= nchunks {
                     break;
                 }
-                local.push((i, self.eval_exact_with(&weights[i], &mut arena)));
+                let lo = c * chunk;
+                let hi = (lo + chunk).min(weights.len());
+                local.push((lo, self.eval_batch_exact_with(&weights[lo..hi], &mut arena)));
             }
             let mut slots = slots.lock().expect("batch output lock");
-            for (i, value) in local {
-                slots[i] = Some(value);
+            for (lo, values) in local {
+                for (i, value) in values.into_iter().enumerate() {
+                    slots[lo + i] = Some(value);
+                }
             }
         });
         out.into_iter()
@@ -524,6 +871,7 @@ mod tests {
         let w = UniformWeight(r(1, 3));
         let mut arena = EvalArena::new();
         let full = flat.eval_exact_with(&w, &mut arena);
+        flat.resolve_weights(&w, &mut arena.slot_weights);
         let mut overlay = Vec::new();
         let at = flat.eval_exact_at(flat.root(), &arena.slot_weights, &mut overlay);
         assert_eq!(at, full);
@@ -566,6 +914,90 @@ mod tests {
         let tree_vals = comp.evaluate_all(&w);
         assert_eq!(flat_vals.value(rf), tree_vals.value(rf));
         assert_eq!(flat_vals.value(rg), tree_vals.value(rg));
+    }
+
+    #[test]
+    fn batch_kernel_matches_serial_loop_bit_identically() {
+        let f = Cnf::new([cl(&[1, 2]), cl(&[2, 3]), cl(&[3, 4]), cl(&[1, 4])]);
+        let flat = Circuit::compile(&f).flatten();
+        let weights: Vec<UniformWeight> = (0..=16).map(|k| UniformWeight(r(k, 16))).collect();
+        let mut arena = EvalArena::new();
+        let batch = flat.eval_batch_exact_with(&weights, &mut arena);
+        let serial: Vec<Rational> = weights
+            .iter()
+            .map(|w| flat.eval_exact_with(w, &mut arena))
+            .collect();
+        assert_eq!(batch, serial);
+    }
+
+    #[test]
+    fn batch_intervals_enclose_exact_values() {
+        let f = Cnf::new([cl(&[1, 2]), cl(&[2, 3]), cl(&[3, 4])]);
+        let flat = Circuit::compile(&f).flatten();
+        let weights: Vec<UniformWeight> = (0..=7).map(|k| UniformWeight(r(k, 7))).collect();
+        let mut arena = EvalArena::new();
+        let ivs = flat.eval_batch_interval_with(&weights, &mut arena);
+        let exact = flat.eval_batch_exact_with(&weights, &mut arena);
+        assert_eq!(ivs.len(), exact.len());
+        for (iv, x) in ivs.iter().zip(&exact) {
+            assert!(iv.contains(x), "{iv:?} misses {x}");
+        }
+    }
+
+    #[test]
+    fn le_exact_batch_matches_serial_le_exact() {
+        let f = Cnf::new([cl(&[1, 2]), cl(&[2, 3])]);
+        let flat = Circuit::compile(&f).flatten();
+        let weights: Vec<UniformWeight> = (0..=8).map(|k| UniformWeight(r(k, 8))).collect();
+        let mut arena = EvalArena::new();
+        // One threshold that intervals decide, one that forces fallback
+        // (the exact value at w = 1/2 is 5/8).
+        for t in [r(3, 4), r(5, 8)] {
+            let batch = flat.le_exact_batch(&weights, &t, &mut arena);
+            let serial: Vec<(bool, bool)> = weights
+                .iter()
+                .map(|w| flat.le_exact(w, &t, &mut arena))
+                .collect();
+            assert_eq!(batch, serial);
+        }
+    }
+
+    #[test]
+    fn evaluate_all_batch_matches_evaluate_all_loop() {
+        let mut comp = Compiler::new();
+        let f = Cnf::new([cl(&[1, 2]), cl(&[2, 3])]);
+        let g = Cnf::new([cl(&[1, 2]), cl(&[2, 3]), cl(&[4])]);
+        let rf = comp.compile(&f);
+        let rg = comp.compile(&g);
+        let flat = comp.finish_flat();
+        let weights: Vec<UniformWeight> = (0..=5).map(|k| UniformWeight(r(k, 5))).collect();
+        let batch = flat.evaluate_all_batch(&weights);
+        for (vals, w) in batch.iter().zip(&weights) {
+            let serial = flat.evaluate_all(w);
+            assert_eq!(vals.value(rf), serial.value(rf));
+            assert_eq!(vals.value(rg), serial.value(rg));
+        }
+    }
+
+    #[test]
+    fn batch_chunking_is_value_neutral() {
+        // A batch wide enough to split into several kernel chunks must
+        // still match the serial loop exactly (chunk boundary coverage).
+        let f = Cnf::new([cl(&[1, 2]), cl(&[2, 3])]);
+        let flat = Circuit::compile(&f).flatten();
+        let chunk = flat.batch_chunk_lanes();
+        // Force ≥ 3 chunks by shrinking the circuit? The preset circuit is
+        // small, so lanes-per-chunk is large; instead check the arithmetic
+        // around an artificial chunk width of 4 via direct slicing.
+        assert!(chunk >= 1);
+        let weights: Vec<UniformWeight> = (0..=9).map(|k| UniformWeight(r(k, 9))).collect();
+        let mut arena = EvalArena::new();
+        let whole = flat.eval_batch_exact_with(&weights, &mut arena);
+        let mut pieces = Vec::new();
+        for part in weights.chunks(4) {
+            pieces.extend(flat.eval_batch_exact_with(part, &mut arena));
+        }
+        assert_eq!(whole, pieces);
     }
 
     #[test]

@@ -245,18 +245,26 @@ fn conjunction_of_disjunctions(
         Side::Right => tid.left_domain().to_vec(),
     };
     let mut cell_probs = vec![Rational::one(); roots.len()];
-    for &b in &inner {
-        let weights = WeightsFromFn(|v: Var| {
-            let t = match side {
-                Side::Left => Tuple::S(v.0, a, b),
-                Side::Right => Tuple::S(v.0, b, a),
-            };
-            tid.prob(&t)
-        });
-        let values = flat.evaluate_all(&weights);
-        for (acc, &root) in cell_probs.iter_mut().zip(&roots) {
-            if !acc.is_zero() {
-                *acc = &*acc * values.value(root);
+    // Chunked so the all-zero short-circuit still fires early on sparse
+    // databases, while each chunk prices every `b`-lane in one batch pass.
+    for chunk in inner.chunks(16) {
+        let lanes: Vec<_> = chunk
+            .iter()
+            .map(|&b| {
+                WeightsFromFn(move |v: Var| {
+                    let t = match side {
+                        Side::Left => Tuple::S(v.0, a, b),
+                        Side::Right => Tuple::S(v.0, b, a),
+                    };
+                    tid.prob(&t)
+                })
+            })
+            .collect();
+        for values in flat.evaluate_all_batch(&lanes) {
+            for (acc, &root) in cell_probs.iter_mut().zip(&roots) {
+                if !acc.is_zero() {
+                    *acc = &*acc * values.value(root);
+                }
             }
         }
         if cell_probs.iter().all(Rational::is_zero) {

@@ -33,6 +33,13 @@ fn show(label: &str, routed: &Routed, elapsed: std::time::Duration) {
                 ci.hi.to_f64(),
             );
         }
+        AutoResult::Certified { le, threshold } => {
+            let cmp = if *le { "≤" } else { ">" };
+            println!(
+                "{label}: route {:?}, certified Pr {cmp} {threshold} ({elapsed:?})",
+                routed.route
+            );
+        }
     }
 }
 
