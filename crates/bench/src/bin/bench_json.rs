@@ -9,8 +9,20 @@
 //! Every record is stamped with the git SHA it was measured at, the bench
 //! name, the repetition count behind the median, and — where relevant —
 //! the Monte-Carlo sample budget and thread count, so entries are
-//! comparable across PRs (schema `gfomc-bench-v7`). Schema v7 adds the
-//! batch-evaluation layer on top of v6:
+//! comparable across PRs (schema `gfomc-bench-v8`). Schema v8 adds the
+//! stateful priced layer on top of v7:
+//!
+//! * `weight_updates_per_sec` — steady-state throughput of
+//!   `PricedCircuit::update_weight` over a deterministic stream cycling
+//!   every variable slot of the 3×3 preset lineage;
+//! * `dirty_path_gates_per_update` — the mean dirty-cone size those
+//!   updates re-priced; the incremental contract demands it stay
+//!   strictly below the circuit's total gate count (otherwise updates
+//!   are secretly full recomputes);
+//! * `gradient_pass_ns` — one full `gradients()` sweep producing
+//!   ∂Pr/∂p_t for every distinct variable at once.
+//!
+//! Schema v7 added the batch-evaluation layer on top of v6:
 //!
 //! * `batch_eval_per_weighting_ns` — amortized cost of one weighting when
 //!   the 12-weighting workload runs through the batch kernel (one
@@ -64,11 +76,17 @@
 //! evaluator, every interval certificate agrees with the exact
 //! comparison, the `/eval` wire answer is byte-for-byte the direct
 //! `evaluate_auto` answer and overload rejects explicitly, the latency
-//! histograms conserve the request count, and — new in v7 — the batch
+//! histograms conserve the request count, the batch
 //! kernel is bit-identical to the serial `evaluate` loop, the `Rat64`
 //! small path agrees with bignum arithmetic under a distributive
-//! cross-check, and threshold-routed `evaluate_auto` verdicts match the
-//! exact comparison): those are machine-independent invariants, safe to
+//! cross-check, threshold-routed `evaluate_auto` verdicts match the
+//! exact comparison, and — new in v8 — every incremental
+//! `update_weight` leaves the priced value bit-identical to a
+//! from-scratch exact pass under the current weights, each slot's
+//! gradient equals the central finite difference computed in exact
+//! rational arithmetic (the circuit is multilinear in every weight, so
+//! the identity is exact, not approximate), and the mean dirty cone
+//! stays strictly below the gate count): those are machine-independent invariants, safe to
 //! gate CI on. One timing gate is the exception, by design: `--check`
 //! also fails if `flat_vs_tree_speedup` drops below 1.0 — the flat core
 //! exists to beat the tree it replaced, so a slower flat pass is a
@@ -80,12 +98,13 @@ use gfomc_bench::uniform_db;
 use gfomc_core::{reduce_p2cnf, OracleMode, P2Cnf};
 use gfomc_engine::workload::{random_block_tid, random_weightings, unsafe_block_preset};
 use gfomc_engine::{AutoResult, Budget, Engine, EvalRequest, SampleMode, TupleWeights};
-use gfomc_logic::{wmc, Circuit, Clause, Cnf, UniformWeight, Var};
+use gfomc_logic::{wmc, Circuit, Clause, Cnf, PricedCircuit, UniformWeight, Var};
 use gfomc_query::{catalog, BipartiteQuery};
 use gfomc_safety::lifted_probability;
 use gfomc_serve::{Client, Connection, Server};
 use gfomc_tid::{lineage, Tid};
 use rand::{rngs::StdRng, SeedableRng};
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -152,7 +171,7 @@ fn main() {
     // The frozen per-PR snapshot. The default carries the current PR's id
     // and is bumped each PR (PR 2 wrote BENCH_pr2.json the same way);
     // pass `--snapshot <path>` to pin it explicitly.
-    let mut snapshot_path = "BENCH_pr9.json".to_string();
+    let mut snapshot_path = "BENCH_pr10.json".to_string();
     let mut check = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -463,6 +482,113 @@ fn main() {
                     "threshold budget did not certify at {k}/16: got {other:?}"
                 ));
             }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The stateful priced layer (schema v8): the same 3×3 preset lineage
+    // held as a `PricedCircuit`. `weight_updates_per_sec` is the
+    // steady-state incremental re-pricing throughput over a deterministic
+    // stream cycling every slot; `dirty_path_gates_per_update` is the
+    // mean dirty-cone size those updates re-priced (the incremental
+    // contract demands it stay strictly below the gate count);
+    // `gradient_pass_ns` is one full ∂Pr/∂p_t sweep over all slots. The
+    // `--check` invariants: after every update the stateful value is
+    // bit-identical to a from-scratch exact pass under the current
+    // weights, and each slot's gradient equals the central finite
+    // difference in exact rationals — the circuit is multilinear in
+    // every weight, so that identity is exact, not approximate.
+    // ------------------------------------------------------------------
+    let priced_flat = Arc::new(flat.clone());
+    let base_weights: Vec<Rational> = priced_flat
+        .vars()
+        .iter()
+        .map(|&v| clin.vars.weights()[&v].clone())
+        .collect();
+    let slots = base_weights.len();
+    // Four passes over every slot with pass- and slot-dependent weights,
+    // so each step is a real change with a different dirty cone.
+    let stream: Vec<(u32, Rational)> = (0..slots * 4)
+        .map(|i| {
+            let slot = (i % slots) as u32;
+            let w = Rational::from_ints((i / slots) as i64 % 2 + 1, (i % 7) as i64 + 3);
+            (slot, w)
+        })
+        .collect();
+    let mut priced = PricedCircuit::new(Arc::clone(&priced_flat), &base_weights);
+    let update_secs = time_median(reps, || {
+        for (slot, w) in &stream {
+            std::hint::black_box(priced.update_weight(*slot, w.clone()));
+        }
+    });
+    record("priced_update_stream_unsafe_3x3", update_secs, None, None);
+    let weight_updates_per_sec = stream.len() as f64 / update_secs.max(1e-12);
+    println!(
+        "{:<44} {weight_updates_per_sec:.0}/s over {} updates",
+        "weight_updates_per_sec (priced stream)",
+        stream.len()
+    );
+    let gradient_secs = time_median(reps, || {
+        std::hint::black_box(priced.gradients());
+    });
+    record(
+        "priced_gradient_sweep_unsafe_3x3",
+        gradient_secs,
+        None,
+        None,
+    );
+    let gradient_pass_ns = gradient_secs * 1e9;
+    println!(
+        "{:<44} {gradient_pass_ns:.1}ns over {slots} slots",
+        "gradient_pass_ns (one sweep, all slots)"
+    );
+    // The deterministic replay behind the numbers: apply the stream to a
+    // fresh priced circuit, checking bit-identity against a full exact
+    // pass at every step and accumulating the dirty-cone sizes.
+    let mut check_priced = PricedCircuit::new(Arc::clone(&priced_flat), &base_weights);
+    let mut current: HashMap<Var, Rational> = clin.vars.weights().clone();
+    let mut repriced_sum = 0usize;
+    for (slot, w) in &stream {
+        let stats = check_priced.update_weight(*slot, w.clone());
+        repriced_sum += stats.repriced;
+        current.insert(priced_flat.vars()[*slot as usize], w.clone());
+        if check_priced.value() != flat.eval_exact(&current) {
+            failures.push(format!(
+                "incremental update at slot {slot} diverged from a full recompute"
+            ));
+            break;
+        }
+    }
+    let dirty_path_gates_per_update = repriced_sum as f64 / stream.len().max(1) as f64;
+    println!(
+        "{:<44} {dirty_path_gates_per_update:.1} of {} gates",
+        "dirty_path_gates_per_update (mean cone)",
+        flat.gate_count()
+    );
+    if dirty_path_gates_per_update >= flat.gate_count() as f64 {
+        failures.push(format!(
+            "dirty_path_gates_per_update {dirty_path_gates_per_update:.1} reached the \
+             full gate count {} — updates are secretly full recomputes",
+            flat.gate_count()
+        ));
+    }
+    // Gradient ≡ central finite difference, in exact arithmetic: for
+    // every slot, f(p+h) − f(p−h) must equal 2h·∂f/∂p exactly.
+    let grads = check_priced.gradients();
+    let h = Rational::from_ints(1, 64);
+    let two_h = &h + &h;
+    for (slot, g) in grads.iter().enumerate() {
+        let v = priced_flat.vars()[slot];
+        let p = current[&v].clone();
+        let mut hi = current.clone();
+        hi.insert(v, &p + &h);
+        let mut lo = current.clone();
+        lo.insert(v, &p - &h);
+        let diff = &flat.eval_exact(&hi) - &flat.eval_exact(&lo);
+        if diff != &two_h * g {
+            failures.push(format!(
+                "gradient at slot {slot} diverged from the central finite difference"
+            ));
         }
     }
 
@@ -805,7 +931,7 @@ fn main() {
         format!(
             concat!(
                 "{{\n",
-                "  \"schema\": \"gfomc-bench-v7\",\n",
+                "  \"schema\": \"gfomc-bench-v8\",\n",
                 "  \"unit\": \"seconds\",\n",
                 "  \"git_sha\": \"{sha}\",\n",
                 "  \"threads\": {threads},\n",
@@ -818,6 +944,9 @@ fn main() {
                 "  \"batch_eval_per_weighting_ns\": {batch_ns:.2},\n",
                 "  \"rational_small_path_hit_rate\": {small_rate:.4},\n",
                 "  \"threshold_certify_rate\": {certify_rate:.4},\n",
+                "  \"weight_updates_per_sec\": {upd_rate:.2},\n",
+                "  \"dirty_path_gates_per_update\": {dirty:.2},\n",
+                "  \"gradient_pass_ns\": {grad_ns:.2},\n",
                 "  \"cache\": {{\"hits\": {hits}, \"misses\": {misses}, \"hit_rate\": {rate:.4}}},\n",
                 "  \"adaptive\": {{\"samples\": {asamples}, \"fixed_budget\": {klm}, \"converged\": {conv}}},\n",
                 "  \"serve_rtt_us\": {rtt_us:.2},\n",
@@ -839,6 +968,9 @@ fn main() {
             batch_ns = batch_eval_per_weighting_ns,
             small_rate = rational_small_path_hit_rate,
             certify_rate = threshold_certify_rate,
+            upd_rate = weight_updates_per_sec,
+            dirty = dirty_path_gates_per_update,
+            grad_ns = gradient_pass_ns,
             hits = cache.hits,
             misses = cache.misses,
             rate = cache.hit_rate(),
@@ -859,7 +991,7 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write bench JSON");
     println!("wrote {out_path} (sha {sha})");
     // Per-PR snapshot next to the rolling series: the perf trajectory
-    // accumulates one frozen schema-v7 file per PR, and CI uploads both
+    // accumulates one frozen schema-v8 file per PR, and CI uploads both
     // as artifacts.
     if out_path != snapshot_path {
         std::fs::write(&snapshot_path, &json).expect("write bench snapshot");

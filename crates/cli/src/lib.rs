@@ -1,9 +1,18 @@
 //! # gfomc-cli
 //!
-//! Command-line client for the gfomc service. Seven subcommands:
+//! Command-line client for the gfomc service. Ten subcommands:
 //!
 //! * `submit` — POST an [`EvalRequest`] body to `/eval` and print the
 //!   [`Routed`] response text;
+//! * `session` — POST a [`SessionRequest`] body to `/session` verbatim
+//!   and print the [`SessionResponse`] text (or the server's typed error
+//!   line on a non-200);
+//! * `update` — compose a one-shot session from an [`EvalRequest`] spec
+//!   (stdin or `--file`) plus `<tuple> <n/d>` argument pairs: open,
+//!   apply every update, read the value, close. Runs with the `check`
+//!   bit-identity discipline against an in-process replay;
+//! * `explain` — same composition, but the op is `explain top <k>`:
+//!   rank the k most influential tuples by |∂Pr/∂p| after opening;
 //! * `status` / `routes` / `cache` — print the matching GET endpoint's
 //!   counters verbatim;
 //! * `metrics` — print `/metrics` (Prometheus text exposition of the
@@ -12,15 +21,19 @@
 //!   verbatim;
 //! * `check` — submit a body over the wire **and** route the same request
 //!   through a direct in-process [`Engine`], then assert the two answers
-//!   are bit-identical. This is the end-to-end determinism drill the CI
-//!   smoke job runs: if the wire format, the server, or the engine ever
-//!   disagree byte-for-byte, `check` exits non-zero.
+//!   are bit-identical. Bodies whose first line is a `session` header go
+//!   to `/session` and are replayed through [`Engine::session_request`]
+//!   (with the server-assigned session id normalized — ids encode
+//!   allocation order, not content); everything else goes to `/eval` as
+//!   before. This is the end-to-end determinism drill the CI smoke job
+//!   runs: if the wire format, the server, or the engine ever disagree
+//!   byte-for-byte, `check` exits non-zero.
 //!
 //! The library entry point [`run`] takes its arguments, an input-body
 //! source, and an output sink explicitly, so the test suite can drive
 //! every subcommand without a subprocess; the binary is a thin wrapper.
 
-use gfomc_engine::{Engine, EvalRequest, Routed};
+use gfomc_engine::{Engine, EvalRequest, Routed, SessionRequest, SessionResponse};
 use gfomc_serve::Client;
 use std::io::{self, Read, Write};
 
@@ -33,9 +46,12 @@ pub const EXIT_SERVER: i32 = 2;
 /// Exit code vocabulary: `check` found a wire/direct answer mismatch.
 pub const EXIT_MISMATCH: i32 = 3;
 
-const USAGE: &str = "usage: gfomc-cli <submit|status|routes|cache|metrics|slow|check> \
+const USAGE: &str =
+    "usage: gfomc-cli <submit|session|update|explain|status|routes|cache|metrics|slow|check> \
                      [--addr HOST:PORT] [--file PATH]\n\
-                     submit/check read the request body from --file or stdin";
+                     submit/session/check read the request body from --file or stdin;\n\
+                     update <tuple> <n/d> [<tuple> <n/d> ...] and explain <k> read an\n\
+                     EvalRequest spec the same way and compose a one-shot session";
 
 /// Where a request body comes from: `--file PATH`, or the caller's stdin
 /// closure (the binary reads real stdin; tests inject a string).
@@ -77,6 +93,7 @@ fn run_inner(
     };
     let mut addr = "127.0.0.1:7070".to_string();
     let mut file: Option<String> = None;
+    let mut operands: Vec<String> = Vec::new();
     let mut rest = args[1..].iter();
     while let Some(flag) = rest.next() {
         match flag.as_str() {
@@ -94,10 +111,11 @@ fn run_inner(
                     return Ok(EXIT_USAGE);
                 }
             },
-            other => {
+            other if other.starts_with("--") => {
                 writeln!(out, "gfomc-cli: unknown flag '{other}'\n{USAGE}")?;
                 return Ok(EXIT_USAGE);
             }
+            operand => operands.push(operand.to_string()),
         }
     }
     let client = Client::new(addr);
@@ -106,6 +124,38 @@ fn run_inner(
             let body = request_body(&file, stdin)?;
             submit(&client, &body, out)
         }
+        "session" => {
+            let body = request_body(&file, stdin)?;
+            session_submit(&client, &body, out)
+        }
+        "update" => {
+            if operands.is_empty() || !operands.len().is_multiple_of(2) {
+                writeln!(out, "gfomc-cli: update needs <tuple> <n/d> pairs\n{USAGE}")?;
+                return Ok(EXIT_USAGE);
+            }
+            let spec = request_body(&file, stdin)?;
+            let mut body = session_open(&spec);
+            for pair in operands.chunks(2) {
+                body.push_str(&format!("update {} {}\n", pair[0], pair[1]));
+            }
+            body.push_str("value\nsession close\n");
+            session_check(&client, &body, out)
+        }
+        "explain" => {
+            let k = match operands.as_slice() {
+                [k] => k.clone(),
+                // Tolerate the wire grammar's spelling: `explain top <k>`.
+                [top, k] if top == "top" => k.clone(),
+                _ => {
+                    writeln!(out, "gfomc-cli: explain needs a single <k>\n{USAGE}")?;
+                    return Ok(EXIT_USAGE);
+                }
+            };
+            let spec = request_body(&file, stdin)?;
+            let mut body = session_open(&spec);
+            body.push_str(&format!("explain top {k}\nsession close\n"));
+            session_check(&client, &body, out)
+        }
         "status" => get(&client, "/status", out),
         "routes" => get(&client, "/routes", out),
         "cache" => get(&client, "/cache", out),
@@ -113,13 +163,37 @@ fn run_inner(
         "slow" => get(&client, "/slow", out),
         "check" => {
             let body = request_body(&file, stdin)?;
-            check(&client, &body, out)
+            if is_session_body(&body) {
+                session_check(&client, &body, out)
+            } else {
+                check(&client, &body, out)
+            }
         }
         other => {
             writeln!(out, "gfomc-cli: unknown command '{other}'\n{USAGE}")?;
             Ok(EXIT_USAGE)
         }
     }
+}
+
+/// A body belongs on `/session` when its first non-blank line is a
+/// `session` header; everything else is an [`EvalRequest`] for `/eval`.
+fn is_session_body(body: &str) -> bool {
+    body.lines()
+        .map(str::trim)
+        .find(|l| !l.is_empty())
+        .is_some_and(|l| l == "session" || l.starts_with("session "))
+}
+
+/// Starts a one-shot session body: the `session open` header followed by
+/// the caller's [`EvalRequest`] spec lines, newline-terminated.
+fn session_open(spec: &str) -> String {
+    let mut body = String::from("session open\n");
+    body.push_str(spec);
+    if !body.ends_with('\n') {
+        body.push('\n');
+    }
+    body
 }
 
 /// `submit`: one POST to `/eval`; the response body is printed verbatim
@@ -197,6 +271,73 @@ fn check(client: &Client, body: &str, out: &mut dyn Write) -> io::Result<i32> {
             Ok(EXIT_MISMATCH)
         }
     }
+}
+
+/// `session`: one POST to `/session`; the response body is printed
+/// verbatim (the stable [`SessionResponse`] text on 200, the server's
+/// typed error line otherwise).
+fn session_submit(client: &Client, body: &str, out: &mut dyn Write) -> io::Result<i32> {
+    let resp = client.post("/session", body)?;
+    if resp.status == 200 {
+        write!(out, "{}", resp.body)?;
+        return Ok(EXIT_OK);
+    }
+    write!(out, "server error {}: {}", resp.status, resp.body)?;
+    if let Some(secs) = resp.retry_after {
+        writeln!(out, "retry after {secs}s")?;
+    }
+    Ok(EXIT_SERVER)
+}
+
+/// The session half of the bit-identity drill: the body is routed over
+/// the wire and replayed through a fresh in-process [`Engine`]. Session
+/// ids encode allocation order rather than content, so the server's id
+/// is copied onto the replay before the byte comparison; every reply
+/// line after the header must match byte-for-byte.
+fn session_check(client: &Client, body: &str, out: &mut dyn Write) -> io::Result<i32> {
+    let request: SessionRequest = match body.parse() {
+        Ok(req) => req,
+        Err(e) => {
+            writeln!(out, "request does not parse locally: {e}")?;
+            return Ok(EXIT_USAGE);
+        }
+    };
+    let resp = client.post("/session", body)?;
+    if resp.status != 200 {
+        write!(out, "server error {}: {}", resp.status, resp.body)?;
+        return Ok(EXIT_SERVER);
+    }
+    let mut direct = match Engine::new().session_request(&request) {
+        Ok(response) => response,
+        Err(e) => {
+            writeln!(out, "direct replay rejected the request: {e}")?;
+            return Ok(EXIT_USAGE);
+        }
+    };
+    let parsed: SessionResponse = match resp.body.parse() {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            writeln!(out, "wire answer does not reparse: {e}")?;
+            return Ok(EXIT_MISMATCH);
+        }
+    };
+    direct.id = parsed.id;
+    let direct_text = direct.to_string();
+    if resp.body != direct_text {
+        writeln!(out, "MISMATCH between wire and direct answers")?;
+        writeln!(
+            out,
+            "--- wire ---\n{}--- direct ---\n{direct_text}",
+            resp.body
+        )?;
+        return Ok(EXIT_MISMATCH);
+    }
+    if parsed != direct {
+        writeln!(out, "MISMATCH after reparse")?;
+        return Ok(EXIT_MISMATCH);
+    }
+    write!(out, "identical (session)\n{}", resp.body)?;
+    Ok(EXIT_OK)
 }
 
 /// Reads all of real stdin — the binary's body source.

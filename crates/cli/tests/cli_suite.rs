@@ -117,6 +117,81 @@ fn check_rejects_locally_unparseable_bodies_before_the_wire() {
 }
 
 #[test]
+fn update_composes_a_one_shot_session_and_checks_bit_identity() {
+    let handle = spawn(Engine::new());
+    let spec = exact_request().to_string();
+    let (code, out) = cli(
+        &handle,
+        &["update", "R(u0)", "1/3", "T(v1000)", "9/10", "R(u0)", "1/3"],
+        &spec,
+    );
+    assert_eq!(code, EXIT_OK, "{out}");
+    assert!(out.starts_with("identical (session)"), "{out}");
+    assert!(out.contains("updated R(u0) 1/3 repriced "), "{out}");
+    // The exact repeat must report a zero-gate re-pricing.
+    assert!(out.contains("repriced 0 of "), "{out}");
+    assert!(out.contains("\nvalue "), "{out}");
+    assert!(out.trim_end().ends_with("closed"), "{out}");
+    handle.stop();
+}
+
+#[test]
+fn explain_ranks_influential_tuples_over_the_wire() {
+    let handle = spawn(Engine::new());
+    let spec = exact_request().to_string();
+    let (code, out) = cli(&handle, &["explain", "2"], &spec);
+    assert_eq!(code, EXIT_OK, "{out}");
+    assert!(out.starts_with("identical (session)"), "{out}");
+    assert!(out.contains("influence 1 "), "{out}");
+    assert!(out.contains("influence 2 "), "{out}");
+    // The wire grammar spelling is tolerated too, and agrees.
+    let (code, spelled) = cli(&handle, &["explain", "top", "2"], &spec);
+    assert_eq!(code, EXIT_OK, "{spelled}");
+    handle.stop();
+}
+
+#[test]
+fn check_routes_session_bodies_to_the_session_endpoint() {
+    let handle = spawn(Engine::new());
+    let body = format!(
+        "session open\n{}update S0(u0,v1000) 1/16\nvalue\nexplain top 3\nsession close\n",
+        exact_request()
+    );
+    let (code, out) = cli(&handle, &["check"], &body);
+    assert_eq!(code, EXIT_OK, "{out}");
+    assert!(out.starts_with("identical (session)"), "{out}");
+
+    // Malformed session bodies are rejected locally before the wire.
+    let (code, out) = cli(&handle, &["check"], "session open\nexplain top 0\n");
+    assert_eq!(code, EXIT_USAGE, "{out}");
+    assert!(out.contains("does not parse locally"), "{out}");
+    handle.stop();
+}
+
+#[test]
+fn session_submit_surfaces_typed_server_errors() {
+    let handle = spawn(Engine::new());
+    // An unknown id is a typed 400 from the server, surfaced as EXIT_SERVER.
+    let (code, out) = cli(&handle, &["session"], "session use 424242\nvalue\n");
+    assert_eq!(code, EXIT_SERVER, "{out}");
+    assert!(out.contains("server error 400"), "{out}");
+    assert!(out.contains("unknown session 424242"), "{out}");
+
+    // A well-formed one-shot lifecycle prints the response verbatim.
+    let body = format!("session open\n{}value\nsession close\n", exact_request());
+    let (code, out) = cli(&handle, &["session"], &body);
+    assert_eq!(code, EXIT_OK, "{out}");
+    assert!(out.starts_with("session "), "{out}");
+    assert!(out.trim_end().ends_with("closed"), "{out}");
+
+    // Bad operand arity is a local usage error, never a request.
+    let (code, out) = cli(&handle, &["update", "R(u0)"], "");
+    assert_eq!(code, EXIT_USAGE, "{out}");
+    assert!(out.contains("update needs"), "{out}");
+    handle.stop();
+}
+
+#[test]
 fn metrics_and_slow_print_the_observability_endpoints() {
     let handle = spawn(Engine::builder().slow_threshold_nanos(0).build());
     let (code, _) = cli(&handle, &["submit"], &exact_request().to_string());

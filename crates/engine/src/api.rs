@@ -132,7 +132,7 @@ impl fmt::Display for AutoResult {
 }
 
 /// Parses one whitespace token with `parse`, labeling failures `what`.
-fn token<'a, T>(
+pub(crate) fn token<'a, T>(
     words: &mut impl Iterator<Item = &'a str>,
     what: &str,
     parse: impl FnOnce(&str) -> Option<T>,
@@ -144,7 +144,7 @@ fn token<'a, T>(
 }
 
 /// Expects the literal keyword `kw` as the next token.
-fn keyword<'a>(
+pub(crate) fn keyword<'a>(
     words: &mut impl Iterator<Item = &'a str>,
     kw: &str,
 ) -> Result<(), ResponseParseError> {
@@ -157,7 +157,7 @@ fn keyword<'a>(
 }
 
 /// A probability-valued rational (`[0, 1]`), or `None`.
-fn parse_prob(s: &str) -> Option<Rational> {
+pub(crate) fn parse_prob(s: &str) -> Option<Rational> {
     Rational::from_decimal(s).filter(Rational::is_probability)
 }
 

@@ -47,10 +47,15 @@
 
 pub mod api;
 pub mod router;
+pub mod session;
 pub mod workload;
 
 pub use api::{EvalError, EvalRequest, EvalResponse, RequestParseError, ResponseParseError};
 pub use router::{AutoResult, Budget, BudgetError, Route, RouteCounts, Routed, SampleMode};
+pub use session::{
+    Session, SessionError, SessionOp, SessionParseError, SessionReply, SessionRequest,
+    SessionResponse, SessionWireError,
+};
 
 // The observability vocabulary is part of the engine's public surface:
 // `Engine::registry()` hands out the `Registry`, traced responses carry a
@@ -167,7 +172,7 @@ struct CacheShard {
 /// shards selected by the lineage hash, statistics are atomics, and the
 /// parallel paths run on a persistent [`WorkerPool`] created once per
 /// engine's lifetime (the process-shared pool by default,
-/// [`Engine::with_pool`] to dedicate one). Concurrent compiles of
+/// [`EngineBuilder::pool`] to dedicate one). Concurrent compiles of
 /// *distinct* lineages proceed in parallel with probability
 /// `1 − 1/shards`; concurrent compiles of the *same* lineage serialize on
 /// its shard so the work is done once, not duplicated.
@@ -211,6 +216,18 @@ pub struct Engine {
     /// read one source of truth: how many admitted-but-unfinished requests
     /// a front-end may hold before it must reject explicitly.
     max_queue_depth: usize,
+    /// Open priced sessions, keyed by the id handed out at open time
+    /// (see [`session`]). Each session is individually locked so the
+    /// registry lock is never held across session work.
+    pub(crate) sessions: Mutex<HashMap<u64, session::SessionSlot>>,
+    /// Monotone session-id allocator (ids are never reused, so a closed
+    /// id stays a typed "unknown session" error forever).
+    pub(crate) session_ids: AtomicU64,
+    /// Per-tenant cap on concurrently open sessions — an open session is
+    /// charged against the same admission budget the serving gate
+    /// enforces for in-flight requests (defaults to
+    /// [`EngineBuilder::max_queue_depth`]).
+    pub(crate) max_sessions_per_tenant: usize,
     pool: Arc<WorkerPool>,
 }
 
@@ -239,6 +256,7 @@ pub struct EngineBuilder {
     max_queue_depth: usize,
     slow_threshold_nanos: u64,
     slow_capacity: usize,
+    max_sessions_per_tenant: Option<usize>,
 }
 
 impl Default for EngineBuilder {
@@ -249,6 +267,7 @@ impl Default for EngineBuilder {
             max_queue_depth: DEFAULT_MAX_QUEUE_DEPTH,
             slow_threshold_nanos: DEFAULT_SLOW_THRESHOLD_NANOS,
             slow_capacity: DEFAULT_SLOW_CAPACITY,
+            max_sessions_per_tenant: None,
         }
     }
 }
@@ -289,6 +308,17 @@ impl EngineBuilder {
     /// recording entirely).
     pub fn slow_capacity(mut self, capacity: usize) -> Self {
         self.slow_capacity = capacity;
+        self
+    }
+
+    /// Per-tenant cap on concurrently **open sessions**
+    /// ([`Engine::open_session`]). A session holds priced circuit state
+    /// between requests, so it is charged against the same admission
+    /// budget the serving gate enforces for in-flight requests: the cap
+    /// defaults to [`EngineBuilder::max_queue_depth`]. 0 rejects every
+    /// open (drain mode).
+    pub fn max_sessions_per_tenant(mut self, cap: usize) -> Self {
+        self.max_sessions_per_tenant = Some(cap);
         self
     }
 
@@ -336,6 +366,9 @@ impl EngineBuilder {
             cache_evictions: counter("engine_cache_evictions_total"),
             cache_rejections: counter("engine_cache_rejections_total"),
             max_queue_depth: self.max_queue_depth,
+            sessions: Mutex::new(HashMap::new()),
+            session_ids: AtomicU64::new(0),
+            max_sessions_per_tenant: self.max_sessions_per_tenant.unwrap_or(self.max_queue_depth),
             pool: self
                 .pool
                 .unwrap_or_else(|| Arc::clone(WorkerPool::global())),
@@ -361,36 +394,6 @@ impl Engine {
     /// The configuration entry point: see [`EngineBuilder`].
     pub fn builder() -> EngineBuilder {
         EngineBuilder::default()
-    }
-
-    /// An engine whose compilation cache holds up to `capacity` circuits
-    /// (0 disables caching entirely), on the process-shared worker pool.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use Engine::builder().cache_capacity(capacity).build()"
-    )]
-    pub fn with_cache_capacity(capacity: usize) -> Self {
-        Engine::builder().cache_capacity(capacity).build()
-    }
-
-    /// An engine running its parallel paths (sampling rounds, batched
-    /// evaluation, [`Engine::evaluate_auto_batch`]) on a dedicated pool
-    /// instead of the process-shared one.
-    #[deprecated(since = "0.1.0", note = "use Engine::builder().pool(pool).build()")]
-    pub fn with_pool(pool: Arc<WorkerPool>) -> Self {
-        Engine::builder().pool(pool).build()
-    }
-
-    /// The fully explicit constructor: cache capacity and worker pool.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use Engine::builder().cache_capacity(capacity).pool(pool).build()"
-    )]
-    pub fn with_cache_capacity_and_pool(capacity: usize, pool: Arc<WorkerPool>) -> Self {
-        Engine::builder()
-            .cache_capacity(capacity)
-            .pool(pool)
-            .build()
     }
 
     /// The worker pool this engine fans its parallel work across.
@@ -624,6 +627,8 @@ impl Engine {
             &[],
             gfomc_logic::interval_fallbacks_total(),
         );
+        self.registry
+            .set_gauge("engine_sessions_open", &[], self.session_count() as u64);
     }
 
     /// Bumps the routing tally of one tenant — called by
@@ -689,8 +694,8 @@ pub fn probability(q: &BipartiteQuery, tid: &Tid) -> Rational {
 /// arithmetically, so no recompilation is needed.
 #[derive(Clone, Debug)]
 pub struct Compiled {
-    circuit: Arc<FlatCircuit>,
-    vars: VarTable,
+    pub(crate) circuit: Arc<FlatCircuit>,
+    pub(crate) vars: VarTable,
 }
 
 impl Compiled {

@@ -63,7 +63,7 @@ pub(crate) enum LaneVal {
 
 impl LaneVal {
     #[inline]
-    fn is_zero(&self) -> bool {
+    pub(crate) fn is_zero(&self) -> bool {
         match self {
             LaneVal::S(r) => r.is_zero(),
             LaneVal::B(r) => r.is_zero(),
@@ -72,7 +72,7 @@ impl LaneVal {
 
     /// The exact value, materialized (canonical lowest terms either way).
     #[inline]
-    fn to_rational(&self) -> Rational {
+    pub(crate) fn to_rational(&self) -> Rational {
         match self {
             LaneVal::S(r) => Rational::from(*r),
             LaneVal::B(r) => r.clone(),
@@ -85,14 +85,14 @@ impl LaneVal {
 /// decision gate), and their machine-word forms when they fit.
 #[derive(Clone, Debug)]
 pub(crate) struct SlotW {
-    p: Rational,
-    pc: Rational,
-    ps: Option<Rat64>,
-    pcs: Option<Rat64>,
+    pub(crate) p: Rational,
+    pub(crate) pc: Rational,
+    pub(crate) ps: Option<Rat64>,
+    pub(crate) pcs: Option<Rat64>,
 }
 
 impl SlotW {
-    fn new(p: Rational) -> SlotW {
+    pub(crate) fn new(p: Rational) -> SlotW {
         let pc = p.complement();
         SlotW {
             ps: p.to_rat64(),
@@ -104,7 +104,7 @@ impl SlotW {
 
     /// The leaf value `w(v)` as a lane.
     #[inline]
-    fn leaf(&self) -> LaneVal {
+    pub(crate) fn leaf(&self) -> LaneVal {
         match self.ps {
             Some(r) => LaneVal::S(r),
             None => LaneVal::B(self.p.clone()),
@@ -115,7 +115,7 @@ impl SlotW {
 /// `a · b` on hybrid lanes: machine words unless an operand already
 /// spilled or the product overflows.
 #[inline]
-fn mul_lane(a: &LaneVal, b: &LaneVal) -> LaneVal {
+pub(crate) fn mul_lane(a: &LaneVal, b: &LaneVal) -> LaneVal {
     match (a, b) {
         (LaneVal::S(x), LaneVal::S(y)) => match x.checked_mul(*y) {
             Some(r) => LaneVal::S(r),
@@ -127,7 +127,7 @@ fn mul_lane(a: &LaneVal, b: &LaneVal) -> LaneVal {
 
 /// The Shannon gate `w·hi + (1 − w)·lo` on hybrid lanes.
 #[inline]
-fn decision_lane(s: &SlotW, hi: &LaneVal, lo: &LaneVal) -> LaneVal {
+pub(crate) fn decision_lane(s: &SlotW, hi: &LaneVal, lo: &LaneVal) -> LaneVal {
     if let (Some(p), Some(pc), LaneVal::S(h), LaneVal::S(l)) = (s.ps, s.pcs, hi, lo) {
         if let Some(t1) = p.checked_mul(*h) {
             if let Some(t2) = pc.checked_mul(*l) {
@@ -183,7 +183,7 @@ pub enum Op {
 }
 
 /// Slot sentinel for gates without a variable.
-const NO_SLOT: u32 = u32::MAX;
+pub(crate) const NO_SLOT: u32 = u32::MAX;
 
 /// A flat, topologically ordered, struct-of-arrays arithmetic circuit.
 ///
@@ -200,8 +200,8 @@ const NO_SLOT: u32 = u32::MAX;
 /// ```
 #[derive(Clone, Debug)]
 pub struct FlatCircuit {
-    ops: Vec<Op>,
-    var_slot: Vec<u32>,
+    pub(crate) ops: Vec<Op>,
+    pub(crate) var_slot: Vec<u32>,
     off: Vec<u32>,
     len: Vec<u32>,
     children: Vec<u32>,
@@ -286,7 +286,7 @@ impl FlatCircuit {
 
     /// The packed children of a gate.
     #[inline]
-    fn kids(&self, g: usize) -> &[u32] {
+    pub(crate) fn kids(&self, g: usize) -> &[u32] {
         let off = self.off[g] as usize;
         &self.children[off..off + self.len[g] as usize]
     }
@@ -307,7 +307,7 @@ impl FlatCircuit {
     /// Resolves `w` into one [`SlotW`] per distinct variable: weight,
     /// complement (once per variable, not once per decision gate), and
     /// their machine-word forms.
-    fn resolve_slots<W: WeightFn>(&self, w: &W, out: &mut Vec<SlotW>) {
+    pub(crate) fn resolve_slots<W: WeightFn>(&self, w: &W, out: &mut Vec<SlotW>) {
         out.clear();
         out.reserve(self.vars.len());
         for &v in &self.vars {
@@ -321,7 +321,7 @@ impl FlatCircuit {
     /// stay in machine words ([`Rat64`]) until an op overflows, then spill
     /// to bignum — either way exact and in lowest terms, so the pass is
     /// bit-identical to an all-bignum evaluation.
-    fn eval_cells_into(&self, slots: &[SlotW], cells: &mut Vec<LaneVal>) {
+    pub(crate) fn eval_cells_into(&self, slots: &[SlotW], cells: &mut Vec<LaneVal>) {
         cells.clear();
         cells.reserve(self.ops.len());
         for g in 0..self.ops.len() {
@@ -365,7 +365,7 @@ impl FlatCircuit {
     /// Every gate value of a monotone circuit under probability weights is
     /// itself a probability, so each step intersects with `[0, 1]`
     /// ([`Interval::clamp_unit`]) to undo the outward nudges' drift.
-    fn eval_interval_into(&self, w: &[Interval], out: &mut Vec<Interval>) {
+    pub(crate) fn eval_interval_into(&self, w: &[Interval], out: &mut Vec<Interval>) {
         out.clear();
         out.reserve(self.ops.len());
         for g in 0..self.ops.len() {
@@ -803,6 +803,65 @@ impl FlatCircuit {
         out.into_iter()
             .map(|v| v.expect("every batch index evaluated"))
             .collect()
+    }
+
+    /// Builds the parent index of the circuit: for every gate, the gates
+    /// that consume it, in the same packed CSR layout as `children` (one
+    /// counting pass, one prefix sum, one scatter — no per-gate
+    /// allocation). Each edge of `children` appears exactly once, so
+    /// `rev.edge_count() == children.len()`; a gate referenced twice by
+    /// the same parent (a `Decision` with `hi == lo` after extraction)
+    /// lists that parent twice, mirroring the forward multiplicity.
+    pub fn reverse_topology(&self) -> ReverseTopology {
+        let n = self.ops.len();
+        let mut counts = vec![0u32; n];
+        for &k in &self.children {
+            counts[k as usize] += 1;
+        }
+        let mut off = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        for &c in &counts {
+            off.push(acc);
+            acc += c;
+        }
+        off.push(acc);
+        let mut cursor = off[..n].to_vec();
+        let mut parents = vec![0u32; self.children.len()];
+        for g in 0..n {
+            for &k in self.kids(g) {
+                let slot = &mut cursor[k as usize];
+                parents[*slot as usize] = g as u32;
+                *slot += 1;
+            }
+        }
+        ReverseTopology { off, parents }
+    }
+}
+
+/// The parent index of a [`FlatCircuit`]: for each gate, the gates that
+/// consume it, packed CSR-style exactly like the forward `children`
+/// vector. Parents of gate `g` live at `off[g]..off[g+1]` inside
+/// `parents`, in ascending forward-scan order (the order parent gates
+/// were visited while counting), so walking a gate's parents is one
+/// slice index — the structural half of incremental re-pricing.
+#[derive(Clone, Debug)]
+pub struct ReverseTopology {
+    off: Vec<u32>,
+    parents: Vec<u32>,
+}
+
+impl ReverseTopology {
+    /// The gates consuming `g` (with forward multiplicity: a parent
+    /// referencing `g` twice appears twice).
+    #[inline]
+    pub fn parents(&self, g: u32) -> &[u32] {
+        let gi = g as usize;
+        &self.parents[self.off[gi] as usize..self.off[gi + 1] as usize]
+    }
+
+    /// Total parent edges — always equal to the forward `children` count.
+    pub fn edge_count(&self) -> usize {
+        self.parents.len()
     }
 }
 

@@ -16,6 +16,10 @@
 //! * [`flat`] — the struct-of-arrays evaluation form of those circuits
 //!   ([`FlatCircuit`]): dense topologically ordered gates, packed
 //!   children, interval-first evaluation with certified exact fallback;
+//! * [`priced`] — the stateful layer over [`flat`] ([`PricedCircuit`]):
+//!   persisted per-gate values, reverse topology, dirty-path incremental
+//!   re-pricing on weight updates, and the downward derivative pass
+//!   (∂Pr/∂p per distinct variable in one sweep);
 //! * [`intern`] — canonical-CNF interning shared by both WMC back-ends;
 //! * [`decompose`] — the disconnection / distance / migrating-variable
 //!   analysis of Appendix B.
@@ -26,13 +30,17 @@ pub mod decompose;
 pub mod dnf;
 pub mod flat;
 pub mod intern;
+pub mod priced;
 pub mod wmc;
 
 pub use circuit::{Circuit, Compiler, EvalArena, Node, NodeId, Valuation};
 pub use cnf::{Clause, Cnf, Var};
 pub use dnf::Dnf;
-pub use flat::{interval_fallbacks_thread, interval_fallbacks_total, FlatCircuit, Op};
+pub use flat::{
+    interval_fallbacks_thread, interval_fallbacks_total, FlatCircuit, Op, ReverseTopology,
+};
 pub use intern::{CnfId, CnfInterner};
+pub use priced::{PricedCircuit, UpdateStats};
 pub use wmc::{
     count_models, wmc, wmc_brute_force, ModelCounter, UniformWeight, WeightFn, WeightsFromFn,
     WmcConfig,

@@ -448,8 +448,15 @@ impl Registry {
 pub struct Trace {
     /// `(phase name, nanoseconds)` in execution order. Phase names are
     /// single words (no whitespace) so the line grammar round-trips.
+    /// The engine's vocabulary: `parse` / `route` / `compile` /
+    /// `evaluate` phases on the evaluation routes, and `open` /
+    /// `update` / `explain` on session requests (the latter two summed
+    /// across a request's ops;
+    /// per-op latencies go to the `engine_update_nanos` /
+    /// `engine_explain_nanos` histograms instead).
     pub spans: Vec<(String, u64)>,
-    /// The route taken (`lifted` / `compiled` / `sampled`).
+    /// The route taken (`lifted` / `compiled` / `sampled`, or `session`
+    /// for stateful session requests).
     pub route: Option<String>,
     /// Compiled route: whether the circuit came from the cache.
     pub cache_hit: Option<bool>,

@@ -26,6 +26,7 @@
 //! | Method | Path      | Meaning                                               |
 //! |--------|-----------|-------------------------------------------------------|
 //! | POST   | `/eval`   | Route one [`EvalRequest`] body; 200 → [`Routed`](gfomc_engine::Routed) text, 400 → parse/budget error, 429 → at capacity |
+//! | POST   | `/session`| One [`SessionRequest`](gfomc_engine::SessionRequest) body (open / use / close + update/explain ops); 200 → [`SessionResponse`](gfomc_engine::SessionResponse) text, 400 → parse/budget/session error, 429 → at capacity or tenant session cap |
 //! | GET    | `/status` | Gate, pool, and cache counters as `key value` lines    |
 //! | GET    | `/metrics`| Prometheus text exposition of the engine registry      |
 //! | GET    | `/slow`   | Slow-query ring buffer: full traces of the slowest requests |
@@ -41,7 +42,7 @@
 pub mod client;
 pub mod http;
 
-use gfomc_engine::{Engine, EvalRequest};
+use gfomc_engine::{Engine, EvalRequest, SessionError, SessionWireError};
 use http::{read_request, write_response, Request, Response};
 use std::io::{self, BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -312,22 +313,28 @@ fn serve_connection(
 fn route_request(engine: &Engine, gate: &Arc<AdmissionGate>, req: &Request) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/eval") => match gate.try_admit() {
-            None => {
-                let stats = gate.stats();
-                // Human-readable first line, then machine-readable
-                // `key value` lines a backoff policy can parse.
-                let mut resp = Response::error(
-                    429,
-                    format!(
-                        "server at capacity\nin_flight {}\nmax_depth {}",
-                        stats.in_flight, stats.max_depth
-                    ),
-                );
-                resp.retry_after = Some(RETRY_AFTER_SECS);
-                resp
-            }
+            None => at_capacity(gate),
             Some(_permit) => match engine.evaluate_wire(&req.body) {
                 Ok(body) => Response::ok(body),
+                Err(e) => Response::error(400, e.to_string()),
+            },
+        },
+        ("POST", "/session") => match gate.try_admit() {
+            None => at_capacity(gate),
+            Some(_permit) => match engine.session_wire(&req.body) {
+                Ok(body) => Response::ok(body),
+                // An over-cap tenant is backpressure, not a bad request:
+                // the client should retry after closing (or after its
+                // other sessions close), so it gets the same 429 +
+                // Retry-After contract as the admission gate.
+                Err(SessionWireError::Session(SessionError::Limit { tenant, cap })) => {
+                    let mut resp = Response::error(
+                        429,
+                        format!("tenant at session cap\ntenant {tenant}\nmax_sessions {cap}"),
+                    );
+                    resp.retry_after = Some(RETRY_AFTER_SECS);
+                    resp
+                }
                 Err(e) => Response::error(400, e.to_string()),
             },
         },
@@ -337,6 +344,7 @@ fn route_request(engine: &Engine, gate: &Arc<AdmissionGate>, req: &Request) -> R
         ("GET", "/routes") => Response::ok(routes_body(engine)),
         ("GET", "/cache") => Response::ok(cache_body(engine)),
         ("GET", "/eval")
+        | ("GET", "/session")
         | ("POST", "/status")
         | ("POST", "/metrics")
         | ("POST", "/slow")
@@ -346,6 +354,21 @@ fn route_request(engine: &Engine, gate: &Arc<AdmissionGate>, req: &Request) -> R
         }
         _ => Response::error(404, format!("no such endpoint: {}", req.path)),
     }
+}
+
+/// The gate's 429: human-readable first line, then machine-readable
+/// `key value` lines a backoff policy can parse.
+fn at_capacity(gate: &Arc<AdmissionGate>) -> Response {
+    let stats = gate.stats();
+    let mut resp = Response::error(
+        429,
+        format!(
+            "server at capacity\nin_flight {}\nmax_depth {}",
+            stats.in_flight, stats.max_depth
+        ),
+    );
+    resp.retry_after = Some(RETRY_AFTER_SECS);
+    resp
 }
 
 /// Publishes the gate's counters into the engine registry and refreshes

@@ -10,9 +10,13 @@
 //!    and never hangs (every connection in the suite carries a read
 //!    timeout, so a regression to blocking behavior fails fast).
 
+use gfomc_arith::Rational;
 use gfomc_engine::workload::{random_block_tid, random_query, SafetyTarget};
-use gfomc_engine::{Budget, Engine, EvalRequest, Routed};
+use gfomc_engine::{
+    Budget, Engine, EvalRequest, Routed, SessionOp, SessionRequest, SessionResponse,
+};
 use gfomc_serve::{Client, Connection, Server, ServerHandle};
+use gfomc_tid::Tuple;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::sync::Arc;
 use std::time::Duration;
@@ -382,6 +386,179 @@ fn capacity_rejections_carry_machine_readable_depth() {
     // The rejection is visible in the registry the next scrape.
     let metrics = client.get("/metrics").unwrap().body;
     assert!(metrics.contains("gate_rejected 1"), "{metrics}");
+    handle.stop();
+}
+
+/// An unsafe (compiled-route) request with some uncertain tuples to
+/// update, plus an update/explain op stream over its tuples.
+fn session_fixture() -> (EvalRequest, Vec<SessionOp>) {
+    let spec = mixed_requests(0x5E55, 2).remove(1); // i%3==1 -> unsafe, default budget
+                                                    // The op stream targets the lineage's live support (deterministic
+                                                    // slot order) — explicit tuples the grounding folded out would be
+                                                    // typed UnknownTuple rejections, which other tests cover.
+    let tuples: Vec<Tuple> = Engine::new().compile(&spec.query, &spec.tid).tuples();
+    let mut ops: Vec<SessionOp> = tuples
+        .iter()
+        .enumerate()
+        .map(|(i, &tuple)| SessionOp::Update {
+            tuple,
+            weight: Rational::from_ints(i as i64 + 1, tuples.len() as i64 + 2),
+        })
+        .collect();
+    ops.push(SessionOp::Value);
+    ops.push(SessionOp::ExplainTop { k: 3 });
+    ops.push(SessionOp::WhatIf { tuple: tuples[0] });
+    (spec, ops)
+}
+
+#[test]
+fn session_lifecycle_over_the_wire_matches_in_process_replay() {
+    let (spec, ops) = session_fixture();
+    let handle = spawn(Engine::new());
+    let mut conn = open(&handle);
+
+    // Open (no ops yet), then drive the update stream and the explain
+    // query through separate `session use` requests, then close — the
+    // full lifecycle across several wire exchanges.
+    let open_body = SessionRequest::Open {
+        spec: Box::new(spec.clone()),
+        ops: Vec::new(),
+        close_after: false,
+    }
+    .to_string();
+    let resp = conn.request("POST", "/session", &open_body).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let opened: SessionResponse = resp.body.parse().expect("open response parses");
+    let id = opened.id;
+
+    let use_req = SessionRequest::Use {
+        id,
+        ops: ops.clone(),
+        close_after: false,
+    };
+    let resp = conn
+        .request("POST", "/session", &use_req.to_string())
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let wire: SessionResponse = resp.body.parse().expect("use response parses");
+
+    // In-process replay on a fresh engine: open, run the same ops — the
+    // replies must be bit-identical (ids differ; fresh engines start
+    // numbering at 1).
+    let oracle = Engine::new();
+    let oracle_id = oracle.open_session(&spec).unwrap();
+    let direct = oracle
+        .session_request(&SessionRequest::Use {
+            id: oracle_id,
+            ops,
+            close_after: false,
+        })
+        .unwrap();
+    assert_eq!(wire.replies, direct.replies, "wire diverged from replay");
+    // And the wire body round-trips byte-identically.
+    assert_eq!(
+        resp.body.parse::<SessionResponse>().unwrap().to_string(),
+        resp.body
+    );
+
+    let close_body = SessionRequest::Close { id }.to_string();
+    let resp = conn.request("POST", "/session", &close_body).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert!(resp.body.contains("closed"), "{}", resp.body);
+    handle.stop();
+}
+
+#[test]
+fn closed_and_unknown_session_ids_are_400s_never_a_dead_connection() {
+    let (spec, _) = session_fixture();
+    let handle = spawn(Engine::new());
+    let mut conn = open(&handle);
+    let open_close = SessionRequest::Open {
+        spec: Box::new(spec.clone()),
+        ops: vec![SessionOp::Value],
+        close_after: true,
+    };
+    let resp = conn
+        .request("POST", "/session", &open_close.to_string())
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let closed_id = resp.body.parse::<SessionResponse>().unwrap().id;
+
+    // The closed id, a never-allocated id, malformed bodies — all typed
+    // 400s on the same keep-alive connection, which then still serves.
+    for bad in [
+        format!("session use {closed_id}\nvalue\n"),
+        format!("session close {closed_id}\n"),
+        "session use 999999\nvalue\n".to_string(),
+        "session open\nvalue\n".to_string(), // no spec
+        "value\n".to_string(),               // no header
+        "session use 1\nexplain top 0\n".to_string(),
+    ] {
+        let resp = conn.request("POST", "/session", &bad).unwrap();
+        assert_eq!(resp.status, 400, "{bad:?} -> {}", resp.body);
+    }
+    let resp = conn
+        .request("POST", "/session", &open_close.to_string())
+        .unwrap();
+    assert_eq!(resp.status, 200, "connection survived: {}", resp.body);
+    assert_eq!(conn.request("GET", "/session", "").unwrap().status, 405);
+    handle.stop();
+}
+
+#[test]
+fn tenant_session_cap_is_a_429_with_retry_after() {
+    let (spec, _) = session_fixture();
+    let handle = spawn(Engine::builder().max_sessions_per_tenant(1).build());
+    let client = Client::new(handle.addr().to_string());
+    let open = |tenant: &str| {
+        SessionRequest::Open {
+            spec: Box::new(spec.clone().with_tenant(tenant)),
+            ops: Vec::new(),
+            close_after: false,
+        }
+        .to_string()
+    };
+    let first = client.post("/session", &open("acme")).unwrap();
+    assert_eq!(first.status, 200, "{}", first.body);
+    let second = client.post("/session", &open("acme")).unwrap();
+    assert_eq!(second.status, 429, "{}", second.body);
+    assert_eq!(second.retry_after, Some(gfomc_serve::RETRY_AFTER_SECS));
+    assert!(second.body.contains("session cap"), "{}", second.body);
+    // Another tenant is unaffected, and closing refunds the slot.
+    assert_eq!(client.post("/session", &open("other")).unwrap().status, 200);
+    let id = first.body.parse::<SessionResponse>().unwrap().id;
+    let close = SessionRequest::Close { id }.to_string();
+    assert_eq!(client.post("/session", &close).unwrap().status, 200);
+    assert_eq!(client.post("/session", &open("acme")).unwrap().status, 200);
+    handle.stop();
+}
+
+#[test]
+fn session_metrics_reach_the_scrape_endpoints() {
+    let (spec, ops) = session_fixture();
+    let handle = spawn(Engine::new());
+    let client = Client::new(handle.addr().to_string());
+    let body = SessionRequest::Open {
+        spec: Box::new(spec),
+        ops,
+        close_after: false,
+    }
+    .to_string();
+    let resp = client.post("/session", &body).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+
+    let metrics = client.get("/metrics").unwrap().body;
+    assert!(metrics.contains("engine_update_nanos_count"), "{metrics}");
+    assert!(metrics.contains("engine_explain_nanos_count"), "{metrics}");
+    assert!(
+        metrics.contains("engine_sessions_opened_total 1"),
+        "{metrics}"
+    );
+    assert!(metrics.contains("engine_sessions_open 1"), "{metrics}");
+    assert!(
+        metrics.contains("engine_request_nanos_count{route=\"session\"} 1"),
+        "{metrics}"
+    );
     handle.stop();
 }
 
