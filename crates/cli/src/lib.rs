@@ -294,6 +294,12 @@ fn session_submit(client: &Client, body: &str, out: &mut dyn Write) -> io::Resul
 /// ids encode allocation order rather than content, so the server's id
 /// is copied onto the replay before the byte comparison; every reply
 /// line after the header must match byte-for-byte.
+///
+/// Only `session open` bodies are checkable: `session use <id>` /
+/// `session close <id>` refer to state held by the server, which a
+/// fresh in-process replay cannot reproduce (the id is always unknown
+/// to it), so those are rejected up front rather than misreported as
+/// replay failures.
 fn session_check(client: &Client, body: &str, out: &mut dyn Write) -> io::Result<i32> {
     let request: SessionRequest = match body.parse() {
         Ok(req) => req,
@@ -302,6 +308,14 @@ fn session_check(client: &Client, body: &str, out: &mut dyn Write) -> io::Result
             return Ok(EXIT_USAGE);
         }
     };
+    if !matches!(request, SessionRequest::Open { .. }) {
+        writeln!(
+            out,
+            "check only supports 'session open' bodies: 'use'/'close' \
+             refer to server-held state a fresh replay cannot reproduce"
+        )?;
+        return Ok(EXIT_USAGE);
+    }
     let resp = client.post("/session", body)?;
     if resp.status != 200 {
         write!(out, "server error {}: {}", resp.status, resp.body)?;

@@ -165,6 +165,15 @@ fn check_routes_session_bodies_to_the_session_endpoint() {
     let (code, out) = cli(&handle, &["check"], "session open\nexplain top 0\n");
     assert_eq!(code, EXIT_USAGE, "{out}");
     assert!(out.contains("does not parse locally"), "{out}");
+
+    // `use`/`close` bodies refer to server-held state a fresh replay
+    // cannot reproduce — check rejects them up front instead of
+    // misreporting a guaranteed replay failure.
+    for body in ["session use 7\nvalue\n", "session close 7\n"] {
+        let (code, out) = cli(&handle, &["check"], body);
+        assert_eq!(code, EXIT_USAGE, "{out}");
+        assert!(out.contains("only supports 'session open'"), "{out}");
+    }
     handle.stop();
 }
 

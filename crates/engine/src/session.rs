@@ -432,7 +432,9 @@ impl Engine {
     /// summed phase times go to `tr` as `update` / `explain` spans.
     ///
     /// Ops apply in order; a failing op aborts the remainder but earlier
-    /// updates stay applied — the session is stateful by design.
+    /// updates stay applied — the session is stateful by design. (A
+    /// `close` trailer in the wire body is still honoured on failure:
+    /// see [`Engine::session_request`].)
     fn run_ops(
         &self,
         id: u64,
@@ -514,19 +516,36 @@ impl Engine {
     /// with the same per-request observability as
     /// [`Engine::evaluate_request`] — a `session`-routed entry in the
     /// request-latency histogram and the slow-query log, with `open` /
-    /// `update` / `explain` phase spans.
+    /// `update` / `explain` phase spans. Every request is counted and
+    /// timed, including the ones that fail.
     pub fn session_request(&self, req: &SessionRequest) -> Result<SessionResponse, SessionError> {
         let start = Instant::now();
         let mut tr = Trace::new();
         tr.route = Some("session".into());
-        let result = match req {
+        let result = self.session_request_traced(req, &mut tr);
+        tr.total_nanos = start.elapsed().as_nanos() as u64;
+        let registry = self.registry();
+        registry.counter("engine_session_requests_total", &[]).inc();
+        registry
+            .histogram("engine_request_nanos", &[("route", "session")])
+            .record(tr.total_nanos);
+        self.slow_log().record(&tr);
+        result
+    }
+
+    fn session_request_traced(
+        &self,
+        req: &SessionRequest,
+        tr: &mut Trace,
+    ) -> Result<SessionResponse, SessionError> {
+        match req {
             SessionRequest::Close { id } => {
                 self.close_session(*id)?;
-                SessionResponse {
+                Ok(SessionResponse {
                     id: *id,
                     replies: Vec::new(),
                     closed: true,
-                }
+                })
             }
             SessionRequest::Open {
                 spec,
@@ -536,40 +555,51 @@ impl Engine {
                 let t0 = Instant::now();
                 let id = self.open_session(spec)?;
                 tr.push_span("open", t0.elapsed().as_nanos() as u64);
-                let replies = self.run_ops(id, ops, &mut tr)?;
+                // On any failure past this point the client gets an error
+                // with no session id, so an open session would be
+                // unreachable and hold a cap slot until process restart —
+                // tear it down before propagating.
+                let replies = match self.run_ops(id, ops, tr) {
+                    Ok(replies) => replies,
+                    Err(e) => {
+                        let _ = self.close_session(id);
+                        return Err(e);
+                    }
+                };
                 if *close_after {
                     self.close_session(id)?;
                 }
-                SessionResponse {
+                Ok(SessionResponse {
                     id,
                     replies,
                     closed: *close_after,
-                }
+                })
             }
             SessionRequest::Use {
                 id,
                 ops,
                 close_after,
             } => {
-                let replies = self.run_ops(*id, ops, &mut tr)?;
+                let ops_result = self.run_ops(*id, ops, tr);
                 if *close_after {
-                    self.close_session(*id)?;
+                    // The request asked for the close; honour it even when
+                    // an op failed. The close is best-effort on the error
+                    // path (the op error is the one the client needs —
+                    // e.g. an unknown id would fail both identically).
+                    match &ops_result {
+                        Ok(_) => self.close_session(*id)?,
+                        Err(_) => {
+                            let _ = self.close_session(*id);
+                        }
+                    }
                 }
-                SessionResponse {
+                Ok(SessionResponse {
                     id: *id,
-                    replies,
+                    replies: ops_result?,
                     closed: *close_after,
-                }
+                })
             }
-        };
-        tr.total_nanos = start.elapsed().as_nanos() as u64;
-        let registry = self.registry();
-        registry.counter("engine_session_requests_total", &[]).inc();
-        registry
-            .histogram("engine_request_nanos", &[("route", "session")])
-            .record(tr.total_nanos);
-        self.slow_log().record(&tr);
-        Ok(result)
+        }
     }
 
     /// The complete session wire pipeline: parse `body` as a

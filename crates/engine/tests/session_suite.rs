@@ -209,6 +209,78 @@ fn unknown_and_closed_ids_are_typed_errors_everywhere() {
     }
 }
 
+/// A failing op inside `session open` must not leak the just-opened
+/// session: the client gets an error with no id, so an open session
+/// would be unreachable and pin its cap slot until process restart.
+#[test]
+fn failed_open_ops_do_not_leak_sessions() {
+    let engine = Engine::builder().max_sessions_per_tenant(1).build();
+    let bad_open = SessionRequest::Open {
+        spec: Box::new(small_request()),
+        ops: vec![SessionOp::Update {
+            tuple: Tuple::R(99), // not in the lineage: fails at run time
+            weight: r(1, 2),
+        }],
+        close_after: false,
+    };
+    assert_eq!(
+        engine.session_request(&bad_open),
+        Err(SessionError::UnknownTuple(Tuple::R(99)))
+    );
+    assert_eq!(engine.session_count(), 0, "failed open leaked a session");
+    // The cap slot was refunded: the next open still admits.
+    let id = engine.open_session(&small_request()).unwrap();
+    engine.close_session(id).unwrap();
+}
+
+/// `session use ... close` honours the close even when an op fails —
+/// the request asked for teardown, and earlier updates staying applied
+/// must not keep the session alive past it.
+#[test]
+fn use_with_close_after_closes_even_when_an_op_fails() {
+    let engine = Engine::new();
+    let id = engine.open_session(&small_request()).unwrap();
+    assert_eq!(
+        engine.session_request(&SessionRequest::Use {
+            id,
+            ops: vec![SessionOp::Update {
+                tuple: Tuple::R(99),
+                weight: r(1, 2),
+            }],
+            close_after: true,
+        }),
+        Err(SessionError::UnknownTuple(Tuple::R(99)))
+    );
+    assert_eq!(engine.session_count(), 0, "requested close was skipped");
+    assert_eq!(
+        engine.session_request(&SessionRequest::Close { id }),
+        Err(SessionError::UnknownSession(id))
+    );
+}
+
+/// Failed session requests are visible to observability: the request
+/// counter, the `route=session` latency histogram, and the slow-query
+/// log record errors, not just successes.
+#[test]
+fn failed_session_requests_are_observable() {
+    let engine = Engine::new();
+    assert!(engine
+        .session_request(&SessionRequest::Close { id: 424242 })
+        .is_err());
+    let registry = engine.registry();
+    assert_eq!(
+        registry
+            .histogram_snapshot("engine_request_nanos", &[("route", "session")])
+            .expect("session request histogram")
+            .count,
+        1
+    );
+    assert_eq!(
+        registry.counter_value("engine_session_requests_total", &[]),
+        1
+    );
+}
+
 /// Sessions are charged against the per-tenant admission cap, and a
 /// close refunds the charge.
 #[test]
